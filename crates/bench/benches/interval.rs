@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks of the TDL machinery (§4): symbolic interval
+//! analysis, strategy discovery and extent binding — the per-operator costs
+//! the search pays once per class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tofu_graph::{lookup, Attrs};
+use tofu_tdl::{access_regions, bind_extents, discover_strategies, SymInterval};
+use tofu_tensor::Shape;
+
+fn conv2d_desc() -> tofu_tdl::TdlDesc {
+    let def = lookup("conv2d").unwrap();
+    (def.tdl.unwrap())(
+        &[Shape::new(vec![32, 64, 56, 56]), Shape::new(vec![64, 128, 3, 3])],
+        &Attrs::new().with_int("pad", 1),
+    )
+    .unwrap()
+}
+
+fn bench_region_analysis(c: &mut Criterion) {
+    let desc = conv2d_desc();
+    let binding: Vec<SymInterval> =
+        (0..desc.vars().len()).map(SymInterval::full_var).collect();
+    c.bench_function("interval/conv2d_region_analysis", |b| {
+        b.iter(|| access_regions(std::hint::black_box(&desc), &binding).unwrap())
+    });
+}
+
+fn bench_strategy_discovery(c: &mut Criterion) {
+    let desc = conv2d_desc();
+    c.bench_function("interval/conv2d_discover_strategies", |b| {
+        b.iter(|| discover_strategies(std::hint::black_box(&desc)).unwrap())
+    });
+}
+
+fn bench_bind_extents(c: &mut Criterion) {
+    let desc = conv2d_desc();
+    let out = vec![32usize, 128, 56, 56];
+    let ins = vec![vec![32usize, 64, 56, 56], vec![64usize, 128, 3, 3]];
+    c.bench_function("interval/conv2d_bind_extents", |b| {
+        b.iter(|| bind_extents(std::hint::black_box(&desc), &out, &ins).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_region_analysis, bench_strategy_discovery, bench_bind_extents);
+criterion_main!(benches);

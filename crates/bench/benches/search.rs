@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks of the partition search (the Table 1 quantity
+//! at laptop-friendly scales): coarsening, one DP step, and the full
+//! recursion, for MLP / CNN / RNN training graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tofu_core::dp::{search, DpOptions, ExtraInputs};
+use tofu_core::recursive::{partition, PartitionOptions};
+use tofu_core::{coarsen, ShapeView};
+use tofu_models::{mlp, rnn, small_cnn, MlpConfig, RnnConfig, SmallCnnConfig};
+
+fn bench_coarsen(c: &mut Criterion) {
+    let model = rnn(&RnnConfig {
+        layers: 4,
+        hidden: 256,
+        batch: 32,
+        steps: 20,
+        embed: 128,
+        vocab: 256,
+        with_updates: true,
+    })
+    .unwrap();
+    c.bench_function("coarsen/rnn-4x20steps", |b| {
+        b.iter(|| coarsen(std::hint::black_box(&model.graph)))
+    });
+}
+
+fn bench_dp_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_single_step");
+    for depth in [2usize, 4, 8] {
+        let model = mlp(&MlpConfig {
+            batch: 64,
+            dims: vec![256; depth + 1],
+            classes: 32,
+            with_updates: true,
+        })
+        .unwrap();
+        let cg = coarsen(&model.graph);
+        let view = ShapeView::from_graph(&model.graph);
+        group.bench_with_input(BenchmarkId::new("mlp_depth", depth), &depth, |b, _| {
+            b.iter(|| {
+                search(&model.graph, &view, &cg, &ExtraInputs::new(), &DpOptions::default())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_recursion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recursive_partition_8_workers");
+    group.sample_size(10);
+
+    let mlp_model = mlp(&MlpConfig {
+        batch: 64,
+        dims: vec![512, 512, 512],
+        classes: 64,
+        with_updates: true,
+    })
+    .unwrap();
+    group.bench_function("mlp-3x512", |b| {
+        b.iter(|| partition(&mlp_model.graph, &PartitionOptions::default()).unwrap())
+    });
+
+    let cnn_model = small_cnn(&SmallCnnConfig {
+        batch: 16,
+        channels: 4,
+        image: 16,
+        conv_channels: 32,
+        conv_layers: 3,
+        classes: 8,
+    })
+    .unwrap();
+    group.bench_function("cnn-3conv", |b| {
+        b.iter(|| partition(&cnn_model.graph, &PartitionOptions::default()).unwrap())
+    });
+
+    let rnn_model = rnn(&RnnConfig {
+        layers: 2,
+        hidden: 256,
+        batch: 32,
+        steps: 8,
+        embed: 128,
+        vocab: 256,
+        with_updates: true,
+    })
+    .unwrap();
+    group.bench_function("rnn-2x8steps", |b| {
+        b.iter(|| partition(&rnn_model.graph, &PartitionOptions::default()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coarsen, bench_dp_step, bench_full_recursion);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the evaluation substrate: partitioned-graph
+//! generation and the discrete-event simulation (the per-configuration cost
+//! of regenerating Figs. 8-10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tofu_core::recursive::{partition, PartitionOptions};
+use tofu_core::{generate, GenOptions};
+use tofu_models::{mlp, MlpConfig};
+use tofu_sim::{simulate, Machine};
+
+fn bench_generate(c: &mut Criterion) {
+    let model = mlp(&MlpConfig {
+        batch: 64,
+        dims: vec![256, 256, 256],
+        classes: 32,
+        with_updates: true,
+    })
+    .unwrap();
+    let plan = partition(&model.graph, &PartitionOptions::default()).unwrap();
+    c.bench_function("sim/generate_8_workers", |b| {
+        b.iter(|| generate(&model.graph, &plan, &GenOptions::default()).unwrap())
+    });
+}
+
+fn bench_event_sim(c: &mut Criterion) {
+    let model = mlp(&MlpConfig {
+        batch: 64,
+        dims: vec![256, 256, 256],
+        classes: 32,
+        with_updates: true,
+    })
+    .unwrap();
+    let plan = partition(&model.graph, &PartitionOptions::default()).unwrap();
+    let sharded = generate(&model.graph, &plan, &GenOptions::default()).unwrap();
+    let machine = Machine::p2_8xlarge();
+    c.bench_function("sim/event_simulation", |b| {
+        b.iter(|| simulate(&sharded.graph, &sharded.device_of_node, &machine, false))
+    });
+}
+
+fn bench_memory_plan(c: &mut Criterion) {
+    let model = mlp(&MlpConfig {
+        batch: 64,
+        dims: vec![256, 256, 256],
+        classes: 32,
+        with_updates: true,
+    })
+    .unwrap();
+    let plan = partition(&model.graph, &PartitionOptions::default()).unwrap();
+    let sharded = generate(&model.graph, &plan, &GenOptions::default()).unwrap();
+    c.bench_function("sim/per_device_memory", |b| {
+        b.iter(|| {
+            tofu_sim::per_device_memory(&sharded.graph, &sharded.device_of_node, 8, true, 1.0)
+        })
+    });
+}
+
+criterion_group!(benches, bench_generate, bench_event_sim, bench_memory_plan);
+criterion_main!(benches);

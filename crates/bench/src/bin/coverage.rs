@@ -1,0 +1,54 @@
+//! §4.1 coverage statistics: how much of the operator catalogue TDL
+//! describes, next to the paper's MXNet v0.11 numbers.
+
+use tofu_graph::registry;
+
+fn main() {
+    let cov = registry::coverage();
+    println!("TDL coverage of the operator registry (cf. §4.1)\n");
+    println!("{:<28} {:>8} {:>14}", "", "ours", "paper (MXNet)");
+    println!("{:<28} {:>8} {:>14}", "total operators", cov.total, 139);
+    println!("{:<28} {:>8} {:>14}", "describable in TDL", cov.describable, 134);
+    println!("{:<28} {:>8} {:>14}", "element-wise", cov.elementwise, 77);
+    println!("{:<28} {:>8} {:>14}", "using opaque functions", cov.opaque, 2);
+    println!("{:<28} {:>8} {:>14}", "with output reductions", cov.with_reduction, 11);
+
+    println!("\nNot describable:");
+    for def in registry::all_ops() {
+        if def.tdl.is_none() {
+            println!("  {:<20} ({:?})", def.name, def.category);
+        }
+    }
+
+    // The per-operator strategy counts for the ops the evaluation leans on.
+    println!("\nDiscovered strategies for key operators:");
+    for (op, shapes) in [
+        ("matmul", vec![vec![64usize, 64], vec![64, 64]]),
+        ("conv1d", vec![vec![8, 4, 16], vec![4, 8, 3]]),
+        ("conv2d", vec![vec![8, 4, 16, 16], vec![4, 8, 3, 3]]),
+        ("conv2d_bwd_filter", vec![vec![8, 8, 16, 16], vec![8, 4, 18, 18]]),
+        ("batch_cholesky", vec![vec![8, 4, 4]]),
+        ("softmax", vec![vec![8, 16]]),
+    ] {
+        let def = registry::lookup(op).expect("registered");
+        let shapes: Vec<tofu_tensor::Shape> =
+            shapes.into_iter().map(tofu_tensor::Shape::new).collect();
+        let attrs = tofu_graph::Attrs::new().with_int("kh", 3).with_int("kw", 3);
+        if let Some(tdl) = def.tdl {
+            if let Some(desc) = tdl(&shapes, &attrs) {
+                let n = tofu_tdl::discover_strategies(&desc)
+                    .map(|s| s.len())
+                    .unwrap_or(0);
+                let kinds = tofu_tdl::discover_strategies(&desc)
+                    .map(|s| {
+                        s.iter()
+                            .map(|st| st.id.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    })
+                    .unwrap_or_default();
+                println!("  {op:<20} {n} strategies: {kinds}");
+            }
+        }
+    }
+}

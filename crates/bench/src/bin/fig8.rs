@@ -1,0 +1,91 @@
+//! Fig. 8: WResNet training throughput (samples/sec) on 8 simulated GPUs
+//! for Ideal, SmallBatch, Swapping and Tofu, with the paper's measured
+//! numbers beside each bar. "OOM" marks configurations that exceed the
+//! 12 GB device memory, as in the paper.
+
+use tofu_bench::{batch_candidates, fmt_outcome, fmt_paper, rule, wresnet_builder};
+use tofu_core::baselines::Algorithm;
+use tofu_sim::{ideal, small_batch, swap, Machine};
+
+/// Paper Fig. 8 absolute throughputs (samples/sec); `None` = OOM.
+/// Rows: (layers, [per width 4, 6, 8, 10] x [ideal, smallbatch, swap, tofu]).
+type Row = [[Option<f64>; 4]; 4];
+
+const PAPER: [(usize, Row); 3] = [
+    (
+        50,
+        [
+            [Some(47.0), Some(46.0), Some(28.0), Some(41.0)],
+            [Some(18.0), Some(16.0), Some(12.0), Some(17.0)],
+            [Some(10.0), None, Some(5.9), Some(9.3)],
+            [Some(6.4), None, Some(4.0), Some(6.0)],
+        ],
+    ),
+    (
+        101,
+        [
+            [Some(27.0), Some(23.0), Some(11.0), Some(20.0)],
+            [Some(9.4), None, Some(5.4), Some(8.7)],
+            [Some(5.3), None, Some(3.2), Some(4.8)],
+            [Some(3.3), None, Some(2.1), Some(3.1)],
+        ],
+    ),
+    (
+        152,
+        [
+            [Some(19.0), None, Some(7.7), Some(11.0)],
+            [Some(6.5), None, Some(3.4), Some(5.4)],
+            [Some(3.6), None, Some(2.2), Some(2.7)],
+            [Some(2.3), None, Some(1.6), Some(1.9)],
+        ],
+    ),
+];
+
+fn main() {
+    let machine = Machine::p2_8xlarge();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let widths: &[usize] = if quick { &[4] } else { &[4, 6, 8, 10] };
+    let depths: &[(usize, Row)] = if quick { &PAPER[..1] } else { &PAPER };
+    // The ideal baseline saturates with a large batch; the others sweep.
+    let candidates = batch_candidates();
+    let wres_candidates: Vec<usize> =
+        candidates.iter().copied().filter(|&b| b <= 128).collect();
+
+    for (layers, paper) in depths {
+        println!("\nFig. 8: Wide ResNet-{layers} throughput (samples/sec), ours | paper");
+        println!(
+            "{:<6} {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
+            "W", "Ideal", "(paper)", "SmallB", "(paper)", "Swap", "(paper)", "Tofu", "(paper)"
+        );
+        rule(96);
+        for (wi, &width) in widths.iter().enumerate() {
+            let build = wresnet_builder(*layers, width);
+            let ideal_out = ideal(&build, 128, &machine);
+            let sb_out = small_batch(&build, &wres_candidates, &machine);
+            let swap_out = swap(&build, &wres_candidates, &machine);
+            let (tofu_out, _) = tofu_bench::partitioned_sweep(
+                &build,
+                Algorithm::Tofu,
+                &wres_candidates,
+                &machine,
+            );
+            println!(
+                "{:<6} {} {} | {} {} | {} {} | {} {}",
+                width,
+                fmt_outcome(&ideal_out),
+                fmt_paper(paper[wi][0]),
+                fmt_outcome(&sb_out),
+                fmt_paper(paper[wi][1]),
+                fmt_outcome(&swap_out),
+                fmt_paper(paper[wi][2]),
+                fmt_outcome(&tofu_out),
+                fmt_paper(paper[wi][3]),
+            );
+        }
+    }
+    println!(
+        "\nShape checks: Tofu should be within 60-98% of Ideal, beat Swap everywhere,\n\
+         and lose only to SmallBatch on WResNet-50-4/101-4 (convolutions stay\n\
+         efficient at small batches); SmallBatch must OOM on the larger configs."
+    );
+}

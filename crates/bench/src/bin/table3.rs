@@ -1,0 +1,60 @@
+//! Table 3: RNN throughput (samples/sec) at hidden size 4096 — Tofu vs
+//! operator placement in its MXNet flavor and its TensorFlow flavor (which
+//! lacks in-place gradient aggregation, the cause the paper identifies for
+//! TF's ~2x gap).
+
+use tofu_bench::{batch_candidates, fmt_outcome, fmt_paper, rnn_builder};
+use tofu_core::baselines::Algorithm;
+use tofu_sim::{op_placement, Machine, Outcome};
+
+const PAPER: [[f64; 3]; 3] = [
+    // RNN-6, RNN-8, RNN-10 rows for [Tofu, MX-OpPlacement, TF-OpPlacement].
+    [210.0, 107.0, 50.0],
+    [154.0, 95.0, 36.0],
+    [122.0, 59.0, 30.0],
+];
+
+fn main() {
+    let machine = Machine::p2_8xlarge();
+    let candidates = batch_candidates();
+
+    println!("Table 3: RNN throughput (samples/sec), hidden size 4096\n");
+    println!(
+        "{:<18} {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
+        "", "Tofu", "(paper)", "MX-OpPl", "(paper)", "TF-OpPl", "(paper)"
+    );
+    for (ri, layers) in [6usize, 8, 10].into_iter().enumerate() {
+        let build = rnn_builder(layers, 4096);
+        let (tofu_out, _) =
+            tofu_bench::partitioned_sweep(&build, Algorithm::Tofu, &candidates, &machine);
+        let sweep_placement = |in_place: bool| -> Outcome {
+            let mut last = Outcome::Oom { peak_gb: 0.0 };
+            for &batch in &candidates {
+                if let Some(g) = build(batch) {
+                    let out = op_placement(&g, batch, &machine, in_place);
+                    if out.ran() {
+                        return out;
+                    }
+                    last = out;
+                }
+            }
+            last
+        };
+        let mx = sweep_placement(true);
+        let tf = sweep_placement(false);
+        println!(
+            "{:<18} {} {} | {} {} | {} {}",
+            format!("RNN-{layers}"),
+            fmt_outcome(&tofu_out),
+            fmt_paper(Some(PAPER[ri][0])),
+            fmt_outcome(&mx),
+            fmt_paper(Some(PAPER[ri][1])),
+            fmt_outcome(&tf),
+            fmt_paper(Some(PAPER[ri][2])),
+        );
+    }
+    println!(
+        "\nShape checks: Tofu ~2x over MX operator placement; the TF flavor\n\
+         trails MX because gradient aggregation is not in place."
+    );
+}

@@ -1,0 +1,129 @@
+//! Shared harness for the table/figure regenerator binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's per-experiment index) and prints a side-by-side
+//! comparison with the numbers the paper reports. Absolute values come from
+//! a simulator, not the authors' testbed, so the comparison targets the
+//! *shape* of each result: who wins, by roughly what factor, and where the
+//! OOMs fall.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tofu_core::baselines::Algorithm;
+use tofu_core::recursive::PartitionOptions;
+use tofu_graph::Graph;
+use tofu_models::{rnn, wresnet, RnnConfig, WResNetConfig};
+use tofu_sim::{Machine, Outcome, TofuSimOptions};
+
+/// Formats an [`Outcome`] the way the paper's figures label bars.
+pub fn fmt_outcome(o: &Outcome) -> String {
+    match o {
+        Outcome::Ran(p) => format!("{:>8.1}", p.throughput),
+        Outcome::Oom { .. } => format!("{:>8}", "OOM"),
+    }
+}
+
+/// Formats an optional paper number for the comparison column.
+pub fn fmt_paper(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:>8.1}"),
+        None => format!("{:>8}", "OOM"),
+    }
+}
+
+/// Prints a horizontal rule sized for the standard table width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// The candidate global batch sizes swept by the figures, largest first.
+pub fn batch_candidates() -> Vec<usize> {
+    vec![512, 256, 128, 64, 32, 16, 8]
+}
+
+/// Builds a WResNet training graph for the given batch, `None` on failure.
+pub fn wresnet_builder(layers: usize, width: usize) -> impl Fn(usize) -> Option<Graph> {
+    move |batch| {
+        wresnet(&WResNetConfig { layers, width, batch, ..Default::default() })
+            .ok()
+            .map(|m| m.graph)
+    }
+}
+
+/// Builds an RNN training graph for the given batch, `None` on failure.
+pub fn rnn_builder(layers: usize, hidden: usize) -> impl Fn(usize) -> Option<Graph> {
+    move |batch| {
+        rnn(&RnnConfig {
+            layers,
+            hidden,
+            batch,
+            steps: 20,
+            embed: 1024,
+            vocab: 4096,
+            with_updates: true,
+        })
+        .ok()
+        .map(|m| m.graph)
+    }
+}
+
+/// Runs a partitioner + simulator sweep: the largest candidate batch whose
+/// partitioned execution fits device memory. Returns the outcome and the
+/// plan's search time for the winning batch.
+pub fn partitioned_sweep(
+    build: &dyn Fn(usize) -> Option<Graph>,
+    algorithm: Algorithm,
+    candidates: &[usize],
+    machine: &Machine,
+) -> (Outcome, std::time::Duration) {
+    let mut worst_peak = 0.0f64;
+    for &batch in candidates {
+        let Some(g) = build(batch) else { continue };
+        let plan = match tofu_core::baselines::run(&g, algorithm, machine.gpus) {
+            Ok(p) => p,
+            Err(_) => continue,
+        };
+        let search = plan.search_time;
+        match tofu_sim::run_partitioned(&g, &plan, batch, machine, &TofuSimOptions::default()) {
+            Ok(run) => match run.outcome {
+                Outcome::Ran(p) => return (Outcome::Ran(p), search),
+                Outcome::Oom { peak_gb } => worst_peak = worst_peak.max(peak_gb),
+            },
+            Err(_) => continue,
+        }
+    }
+    (Outcome::Oom { peak_gb: worst_peak }, std::time::Duration::ZERO)
+}
+
+/// Default partitioner options for the benches.
+pub fn default_opts(workers: usize) -> PartitionOptions {
+    PartitionOptions { workers, ..Default::default() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        let perf = tofu_sim::Perf {
+            iter_seconds: 1.0,
+            throughput: 42.0,
+            batch: 8,
+            peak_gb: 1.0,
+            comm_fraction: 0.0,
+        };
+        assert!(fmt_outcome(&Outcome::Ran(perf)).contains("42.0"));
+        assert!(fmt_outcome(&Outcome::Oom { peak_gb: 1.0 }).contains("OOM"));
+        assert!(fmt_paper(Some(4.2)).contains("4.2"));
+        assert!(fmt_paper(None).contains("OOM"));
+    }
+
+    #[test]
+    fn builders_produce_graphs() {
+        assert!(wresnet_builder(50, 4)(2).is_some());
+        assert!(rnn_builder(2, 64)(4).is_some());
+        assert!(wresnet_builder(42, 4)(2).is_none());
+    }
+}

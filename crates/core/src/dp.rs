@@ -1,0 +1,767 @@
+//! The dynamic-programming search for one basic partition step (§5).
+//!
+//! The DP walks the coarsened groups in forward order and tracks, as its
+//! state, the partition spec of every *bundle* crossing the current cut. A
+//! bundle is a set of tensors forced to share one spec: the outputs of one
+//! strategy class (all timestep instances of a cell operator, or a coalesced
+//! element-wise run), or a single leaf tensor. For the chain-like coarsened
+//! graphs of MLPs, CNNs and RNNs the cut width is tiny (one activation
+//! tensor-group, i.e. a forward tensor and its gradient), which is what makes
+//! the search fast; fork-join regions (residual blocks) briefly widen the
+//! frontier and are handled by the same machinery.
+//!
+//! Within a group the member classes are searched combinatorially (§5.1
+//! "brute-force combinatorial search among all member operators/tensors"):
+//! once every touched bundle's spec is fixed, each class independently picks
+//! its cheapest strategy, so the brute force ranges only over the group's
+//! internal bundles (weights, weight gradients, temporaries).
+
+use std::collections::BTreeMap;
+
+use tofu_graph::{Graph, NodeId, TensorId};
+use tofu_tensor::Shape;
+
+use crate::coarsen::CoarseGraph;
+use crate::error::CoreError;
+use crate::spec::{
+    input_fetch_bytes, legal_specs, output_bytes, respec_bytes, ConcreteOut, ConcreteReq,
+    TensorSpec,
+};
+use crate::strategies::{node_strategies, strategy_feasible, NodeStrategy, ShapeView};
+use crate::Result;
+
+/// Extra leaf inputs attached to nodes by earlier recursion steps (the
+/// remote-fetch buffers of Fig. 6). `for_input` names the node input whose
+/// required region the buffer carries.
+#[derive(Debug, Clone, Default)]
+pub struct ExtraInputs {
+    entries: Vec<(NodeId, usize, TensorId)>,
+}
+
+impl ExtraInputs {
+    /// Creates an empty table.
+    pub fn new() -> ExtraInputs {
+        ExtraInputs::default()
+    }
+
+    /// Registers a fetch buffer for `(node, for_input)`.
+    pub fn push(&mut self, node: NodeId, for_input: usize, tensor: TensorId) {
+        self.entries.push((node, for_input, tensor));
+    }
+
+    /// Buffers attached to one node.
+    pub fn of_node(&self, node: NodeId) -> impl Iterator<Item = (usize, TensorId)> + '_ {
+        self.entries
+            .iter()
+            .filter(move |(n, _, _)| *n == node)
+            .map(|&(_, i, t)| (i, t))
+    }
+
+    /// All registered buffer tensors.
+    pub fn tensors(&self) -> impl Iterator<Item = TensorId> + '_ {
+        self.entries.iter().map(|&(_, _, t)| t)
+    }
+
+    /// Number of registered buffers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no buffers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Search options.
+#[derive(Debug, Clone, Copy)]
+pub struct DpOptions {
+    /// Number of worker groups this step splits into (2 for powers of two).
+    pub ways: usize,
+    /// When false, Case-2 (output-reduction) strategies are excluded —
+    /// modeling the ICML18 baseline of §7.3.
+    pub allow_reduce: bool,
+    /// Upper bound on DP states per cut before the search aborts.
+    pub state_bound: usize,
+    /// Upper bound on enumerated internal-bundle assignments per group;
+    /// beyond it, internal specs are optimized by coordinate descent.
+    pub internal_bound: usize,
+    /// Beam width: at most this many DP states are kept per cut (the best
+    /// ones by cost). Wide fork-join frontiers are pruned to the beam, which
+    /// preserves optimality on chain-shaped coarsened graphs and is a
+    /// high-quality approximation elsewhere.
+    pub beam: usize,
+}
+
+impl Default for DpOptions {
+    fn default() -> Self {
+        DpOptions { ways: 2, allow_reduce: true, state_bound: 200_000, internal_bound: 1024, beam: 512 }
+    }
+}
+
+/// How one node is executed under the chosen basic plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeChoice {
+    /// A discovered strategy (with concrete requirements).
+    Strategy(NodeStrategy),
+    /// An element-wise (or coalesced) node: everything follows the class
+    /// spec.
+    Ewise(TensorSpec),
+}
+
+/// The basic partition plan of one step.
+#[derive(Debug, Clone)]
+pub struct StepPlan {
+    /// Group count of this step.
+    pub ways: usize,
+    /// Spec per tensor (graph tensors first, then extra-input tensors).
+    pub tensor_spec: Vec<TensorSpec>,
+    /// Execution choice per node.
+    pub node_choice: Vec<NodeChoice>,
+    /// Total communication bytes incurred by this step (per worker-group
+    /// pair; the recursion scales it by the number of groups).
+    pub comm_bytes: f64,
+}
+
+impl StepPlan {
+    /// Spec of a tensor.
+    pub fn spec(&self, t: TensorId) -> TensorSpec {
+        self.tensor_spec[t.0]
+    }
+}
+
+type StateKey = Vec<(usize, TensorSpec)>; // sorted (bundle, spec)
+
+struct Bundles {
+    /// Bundle id per tensor (graph + extra tensors).
+    of_tensor: Vec<usize>,
+    /// Representative shapes per bundle (for legal-spec computation the
+    /// intersection over members is used).
+    legal: Vec<Vec<TensorSpec>>,
+    /// First and last group touching each bundle.
+    first: Vec<usize>,
+    last: Vec<usize>,
+    count: usize,
+}
+
+fn build_bundles(
+    g: &Graph,
+    view: &ShapeView,
+    cg: &CoarseGraph,
+    extra: &ExtraInputs,
+    ways: usize,
+) -> Bundles {
+    let total_tensors = view.len();
+    let mut of_tensor = vec![usize::MAX; total_tensors];
+    let mut members: Vec<Vec<TensorId>> = Vec::new();
+
+    // Class-keyed bundles for produced tensors.
+    let mut class_bundle: BTreeMap<usize, usize> = BTreeMap::new();
+    for id in g.node_ids() {
+        let out = g.node(id).output;
+        let class = cg.class_of[id.0];
+        let b = *class_bundle.entry(class).or_insert_with(|| {
+            members.push(Vec::new());
+            members.len() - 1
+        });
+        of_tensor[out.0] = b;
+        members[b].push(out);
+    }
+    // Leaf bundles for everything else (inputs, weights, extra buffers).
+    for t in 0..total_tensors {
+        if of_tensor[t] == usize::MAX {
+            members.push(vec![TensorId(t)]);
+            of_tensor[t] = members.len() - 1;
+        }
+    }
+
+    let count = members.len();
+    // Legal specs: intersection over member tensors.
+    let mut legal: Vec<Vec<TensorSpec>> = Vec::with_capacity(count);
+    for m in &members {
+        let mut acc: Option<Vec<TensorSpec>> = None;
+        for &t in m {
+            let specs = legal_specs(view.shape(t), ways);
+            acc = Some(match acc {
+                None => specs,
+                Some(prev) => prev.into_iter().filter(|s| specs.contains(s)).collect(),
+            });
+        }
+        let mut specs = acc.unwrap_or_default();
+        if specs.is_empty() {
+            specs.push(TensorSpec::Replicated);
+        }
+        legal.push(specs);
+    }
+
+    // Group touch ranges.
+    let mut first = vec![usize::MAX; count];
+    let mut last = vec![0usize; count];
+    let mut touch = |b: usize, gi: usize| {
+        if first[b] == usize::MAX || gi < first[b] {
+            first[b] = gi;
+        }
+        if gi > last[b] {
+            last[b] = gi;
+        }
+    };
+    for id in g.node_ids() {
+        let gi = cg.group_of[id.0];
+        let node = g.node(id);
+        touch(of_tensor[node.output.0], gi);
+        for &t in &node.inputs {
+            touch(of_tensor[t.0], gi);
+        }
+        for (_, t) in extra.of_node(id) {
+            touch(of_tensor[t.0], gi);
+        }
+    }
+    // Untouched bundles (dangling tensors): pin to group 0.
+    for b in 0..count {
+        if first[b] == usize::MAX {
+            first[b] = 0;
+            last[b] = 0;
+        }
+    }
+
+    Bundles { of_tensor, legal, first, last, count }
+}
+
+/// Per-class preprocessed data.
+struct ClassInfo {
+    rep: NodeId,
+    members: Vec<NodeId>,
+    is_ewise: bool,
+    /// Feasible strategies of the representative (empty for ewise classes).
+    strategies: Vec<NodeStrategy>,
+    /// Bundle of the class's outputs.
+    own_bundle: usize,
+    /// Every bundle this class touches, sorted — the memoization key domain.
+    touched: Vec<usize>,
+}
+
+/// Runs the DP for one basic step, returning the optimal [`StepPlan`].
+pub fn search(
+    g: &Graph,
+    view: &ShapeView,
+    cg: &CoarseGraph,
+    extra: &ExtraInputs,
+    opts: &DpOptions,
+) -> Result<StepPlan> {
+    if opts.ways < 2 {
+        return Err(CoreError::BadWorkerCount(opts.ways));
+    }
+    let bundles = build_bundles(g, view, cg, extra, opts.ways);
+
+    // Preprocess classes.
+    let mut classes: Vec<Option<ClassInfo>> = Vec::with_capacity(cg.class_nodes.len());
+    for (ci, members) in cg.class_nodes.iter().enumerate() {
+        if members.is_empty() {
+            classes.push(None);
+            continue;
+        }
+        let rep = members[0];
+        let is_ewise = cg.class_is_ewise[ci];
+        let strategies = if is_ewise {
+            Vec::new()
+        } else {
+            let out_shape = view.shape(g.node(rep).output).clone();
+            let feasible: Vec<NodeStrategy> = node_strategies(g, rep, view)?
+                .into_iter()
+                .filter(|s| strategy_feasible(s, &out_shape, opts.ways))
+                .collect();
+            let filtered: Vec<NodeStrategy> = feasible
+                .iter()
+                .filter(|s| opts.allow_reduce || !matches!(s.out, ConcreteOut::Reduce))
+                .cloned()
+                .collect();
+            // The ICML18 baseline lacks output-reduction as an *option*; an
+            // operator whose only strategies are reductions (e.g. the scalar
+            // loss) is still computed, just not partitioned differently.
+            if filtered.is_empty() { feasible } else { filtered }
+        };
+        let mut touched: Vec<usize> = Vec::new();
+        for &m in members {
+            let node = g.node(m);
+            touched.push(bundles.of_tensor[node.output.0]);
+            for &t in &node.inputs {
+                touched.push(bundles.of_tensor[t.0]);
+            }
+            for (_, t) in extra.of_node(m) {
+                touched.push(bundles.of_tensor[t.0]);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        classes.push(Some(ClassInfo {
+            rep,
+            members: members.clone(),
+            is_ewise,
+            strategies,
+            own_bundle: bundles.of_tensor[g.node(rep).output.0],
+            touched,
+        }));
+    }
+
+    // Class-cost memoization: specs of a class's touched bundles fully
+    // determine its cost, so (class, spec-key) results are cached across the
+    // state x combo product.
+    let mut cost_cache: std::collections::HashMap<(usize, Vec<u8>), Option<(f64, Option<usize>)>> =
+        std::collections::HashMap::new();
+    const REP: u8 = u8::MAX;
+    fn enc(s: TensorSpec) -> u8 {
+        match s {
+            TensorSpec::Split(d) => d as u8,
+            TensorSpec::Replicated => u8::MAX,
+        }
+    }
+    fn dec(v: u8) -> TensorSpec {
+        if v == u8::MAX { TensorSpec::Replicated } else { TensorSpec::Split(v as usize) }
+    }
+
+    // DP over groups.
+    let mut states: BTreeMap<StateKey, (f64, usize)> = BTreeMap::new();
+    states.insert(Vec::new(), (0.0, usize::MAX));
+    // Backtracking: per group, per resulting state key, the winning local
+    // assignment (bundle -> spec for every bundle resolved at this group)
+    // plus per-class strategy indices, plus predecessor state key.
+    struct Trace {
+        prev: StateKey,
+        resolved: Vec<(usize, TensorSpec)>,
+        class_choice: Vec<(usize, usize)>, // (class, strategy index)
+    }
+    let mut traces: Vec<BTreeMap<StateKey, Trace>> = Vec::with_capacity(cg.groups.len());
+
+    for (gi, group) in cg.groups.iter().enumerate() {
+        let mut touched: Vec<usize> = Vec::new();
+        for &n in &group.nodes {
+            let node = g.node(n);
+            touched.push(bundles.of_tensor[node.output.0]);
+            for &t in &node.inputs {
+                touched.push(bundles.of_tensor[t.0]);
+            }
+            for (_, t) in extra.of_node(n) {
+                touched.push(bundles.of_tensor[t.0]);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+
+        // Bundles resolved at this group: those first touched here.
+        let fresh: Vec<usize> =
+            touched.iter().copied().filter(|&b| bundles.first[b] == gi).collect();
+        let carried: Vec<usize> =
+            touched.iter().copied().filter(|&b| bundles.first[b] < gi).collect();
+
+        // Enumerate fresh-bundle assignments (bounded).
+        let combos = enumerate_assignments(&fresh, &bundles.legal, opts.internal_bound);
+
+        let mut next: BTreeMap<StateKey, (f64, usize)> = BTreeMap::new();
+        let mut trace: BTreeMap<StateKey, Trace> = BTreeMap::new();
+
+        let mut spec_arr: Vec<u8> = vec![REP; bundles.count];
+        for (state_key, &(base_cost, _)) in &states {
+            if !carried
+                .iter()
+                .all(|b| state_key.iter().any(|(sb, _)| sb == b))
+            {
+                return Err(CoreError::Internal(format!(
+                    "bundle carried into group {gi} missing from DP state"
+                )));
+            }
+            for &(b, spec) in state_key {
+                spec_arr[b] = enc(spec);
+            }
+            for combo in &combos {
+                for &(b, spec) in combo {
+                    spec_arr[b] = enc(spec);
+                }
+                // Per-class independent optimization with memoization.
+                let mut total = 0.0f64;
+                let mut choices: Vec<(usize, usize)> = Vec::new();
+                let mut feasible = true;
+                for &ci in &group.classes {
+                    let Some(info) = &classes[ci] else { continue };
+                    let key: Vec<u8> = info.touched.iter().map(|&b| spec_arr[b]).collect();
+                    let cached = cost_cache
+                        .entry((ci, key))
+                        .or_insert_with(|| {
+                            let spec = |t: TensorId| dec(spec_arr[bundles.of_tensor[t.0]]);
+                            class_cost(g, view, extra, info, &spec, opts)
+                        });
+                    match cached {
+                        Some((c, choice)) => {
+                            total += *c;
+                            if let Some(idx) = choice {
+                                choices.push((ci, *idx));
+                            }
+                        }
+                        None => {
+                            feasible = false;
+                            break;
+                        }
+                    }
+                }
+                if feasible {
+                    let cost = base_cost + total;
+                    // New state: bundles still crossing after this group.
+                    let mut key: StateKey = state_key
+                        .iter()
+                        .copied()
+                        .filter(|&(b, _)| bundles.last[b] > gi)
+                        .chain(
+                            combo
+                                .iter()
+                                .copied()
+                                .filter(|&(b, _)| bundles.last[b] > gi),
+                        )
+                        .collect();
+                    key.sort_unstable();
+                    let entry =
+                        next.entry(key.clone()).or_insert((f64::INFINITY, usize::MAX));
+                    if cost < entry.0 {
+                        *entry = (cost, 0);
+                        trace.insert(
+                            key,
+                            Trace {
+                                prev: state_key.clone(),
+                                resolved: combo.clone(),
+                                class_choice: choices,
+                            },
+                        );
+                    }
+                }
+                for &(b, _) in combo {
+                    spec_arr[b] = REP;
+                }
+            }
+            for &(b, _) in state_key {
+                spec_arr[b] = REP;
+            }
+        }
+        if next.is_empty() {
+            return Err(CoreError::NoStrategy {
+                node: format!("group {gi}"),
+                detail: "no feasible configuration".into(),
+            });
+        }
+        if next.len() > opts.state_bound {
+            return Err(CoreError::SearchSpaceExceeded {
+                states: next.len(),
+                bound: opts.state_bound,
+            });
+        }
+        if next.len() > opts.beam {
+            // Beam pruning: keep the cheapest states.
+            let mut ranked: Vec<(StateKey, (f64, usize))> = next.into_iter().collect();
+            ranked.sort_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite costs"));
+            ranked.truncate(opts.beam);
+            next = ranked.into_iter().collect();
+            trace.retain(|k, _| next.contains_key(k));
+        }
+        states = next;
+        traces.push(trace);
+    }
+
+    // Reconstruct: final state should be the single empty key (or the best).
+    let (mut key, (total_cost, _)) = states
+        .iter()
+        .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite costs"))
+        .map(|(k, v)| (k.clone(), *v))
+        .expect("states nonempty");
+
+    let mut bundle_spec: Vec<TensorSpec> = vec![TensorSpec::Replicated; bundles.count];
+    let mut class_choice: BTreeMap<usize, usize> = BTreeMap::new();
+    for gi in (0..cg.groups.len()).rev() {
+        let t = traces[gi]
+            .get(&key)
+            .ok_or_else(|| CoreError::Internal(format!("missing trace at group {gi}")))?;
+        for &(b, s) in &t.resolved {
+            bundle_spec[b] = s;
+        }
+        // Specs of bundles alive in this state.
+        for &(b, s) in &key {
+            bundle_spec[b] = s;
+        }
+        for &(ci, idx) in &t.class_choice {
+            class_choice.insert(ci, idx);
+        }
+        key = t.prev.clone();
+    }
+
+    // Materialize per-tensor and per-node plans.
+    let tensor_spec: Vec<TensorSpec> =
+        (0..view.len()).map(|t| bundle_spec[bundles.of_tensor[t]]).collect();
+    let mut node_choice: Vec<NodeChoice> = Vec::with_capacity(g.num_nodes());
+    for id in g.node_ids() {
+        let ci = cg.class_of[id.0];
+        let info = classes[ci].as_ref().expect("class exists");
+        if info.is_ewise {
+            node_choice.push(NodeChoice::Ewise(bundle_spec[info.own_bundle]));
+        } else {
+            let idx = class_choice.get(&ci).copied().ok_or_else(|| {
+                CoreError::Internal(format!("no strategy recorded for class {ci}"))
+            })?;
+            node_choice.push(NodeChoice::Strategy(info.strategies[idx].clone()));
+        }
+    }
+
+    Ok(StepPlan { ways: opts.ways, tensor_spec, node_choice, comm_bytes: total_cost })
+}
+
+/// Enumerates assignments over the given bundles; falls back to a greedy +
+/// coordinate-descent scheme when the product exceeds the bound.
+fn enumerate_assignments(
+    bundles_to_assign: &[usize],
+    legal: &[Vec<TensorSpec>],
+    bound: usize,
+) -> Vec<Vec<(usize, TensorSpec)>> {
+    let mut product = 1usize;
+    for &b in bundles_to_assign {
+        product = product.saturating_mul(legal[b].len());
+        if product > bound {
+            break;
+        }
+    }
+    if product <= bound {
+        // Full cartesian product.
+        let mut out: Vec<Vec<(usize, TensorSpec)>> = vec![Vec::new()];
+        for &b in bundles_to_assign {
+            let mut next = Vec::with_capacity(out.len() * legal[b].len());
+            for partial in &out {
+                for &s in &legal[b] {
+                    let mut p = partial.clone();
+                    p.push((b, s));
+                    next.push(p);
+                }
+            }
+            out = next;
+        }
+        out
+    } else {
+        // Bounded: enumerate the largest-legal-set bundles one at a time
+        // around a default assignment (first legal spec each). This loses
+        // optimality but keeps the search tractable for degenerate graphs.
+        let default: Vec<(usize, TensorSpec)> =
+            bundles_to_assign.iter().map(|&b| (b, legal[b][0])).collect();
+        let mut out = vec![default.clone()];
+        for (i, &b) in bundles_to_assign.iter().enumerate() {
+            for &s in legal[b].iter().skip(1) {
+                let mut v = default.clone();
+                v[i] = (b, s);
+                out.push(v);
+                if out.len() >= bound {
+                    return out;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Cost of one class under a full spec assignment; `None` when no feasible
+/// strategy exists. Returns the chosen strategy index for non-ewise classes.
+fn class_cost(
+    g: &Graph,
+    view: &ShapeView,
+    extra: &ExtraInputs,
+    info: &ClassInfo,
+    spec: &impl Fn(TensorId) -> TensorSpec,
+    opts: &DpOptions,
+) -> Option<(f64, Option<usize>)> {
+    if info.is_ewise {
+        let class_spec = spec(g.node(info.rep).output);
+        // Every member's inputs must arrive partitioned identically; sum the
+        // mismatch cost over all coalesced members.
+        let mut cost = 0.0;
+        for &m in &info.members {
+            let node = g.node(m);
+            for &t in &node.inputs {
+                let shape = view.shape(t);
+                let req = ewise_req(class_spec, shape);
+                cost += input_fetch_bytes(shape, spec(t), &req, opts.ways);
+            }
+            for (_, t) in extra.of_node(m) {
+                let shape = view.shape(t);
+                let req = ewise_req(class_spec, shape);
+                cost += input_fetch_bytes(shape, spec(t), &req, opts.ways);
+            }
+            // Output respec: the class computes its outputs in `class_spec`
+            // by construction, which is also the bundle spec -> free.
+        }
+        return Some((cost, None));
+    }
+
+    // Non-ewise: the whole class shares one strategy; pick the cheapest over
+    // the summed per-member costs (first/last timesteps may read different
+    // bundles than interior ones).
+    let mut best: Option<(f64, usize)> = None;
+    for (idx, st) in info.strategies.iter().enumerate() {
+        let mut total = 0.0;
+        for &m in &info.members {
+            let node = g.node(m);
+            let out_shape = view.shape(node.output);
+            for (i, &t) in node.inputs.iter().enumerate() {
+                let req = st.inputs.get(i).cloned().unwrap_or(ConcreteReq::Unused);
+                total += input_fetch_bytes(view.shape(t), spec(t), &req, opts.ways);
+            }
+            for (for_input, t) in extra.of_node(m) {
+                // The buffer is a slab of the original input: splitting it
+                // the way the strategy needs is free; anything else costs
+                // like the input itself.
+                let req = st.inputs.get(for_input).cloned().unwrap_or(ConcreteReq::Unused);
+                total += input_fetch_bytes(view.shape(t), spec(t), &req, opts.ways);
+            }
+            total += match st.out {
+                ConcreteOut::Split(c) => {
+                    respec_bytes(out_shape, TensorSpec::Split(c), spec(node.output), opts.ways)
+                }
+                ConcreteOut::Reduce => output_bytes(out_shape, ConcreteOut::Reduce, opts.ways),
+            };
+        }
+        if best.map(|(b, _)| total < b).unwrap_or(true) {
+            best = Some((total, idx));
+        }
+    }
+    best.map(|(c, idx)| (c, Some(idx)))
+}
+
+fn ewise_req(class_spec: TensorSpec, shape: &Shape) -> ConcreteReq {
+    match class_spec {
+        TensorSpec::Split(d) if d < shape.rank() => ConcreteReq::Split { dim: d, halo: 0.0 },
+        _ => ConcreteReq::Replicated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarsen::coarsen;
+    use tofu_graph::{autodiff, Attrs};
+
+    fn matmul_chain(batch: usize, dims: &[usize]) -> (Graph, Vec<TensorId>) {
+        let mut g = Graph::new();
+        let mut t = g.add_input("x", Shape::new(vec![batch, dims[0]]));
+        let mut weights = Vec::new();
+        for (i, w) in dims.windows(2).enumerate() {
+            let wt = g.add_weight(&format!("w{i}"), Shape::new(vec![w[0], w[1]]));
+            weights.push(wt);
+            t = g.add_op("matmul", &format!("fc{i}"), &[t, wt], Attrs::new()).unwrap();
+        }
+        let labels = g.add_input("labels", Shape::new(vec![batch]));
+        let loss = g.add_op("softmax_ce", "loss", &[t, labels], Attrs::new()).unwrap();
+        autodiff::backward(&mut g, loss, &weights).unwrap();
+        (g, weights)
+    }
+
+    fn run_dp(g: &Graph) -> StepPlan {
+        let view = ShapeView::from_graph(g);
+        let cg = coarsen(g);
+        search(g, &view, &cg, &ExtraInputs::new(), &DpOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn single_matmul_training_step_has_plan() {
+        let (g, _) = matmul_chain(8, &[16, 10]);
+        let plan = run_dp(&g);
+        assert_eq!(plan.ways, 2);
+        assert_eq!(plan.node_choice.len(), g.num_nodes());
+        assert!(plan.comm_bytes.is_finite());
+        // Every tensor received a spec.
+        assert_eq!(plan.tensor_spec.len(), g.num_tensors());
+    }
+
+    #[test]
+    fn deep_chain_plan_cost_is_reasonable() {
+        let (g, _) = matmul_chain(8, &[32, 64, 64, 10]);
+        let plan = run_dp(&g);
+        // The plan must be cheaper than all-replication of all weights.
+        let weight_bytes: u64 = g.weight_bytes();
+        assert!(plan.comm_bytes < 3.0 * weight_bytes as f64 + 1e6);
+    }
+
+    #[test]
+    fn batch_split_is_chosen_for_data_parallel_friendly_graph() {
+        // With a big batch and small weights, splitting the batch dimension
+        // everywhere (data parallelism within the group) is optimal: weights
+        // replicated (their fetch is cheap), activations split along dim 0.
+        let (g, _) = matmul_chain(1024, &[4, 4]);
+        let plan = run_dp(&g);
+        let x = g.tensor_by_name("x").unwrap();
+        assert_eq!(plan.spec(x), TensorSpec::Split(0));
+    }
+
+    #[test]
+    fn huge_weights_prefer_model_parallelism() {
+        // Tiny batch, enormous weight: the weight must not be replicated;
+        // the DP should split it and pay for the small activations instead.
+        let (g, weights) = matmul_chain(2, &[2048, 2048]);
+        let plan = run_dp(&g);
+        let w_spec = plan.spec(weights[0]);
+        assert!(matches!(w_spec, TensorSpec::Split(_)), "weight replicated: {w_spec:?}");
+    }
+
+    #[test]
+    fn disallowing_reduce_increases_cost() {
+        let (g, _) = matmul_chain(64, &[256, 256, 10]);
+        let view = ShapeView::from_graph(&g);
+        let cg = coarsen(&g);
+        let with = search(&g, &view, &cg, &ExtraInputs::new(), &DpOptions::default()).unwrap();
+        let without = search(
+            &g,
+            &view,
+            &cg,
+            &ExtraInputs::new(),
+            &DpOptions { allow_reduce: false, ..DpOptions::default() },
+        )
+        .unwrap();
+        assert!(without.comm_bytes >= with.comm_bytes);
+    }
+
+    #[test]
+    fn four_way_step_works() {
+        let (g, _) = matmul_chain(16, &[32, 32]);
+        let view = ShapeView::from_graph(&g);
+        let cg = coarsen(&g);
+        let plan = search(
+            &g,
+            &view,
+            &cg,
+            &ExtraInputs::new(),
+            &DpOptions { ways: 4, ..DpOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(plan.ways, 4);
+    }
+
+    #[test]
+    fn one_way_step_is_rejected() {
+        let (g, _) = matmul_chain(4, &[4, 4]);
+        let view = ShapeView::from_graph(&g);
+        let cg = coarsen(&g);
+        let err = search(
+            &g,
+            &view,
+            &cg,
+            &ExtraInputs::new(),
+            &DpOptions { ways: 1, ..DpOptions::default() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BadWorkerCount(1)));
+    }
+
+    #[test]
+    fn extra_inputs_participate() {
+        let (g, _) = matmul_chain(8, &[16, 10]);
+        let cg = coarsen(&g);
+        let mut view = ShapeView::from_graph(&g);
+        // Attach a fetch buffer for fc0's weight input.
+        let fc0 = g.producer(g.tensor_by_name("fc0:out").unwrap()).unwrap();
+        let pseudo = TensorId(g.num_tensors());
+        let mut extra = ExtraInputs::new();
+        extra.push(fc0, 1, pseudo);
+        view.push(Shape::new(vec![8, 10]));
+        let plan = search(&g, &view, &cg, &extra, &DpOptions::default()).unwrap();
+        assert_eq!(plan.tensor_spec.len(), g.num_tensors() + 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Search-space accounting for the non-recursive ("flat") DP — Table 1.
+//!
+//! Without recursion, each tensor of a `2^m`-worker plan may be partitioned
+//! along any *multiset* of `m` dimensions (a 4-D tensor has `C(4+3-1, 3) =
+//! 20` distinct ways for 8 workers — the number quoted in §5.2). A group's
+//! configuration count is the product over its touched tensors, e.g.
+//! `20⁶ = 6.4·10⁷` for a 2-D-convolution group. This module counts those
+//! configurations and extrapolates the flat DP's running time from a
+//! measured evaluation rate, reproducing the "8 hours / >24 hours" rows of
+//! Table 1 without actually burning a day of compute.
+
+use std::time::{Duration, Instant};
+
+use tofu_graph::Graph;
+
+use crate::coarsen::CoarseGraph;
+use crate::strategies::ShapeView;
+
+/// Number of multisets of size `m` over `rank` dimensions:
+/// `C(rank + m - 1, m)`.
+pub fn tensor_configs(rank: usize, m: usize) -> u128 {
+    if rank == 0 {
+        return 1;
+    }
+    // Binomial C(rank + m - 1, m).
+    let n = (rank + m - 1) as u128;
+    let k = m as u128;
+    let mut num = 1u128;
+    let mut den = 1u128;
+    for i in 0..k {
+        num = num.saturating_mul(n - i);
+        den = den.saturating_mul(i + 1);
+    }
+    num / den
+}
+
+/// Per-group configuration counts of the flat DP.
+pub fn group_configs(g: &Graph, cg: &CoarseGraph, view: &ShapeView, workers: usize) -> Vec<u128> {
+    let m = workers.trailing_zeros() as usize; // steps for powers of two
+    cg.groups
+        .iter()
+        .map(|group| {
+            let mut tensors: Vec<tofu_graph::TensorId> = Vec::new();
+            for &n in &group.nodes {
+                let node = g.node(n);
+                tensors.push(node.output);
+                tensors.extend(node.inputs.iter().copied());
+            }
+            tensors.sort_unstable();
+            tensors.dedup();
+            let mut configs: u128 = 1;
+            for t in tensors {
+                configs =
+                    configs.saturating_mul(tensor_configs(view.shape(t).rank(), m));
+            }
+            configs
+        })
+        .collect()
+}
+
+/// Total flat-DP configuration count over all groups.
+pub fn total_configs(g: &Graph, cg: &CoarseGraph, view: &ShapeView, workers: usize) -> u128 {
+    group_configs(g, cg, view, workers).iter().fold(0u128, |a, &b| a.saturating_add(b))
+}
+
+/// Result of the flat-DP time extrapolation.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatDpEstimate {
+    /// Total configurations the flat DP must evaluate.
+    pub configs: u128,
+    /// Measured evaluation rate (configurations per second).
+    pub rate_per_sec: f64,
+    /// Extrapolated total search time.
+    pub estimated: Duration,
+}
+
+/// Measures a realistic per-configuration evaluation rate by timing the cost
+/// arithmetic on synthetic configurations, then extrapolates the flat DP's
+/// total running time.
+pub fn estimate_flat_dp_time(
+    g: &Graph,
+    cg: &CoarseGraph,
+    view: &ShapeView,
+    workers: usize,
+    probe: Duration,
+) -> FlatDpEstimate {
+    let configs = total_configs(g, cg, view, workers);
+
+    // Probe: evaluate a representative cost expression in a tight loop. Each
+    // flat-DP configuration requires scoring every member operator against
+    // the multi-dimensional tensor tilings, which costs on the order of a
+    // few hundred nanoseconds; we measure rather than guess.
+    let start = Instant::now();
+    let mut evaluated: u64 = 0;
+    let mut sink = 0.0f64;
+    let sizes: Vec<f64> =
+        g.tensor_ids().take(64).map(|t| view.shape(t).bytes() as f64).collect();
+    while start.elapsed() < probe {
+        for _ in 0..1024 {
+            // A stand-in for one configuration's cost evaluation: a handful
+            // of per-tensor mismatch terms.
+            for &s in &sizes {
+                sink += s * 0.5 + (sink * 1e-12).min(s);
+            }
+            evaluated += 1;
+        }
+    }
+    std::hint::black_box(sink);
+    let rate = evaluated as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    let secs = configs as f64 / rate.max(1e-9);
+    FlatDpEstimate {
+        configs,
+        rate_per_sec: rate,
+        estimated: Duration::from_secs_f64(secs.min(1e15)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarsen::coarsen;
+    use tofu_graph::{autodiff, Attrs};
+    use tofu_tensor::Shape;
+
+    #[test]
+    fn multiset_counts_match_the_paper() {
+        // §5.2: "for each 4D tensor ... there are in total 20 different ways
+        // to partition it evenly across 8 workers".
+        assert_eq!(tensor_configs(4, 3), 20);
+        assert_eq!(tensor_configs(2, 3), 4);
+        assert_eq!(tensor_configs(1, 3), 1);
+        assert_eq!(tensor_configs(0, 3), 1);
+        // And a 2-D tensor split across 2 workers: 2 ways.
+        assert_eq!(tensor_configs(2, 1), 2);
+    }
+
+    #[test]
+    fn conv_group_scale_matches_206_example() {
+        // A group touching six 4-D tensors: 20^6 = 6.4e7 (§5.2).
+        let per_tensor = tensor_configs(4, 3);
+        assert_eq!(per_tensor.pow(6), 64_000_000);
+    }
+
+    #[test]
+    fn flat_counts_blow_up_relative_to_recursion() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new(vec![8, 3, 16, 16]));
+        let f = g.add_weight("f", Shape::new(vec![3, 8, 3, 3]));
+        let labels = g.add_input("labels", Shape::new(vec![8]));
+        let c = g
+            .add_op("conv2d", "conv", &[x, f], Attrs::new().with_int("pad", 1))
+            .unwrap();
+        let p = g.add_op("global_avg_pool", "gap", &[c], Attrs::new()).unwrap();
+        let loss = g.add_op("softmax_ce", "loss", &[p, labels], Attrs::new()).unwrap();
+        autodiff::backward(&mut g, loss, &[f]).unwrap();
+        let cg = coarsen(&g);
+        let view = ShapeView::from_graph(&g);
+        let flat = total_configs(&g, &cg, &view, 8);
+        // The recursion enumerates per step at most rank^|tensors| per group;
+        // the flat count must be orders of magnitude beyond the graph size.
+        assert!(flat > 1_000_000, "flat configs only {flat}");
+    }
+
+    #[test]
+    fn estimate_produces_positive_rate() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new(vec![4, 4]));
+        let _ = g.add_op("relu", "r", &[x], Attrs::new()).unwrap();
+        let cg = coarsen(&g);
+        let view = ShapeView::from_graph(&g);
+        let est = estimate_flat_dp_time(&g, &cg, &view, 8, Duration::from_millis(20));
+        assert!(est.rate_per_sec > 0.0);
+        assert!(est.configs >= 1);
+    }
+}

@@ -1,0 +1,864 @@
+//! Partitioned-graph generation (§6).
+//!
+//! Expands the original graph into a `k`-worker graph following a
+//! [`PartitionPlan`]: each operator becomes `k` device-tagged instances;
+//! remote input regions are gathered by fused [`multi_fetch`] nodes (the
+//! paper's MultiFetch kernel, which also materializes convolution padding as
+//! zero fill); Case-2 partial outputs are combined by a spread reduction
+//! (every worker assembles and reduces only its own output shard); and extra
+//! control dependencies re-serialize each worker's sub-schedule so the
+//! memory planner keeps reusing buffers (Fig. 7).
+//!
+//! The per-worker input regions are *derived from the TDL descriptions*: a
+//! worker's range for every index variable is narrowed step by step
+//! according to the chosen strategies, and evaluating the description's
+//! affine accesses over those ranges yields exactly the regions to fetch —
+//! halos, padding and strides included.
+//!
+//! [`multi_fetch`]: tofu_graph::ops::data
+
+use std::collections::BTreeMap;
+
+use tofu_graph::{Attrs, Graph, NodeId, NodeTags, TensorId, TensorKind};
+use tofu_tdl::{bind_extents, IndexExpr, Reducer, TdlDesc};
+use tofu_tensor::{Shape, Tensor};
+
+use crate::dp::NodeChoice;
+use crate::error::CoreError;
+use crate::recursive::PartitionPlan;
+use crate::spec::ConcreteOut;
+use crate::Result;
+
+/// A half-open block `[lo, hi)` per dimension, in element coordinates of the
+/// original tensor. May extend outside the tensor for materialized padding.
+pub type Region = Vec<(i64, i64)>;
+
+/// Options for graph generation.
+#[derive(Debug, Clone, Copy)]
+pub struct GenOptions {
+    /// Insert the §6 control dependencies that mirror the original
+    /// dependencies within each worker (Fig. 7). Turning this off models the
+    /// naive generation whose memory planner cannot reuse buffers.
+    pub control_deps: bool,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions { control_deps: true }
+    }
+}
+
+/// The generated multi-worker graph plus the bookkeeping needed to feed,
+/// validate and simulate it.
+#[derive(Debug)]
+pub struct ShardedGraph {
+    /// The per-worker expanded graph.
+    pub graph: Graph,
+    /// Worker count.
+    pub workers: usize,
+    /// Per original tensor: its per-worker shard tensors in the new graph.
+    pub shards: BTreeMap<TensorId, Vec<TensorId>>,
+    /// Per original tensor: the per-worker shard regions (the final grid
+    /// tiling; workers replicated at some step share overlapping regions).
+    pub regions: BTreeMap<TensorId, Vec<Region>>,
+    /// Device executing each new node.
+    pub device_of_node: Vec<usize>,
+    /// Device owning each new tensor (None for nothing in practice).
+    pub device_of_tensor: Vec<Option<usize>>,
+    /// Whether sharded execution is numerically exact. Strategies that split
+    /// the spatial variables of strided *backward* convolutions (or of
+    /// global pooling) change kernel semantics in ways the generator does
+    /// not compensate; such graphs are still structurally correct for the
+    /// simulator but are excluded from numeric validation.
+    pub exact: bool,
+}
+
+impl ShardedGraph {
+    /// Splits a full tensor value into per-worker shard feeds.
+    pub fn scatter(&self, original: TensorId, value: &Tensor) -> Result<Vec<(TensorId, Tensor)>> {
+        let regions = self
+            .regions
+            .get(&original)
+            .ok_or_else(|| CoreError::Internal("unknown tensor in scatter".into()))?;
+        let shards = &self.shards[&original];
+        let mut out = Vec::with_capacity(regions.len());
+        for (w, region) in regions.iter().enumerate() {
+            let mut piece = value.clone();
+            for (d, &(lo, hi)) in region.iter().enumerate() {
+                piece = piece
+                    .slice(d, lo as usize, hi as usize)
+                    .map_err(|e| CoreError::Internal(format!("scatter slice: {e}")))?;
+            }
+            out.push((shards[w], piece));
+        }
+        Ok(out)
+    }
+
+    /// Reassembles a full tensor from per-worker shard values.
+    pub fn gather(
+        &self,
+        original: TensorId,
+        full_shape: &Shape,
+        values: &BTreeMap<TensorId, Tensor>,
+    ) -> Result<Tensor> {
+        let regions = self
+            .regions
+            .get(&original)
+            .ok_or_else(|| CoreError::Internal("unknown tensor in gather".into()))?;
+        let shards = &self.shards[&original];
+        let mut out = Tensor::zeros(full_shape.clone());
+        for (w, region) in regions.iter().enumerate() {
+            let piece = values
+                .get(&shards[w])
+                .ok_or_else(|| CoreError::Internal("missing shard value in gather".into()))?;
+            let lens: Vec<usize> = region.iter().map(|&(lo, hi)| (hi - lo) as usize).collect();
+            for idx in Shape::new(lens).indices() {
+                let dst: Vec<usize> = idx
+                    .iter()
+                    .zip(region)
+                    .map(|(&o, &(lo, _))| o + lo as usize)
+                    .collect();
+                out.set(&dst, piece.at(&idx));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Mixed-radix digit of worker `w` at recursion step `s` given the per-step
+/// group counts.
+fn digit(w: usize, s: usize, factors: &[usize]) -> usize {
+    let suffix: usize = factors[s + 1..].iter().product();
+    (w / suffix) % factors[s]
+}
+
+fn narrow(range: (f64, f64), digit: usize, ways: usize) -> (f64, f64) {
+    let span = range.1 - range.0;
+    (
+        range.0 + span * digit as f64 / ways as f64,
+        range.0 + span * (digit + 1) as f64 / ways as f64,
+    )
+}
+
+/// Variables whose narrowing makes sharded kernel semantics inexact.
+fn sensitive_vars(op: &str) -> &'static [usize] {
+    match op {
+        "conv1d_bwd_data" => &[2, 4],
+        "conv1d_bwd_filter" => &[2, 4],
+        "conv2d_bwd_data" => &[2, 3, 5, 6],
+        "conv2d_bwd_filter" => &[2, 3, 5, 6],
+        "pool2d_grad" => &[2, 3, 4, 5],
+        "global_avg_pool" => &[2, 3],
+        "gap_grad" => &[2, 3],
+        _ => &[],
+    }
+}
+
+/// Operators whose remote gathers materialize out-of-bounds reads as zeros
+/// (convolution padding); their `pad` attribute is zeroed per worker.
+fn materializes_padding(op: &str) -> bool {
+    matches!(op, "conv1d" | "conv2d")
+}
+
+/// Computes the per-worker shard region of a tensor from the plan's tiling.
+fn shard_region(shape: &Shape, tiling: &[Option<usize>], factors: &[usize], w: usize) -> Region {
+    let mut region: Region = shape.dims().iter().map(|&e| (0i64, e as i64)).collect();
+    for (s, spec) in tiling.iter().enumerate() {
+        if let Some(d) = spec {
+            let g = digit(w, s, factors) as i64;
+            let ways = factors[s] as i64;
+            let span = region[*d].1 - region[*d].0;
+            let lo = region[*d].0;
+            region[*d] = (lo + span * g / ways, lo + span * (g + 1) / ways);
+        }
+    }
+    region
+}
+
+/// Evaluates the per-input required regions of a description over concrete
+/// variable ranges (inclusive-exclusive, in f64), returning one optional
+/// region per input.
+fn required_regions(
+    desc: &TdlDesc,
+    ranges: &[(f64, f64)],
+    input_ranks: &[usize],
+    extents: &[u64],
+) -> Vec<Option<Vec<(f64, f64)>>> {
+    let mut out: Vec<Option<Vec<(f64, f64)>>> = vec![None; input_ranks.len()];
+    desc.body().for_each_access(&mut |input, indices| {
+        let mut dims: Vec<(f64, f64)> = Vec::with_capacity(indices.len());
+        for (d, ie) in indices.iter().enumerate() {
+            match ie {
+                IndexExpr::Full => {
+                    // The access spans the full input dimension. Its extent
+                    // is not a variable; recover it from the caller-supplied
+                    // input-dim info via the sentinel below (patched by the
+                    // caller because extents here are per *variable*).
+                    dims.push((0.0, f64::INFINITY));
+                    let _ = d;
+                }
+                IndexExpr::Affine(a) => {
+                    let mut lo = a.constant;
+                    let mut hi = a.constant;
+                    for &(v, c) in &a.terms {
+                        // Inclusive value range of the variable: [lo, hi-1].
+                        let (vlo, vhi) = (ranges[v].0, ranges[v].1 - 1.0);
+                        if c >= 0.0 {
+                            lo += c * vlo;
+                            hi += c * vhi;
+                        } else {
+                            lo += c * vhi;
+                            hi += c * vlo;
+                        }
+                    }
+                    dims.push((lo, hi + 1.0));
+                }
+            }
+        }
+        match &mut out[input] {
+            Some(existing) => {
+                for (e, n) in existing.iter_mut().zip(dims) {
+                    e.0 = e.0.min(n.0);
+                    e.1 = e.1.max(n.1);
+                }
+            }
+            slot @ None => *slot = Some(dims),
+        }
+    });
+    let _ = extents;
+    out
+}
+
+/// Generates the `k`-worker graph for a plan.
+pub fn generate(g: &Graph, plan: &PartitionPlan, opts: &GenOptions) -> Result<ShardedGraph> {
+    let k = plan.workers;
+    let factors: Vec<usize> = plan.steps.iter().map(|s| s.ways).collect();
+    let mut out = Graph::new();
+    let mut exact = true;
+
+    // Shard regions and leaf shard tensors.
+    let mut regions: BTreeMap<TensorId, Vec<Region>> = BTreeMap::new();
+    let mut shards: BTreeMap<TensorId, Vec<TensorId>> = BTreeMap::new();
+    let mut device_of_tensor: Vec<Option<usize>> = Vec::new();
+    let mut device_of_node: Vec<usize> = Vec::new();
+
+    for t in g.tensor_ids() {
+        let meta = g.tensor(t);
+        let per_worker: Vec<Region> = (0..k)
+            .map(|w| shard_region(&meta.shape, &plan.tiling[t.0], &factors, w))
+            .collect();
+        regions.insert(t, per_worker.clone());
+        if meta.kind != TensorKind::Intermediate {
+            let mut ids = Vec::with_capacity(k);
+            for (w, region) in per_worker.iter().enumerate() {
+                let dims: Vec<usize> =
+                    region.iter().map(|&(lo, hi)| (hi - lo) as usize).collect();
+                let name = format!("w{w}/{}", meta.name);
+                let id = if meta.kind == TensorKind::Weight {
+                    out.add_weight(&name, Shape::new(dims))
+                } else {
+                    out.add_input(&name, Shape::new(dims))
+                };
+                sync_tensor_devices(&mut device_of_tensor, &out, Some(w));
+                ids.push(id);
+            }
+            shards.insert(t, ids);
+        }
+    }
+
+    // Per original node, expand.
+    for id in g.node_ids() {
+        let node = g.node(id);
+        let def = tofu_graph::lookup(&node.op)?;
+        let in_shapes: Vec<Shape> =
+            node.inputs.iter().map(|&t| g.tensor(t).shape.clone()).collect();
+        let tdl_fn = def.tdl.ok_or_else(|| CoreError::NotDescribable {
+            node: node.name.clone(),
+            op: node.op.clone(),
+        })?;
+        let desc = tdl_fn(&in_shapes, &node.attrs).ok_or_else(|| CoreError::NotDescribable {
+            node: node.name.clone(),
+            op: node.op.clone(),
+        })?;
+        let out_dims = g.tensor(node.output).shape.dims().to_vec();
+        let in_dims: Vec<Vec<usize>> = in_shapes.iter().map(|s| s.dims().to_vec()).collect();
+        let extents = bind_extents(&desc, &out_dims, &in_dims)?;
+
+        // Which steps reduce, and with which reducer.
+        let mut reduce_steps: Vec<usize> = Vec::new();
+        let mut reducer: Option<Reducer> = None;
+        for (s, step) in plan.steps.iter().enumerate() {
+            if let NodeChoice::Strategy(st) = &step.plan.node_choice[id.0] {
+                if matches!(st.out, ConcreteOut::Reduce) {
+                    reduce_steps.push(s);
+                    if reducer.is_none() {
+                        reducer = st.reducer;
+                    } else if reducer != st.reducer {
+                        exact = false; // Mixed reducers: approximate with the first.
+                    }
+                }
+            }
+        }
+
+        // Per-worker variable ranges and computed blocks.
+        let mut var_ranges: Vec<Vec<(f64, f64)>> = Vec::with_capacity(k);
+        for w in 0..k {
+            let mut ranges: Vec<(f64, f64)> =
+                extents.iter().map(|&e| (0.0, e as f64)).collect();
+            for (s, step) in plan.steps.iter().enumerate() {
+                let ways = step.ways;
+                let dgt = digit(w, s, &factors);
+                match &step.plan.node_choice[id.0] {
+                    NodeChoice::Strategy(st) => {
+                        if st.var < ranges.len() {
+                            ranges[st.var] = narrow(ranges[st.var], dgt, ways);
+                            if sensitive_vars(&node.op).contains(&st.var) {
+                                exact = false;
+                            }
+                        }
+                    }
+                    NodeChoice::Ewise(spec) => {
+                        if let Some(d) = spec.dim() {
+                            if d < desc.output_rank() {
+                                ranges[d] = narrow(ranges[d], dgt, ways);
+                            }
+                        }
+                    }
+                }
+            }
+            var_ranges.push(ranges);
+        }
+
+        // Pass 1: compute each worker's raw output (and remember its block).
+        let mut raw_outputs: Vec<TensorId> = Vec::with_capacity(k);
+        let mut blocks: Vec<Region> = Vec::with_capacity(k);
+        let mut compute_nodes: Vec<NodeId> = Vec::with_capacity(k);
+        for w in 0..k {
+            let ranges = &var_ranges[w];
+            let materialize = materializes_padding(&node.op);
+            let req =
+                required_regions(&desc, ranges, desc.input_ranks(), &extents);
+            let mut new_inputs: Vec<TensorId> = Vec::with_capacity(node.inputs.len());
+            let mut input_regions: Vec<Region> = Vec::with_capacity(node.inputs.len());
+            for (i, &t) in node.inputs.iter().enumerate() {
+                let in_shape = &g.tensor(t).shape;
+                let region: Region = match &req[i] {
+                    None => in_shape.dims().iter().map(|&e| (0, e as i64)).collect(),
+                    Some(dims) => dims
+                        .iter()
+                        .enumerate()
+                        .map(|(d, &(lo, hi))| {
+                            let e = in_shape.dim(d) as f64;
+                            let (lo, hi) = if lo.is_infinite() || hi.is_infinite() {
+                                (0.0, e)
+                            } else if materialize {
+                                (lo, hi)
+                            } else {
+                                // Clip to the tensor; a region entirely out
+                                // of bounds (e.g. a pad gradient whose block
+                                // maps below index 0) collapses to empty.
+                                let lo = lo.clamp(0.0, e);
+                                (lo, hi.clamp(lo, e))
+                            };
+                            let lo = lo.floor() as i64;
+                            (lo, ((hi - 1e-9).ceil() as i64).max(lo))
+                        })
+                        .collect(),
+                };
+                new_inputs.push(fetch_region(
+                    &mut out,
+                    &mut device_of_tensor,
+                    &mut device_of_node,
+                    &shards[&t],
+                    &regions[&t],
+                    &region,
+                    w,
+                    &format!("w{w}/fetch/{}/{i}", node.name),
+                )?);
+                input_regions.push(region);
+            }
+
+            // Adjusted attributes per worker.
+            let block: Region = (0..desc.output_rank())
+                .map(|v| (ranges[v].0.round() as i64, ranges[v].1.round() as i64))
+                .collect();
+            let attrs =
+                adjust_attrs(&node.op, &node.attrs, &block, &input_regions, materialize);
+            let tags = NodeTags { device: Some(w), ..node.tags.clone() };
+            let out_t = out
+                .add_op_tagged(&node.op, &format!("w{w}/{}", node.name), &new_inputs, attrs, tags)
+                .map_err(CoreError::Graph)?;
+            sync_tensor_devices(&mut device_of_tensor, &out, Some(w));
+            device_of_node.resize(out.num_nodes(), w);
+            let expect: Vec<usize> = block.iter().map(|&(lo, hi)| (hi - lo) as usize).collect();
+            if out.tensor(out_t).shape.dims() != expect.as_slice() {
+                return Err(CoreError::Internal(format!(
+                    "node {}: worker {w} produced {} but block is {expect:?}",
+                    node.name,
+                    out.tensor(out_t).shape
+                )));
+            }
+            raw_outputs.push(out_t);
+            blocks.push(block);
+            compute_nodes.push(NodeId(out.num_nodes() - 1));
+        }
+
+        // Pass 2: assemble each worker's final output shard.
+        let out_regions = &regions[&node.output];
+        let mut shard_ids: Vec<TensorId> = Vec::with_capacity(k);
+        for w in 0..k {
+            let target = &out_regions[w];
+            if reduce_steps.is_empty() && blocks[w] == *target {
+                shard_ids.push(raw_outputs[w]);
+                continue;
+            }
+            // Enumerate reduce-peer classes: one gathered piece per combo of
+            // reduce-step digits, then combine with the reducer (spread
+            // reduction: every worker reduces only its own shard).
+            let mut combos: Vec<Vec<usize>> = vec![Vec::new()];
+            for &s in &reduce_steps {
+                let mut next = Vec::new();
+                for c in &combos {
+                    for d in 0..factors[s] {
+                        let mut c2 = c.clone();
+                        c2.push(d);
+                        next.push(c2);
+                    }
+                }
+                combos = next;
+            }
+            let mut partials: Vec<TensorId> = Vec::with_capacity(combos.len());
+            for combo in &combos {
+                // Contributors: workers whose reduce-step digits match this
+                // combo and whose computed block overlaps the target shard
+                // (their blocks tile the output space across the non-reduce
+                // digits).
+                let peers: Vec<usize> = (0..k)
+                    .filter(|&p| {
+                        reduce_steps
+                            .iter()
+                            .enumerate()
+                            .all(|(pos, &rs)| digit(p, rs, &factors) == combo[pos])
+                    })
+                    .filter(|&p| {
+                        blocks[p]
+                            .iter()
+                            .zip(target)
+                            .all(|(b, t)| b.0.max(t.0) < b.1.min(t.1))
+                    })
+                    .collect();
+                let sources: Vec<TensorId> = peers.iter().map(|&p| raw_outputs[p]).collect();
+                let source_regions: Vec<Region> =
+                    peers.iter().map(|&p| blocks[p].clone()).collect();
+                let piece = gather_into(
+                    &mut out,
+                    &mut device_of_tensor,
+                    &mut device_of_node,
+                    &sources,
+                    &source_regions,
+                    target,
+                    w,
+                    &format!("w{w}/gather/{}/{}", node.name, partials.len()),
+                )?;
+                partials.push(piece);
+            }
+            let shard = if partials.len() == 1 {
+                partials[0]
+            } else {
+                combine(
+                    &mut out,
+                    &mut device_of_tensor,
+                    &mut device_of_node,
+                    &partials,
+                    reducer.unwrap_or(Reducer::Sum),
+                    w,
+                    &format!("w{w}/reduce/{}", node.name),
+                )?
+            };
+            shard_ids.push(shard);
+        }
+        shards.insert(node.output, shard_ids);
+    }
+
+    // Pass 3: control dependencies mirroring original direct dependencies
+    // within each worker (Fig. 7).
+    if opts.control_deps {
+        // Map (original node, worker) -> compute node: recover by name.
+        let mut compute_of: BTreeMap<String, NodeId> = BTreeMap::new();
+        for nid in out.node_ids() {
+            let n = out.node(nid);
+            compute_of.insert(n.name.clone(), nid);
+        }
+        for id in g.node_ids() {
+            let node = g.node(id);
+            for &t in &node.inputs {
+                if let Some(p) = g.producer(t) {
+                    let pname = &g.node(p).name;
+                    for w in 0..k {
+                        let a = compute_of.get(&format!("w{w}/{}", node.name));
+                        let b = compute_of.get(&format!("w{w}/{pname}"));
+                        if let (Some(&a), Some(&b)) = (a, b) {
+                            out.add_control_dep(a, b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    device_of_node.resize(out.num_nodes(), 0);
+    Ok(ShardedGraph {
+        graph: out,
+        workers: k,
+        shards,
+        regions,
+        device_of_node,
+        device_of_tensor,
+        exact,
+    })
+}
+
+fn sync_tensor_devices(devices: &mut Vec<Option<usize>>, g: &Graph, device: Option<usize>) {
+    devices.resize(g.num_tensors(), device);
+    // Newly appended entries already take `device` via resize.
+    if let Some(last) = devices.last_mut() {
+        *last = device;
+    }
+}
+
+/// Per-worker attribute adjustments: materialized padding zeroes the pad,
+/// backward convolutions pin their output extents to the worker's block, and
+/// offset-sensitive data ops are rebased onto their assembled input region.
+fn adjust_attrs(
+    op: &str,
+    attrs: &Attrs,
+    block: &Region,
+    input_regions: &[Region],
+    materialize: bool,
+) -> Attrs {
+    let mut a = attrs.clone();
+    if materialize {
+        a = a.with_int("pad", 0);
+    }
+    match op {
+        "conv2d_bwd_data" => {
+            a = a.with_int("in_h", block[2].1 - block[2].0);
+            a = a.with_int("in_w", block[3].1 - block[3].0);
+        }
+        "conv1d_bwd_data" => {
+            a = a.with_int("in_x", block[2].1 - block[2].0);
+        }
+        "conv2d_bwd_filter" => {
+            a = a.with_int("kh", block[2].1 - block[2].0);
+            a = a.with_int("kw", block[3].1 - block[3].0);
+        }
+        "conv1d_bwd_filter" => {
+            a = a.with_int("dx", block[2].1 - block[2].0);
+        }
+        "slice_axis" => {
+            // The assembled input is exactly the region the slice needs:
+            // rebase `[begin, end)` from original coordinates onto it.
+            let axis = attrs.int_or("axis", 0) as usize;
+            let begin = attrs.int_or("begin", 0);
+            let new_begin = begin + block[axis].0 - input_regions[0][axis].0;
+            a = a
+                .with_int("begin", new_begin)
+                .with_int("end", new_begin + (block[axis].1 - block[axis].0));
+        }
+        "pad" => {
+            // out[j] = x[j - before]: the assembled (clipped) input region
+            // determines how many zeros pad each side of the block. An empty
+            // region means the whole block is padding.
+            let axis = attrs.int_or("axis", 0) as usize;
+            let before = attrs.int_or("before", 0);
+            let (rlo, rhi) = input_regions[0][axis];
+            let block_len = block[axis].1 - block[axis].0;
+            let (new_before, new_after) = if rhi <= rlo {
+                (block_len, 0)
+            } else {
+                (
+                    (rlo - (block[axis].0 - before)).max(0),
+                    ((block[axis].1 - before) - rhi).max(0),
+                )
+            };
+            a = a.with_int("before", new_before).with_int("after", new_after);
+        }
+        // `flip` reverses the whole assembled region, which is exactly the
+        // mirrored block: no change needed.
+        _ => {}
+    }
+    a
+}
+
+/// Emits the nodes assembling `target` (a region of some original tensor)
+/// on worker `w` from the available shards. Returns the assembled tensor.
+/// When the target matches worker `w`'s own shard exactly, no node is
+/// emitted.
+#[allow(clippy::too_many_arguments)]
+fn fetch_region(
+    out: &mut Graph,
+    device_of_tensor: &mut Vec<Option<usize>>,
+    device_of_node: &mut Vec<usize>,
+    shard_ids: &[TensorId],
+    shard_regions: &[Region],
+    target: &Region,
+    w: usize,
+    name: &str,
+) -> Result<TensorId> {
+    if &shard_regions[w] == target {
+        return Ok(shard_ids[w]);
+    }
+    gather_into(
+        out,
+        device_of_tensor,
+        device_of_node,
+        shard_ids,
+        shard_regions,
+        target,
+        w,
+        name,
+    )
+}
+
+/// Emits one multi_fetch node assembling `target` from the given source
+/// tensors (each covering `source_regions[i]`), zero-filling uncovered
+/// coordinates (materialized padding).
+#[allow(clippy::too_many_arguments)]
+fn gather_into(
+    out: &mut Graph,
+    device_of_tensor: &mut Vec<Option<usize>>,
+    device_of_node: &mut Vec<usize>,
+    sources: &[TensorId],
+    source_regions: &[Region],
+    target: &Region,
+    w: usize,
+    name: &str,
+) -> Result<TensorId> {
+    let rank = target.len();
+    let out_dims: Vec<i64> = target.iter().map(|&(lo, hi)| hi - lo).collect();
+    let mut inputs: Vec<TensorId> = Vec::new();
+    let mut pieces: Vec<i64> = Vec::new();
+    let mut covered: Vec<Region> = Vec::new();
+    for (src, region) in sources.iter().zip(source_regions) {
+        // Intersection of the source region with the target.
+        let mut isect: Region = Vec::with_capacity(rank);
+        let mut nonempty = true;
+        for d in 0..rank {
+            let lo = region[d].0.max(target[d].0);
+            let hi = region[d].1.min(target[d].1);
+            if lo >= hi {
+                nonempty = false;
+                break;
+            }
+            isect.push((lo, hi));
+        }
+        if !nonempty {
+            continue;
+        }
+        // Avoid copying a block some earlier source already covers entirely
+        // (replicated shards overlap).
+        if covered.iter().any(|c| {
+            (0..rank).all(|d| c[d].0 <= isect[d].0 && isect[d].1 <= c[d].1)
+        }) {
+            continue;
+        }
+        for d in 0..rank {
+            pieces.push(isect[d].0 - region[d].0); // src_begin
+        }
+        for d in 0..rank {
+            pieces.push(isect[d].0 - target[d].0); // dst_begin
+        }
+        for d in 0..rank {
+            pieces.push(isect[d].1 - isect[d].0); // len
+        }
+        covered.push(isect);
+        inputs.push(*src);
+    }
+    let attrs = Attrs::new().with_ints("out_dims", out_dims).with_ints("pieces", pieces);
+    let tags = NodeTags { device: Some(w), ..NodeTags::default() };
+    let t = out
+        .add_op_tagged("multi_fetch", name, &inputs, attrs, tags)
+        .map_err(CoreError::Graph)?;
+    sync_tensor_devices(device_of_tensor, out, Some(w));
+    device_of_node.resize(out.num_nodes(), w);
+    Ok(t)
+}
+
+/// Emits the reducer combining partial shards (spread reduction).
+fn combine(
+    out: &mut Graph,
+    device_of_tensor: &mut Vec<Option<usize>>,
+    device_of_node: &mut Vec<usize>,
+    partials: &[TensorId],
+    reducer: Reducer,
+    w: usize,
+    name: &str,
+) -> Result<TensorId> {
+    let tags = NodeTags { device: Some(w), ..NodeTags::default() };
+    let result = match reducer {
+        Reducer::Sum => out
+            .add_op_tagged("add_n", name, partials, Attrs::new(), tags)
+            .map_err(CoreError::Graph)?,
+        Reducer::Max | Reducer::Min | Reducer::Prod => {
+            let op = match reducer {
+                Reducer::Max => "maximum",
+                Reducer::Min => "minimum",
+                _ => "mul",
+            };
+            let mut acc = partials[0];
+            for (i, &p) in partials.iter().enumerate().skip(1) {
+                acc = out
+                    .add_op_tagged(
+                        op,
+                        &format!("{name}/{i}"),
+                        &[acc, p],
+                        Attrs::new(),
+                        tags.clone(),
+                    )
+                    .map_err(CoreError::Graph)?;
+                sync_tensor_devices(device_of_tensor, out, Some(w));
+                device_of_node.resize(out.num_nodes(), w);
+            }
+            acc
+        }
+    };
+    sync_tensor_devices(device_of_tensor, out, Some(w));
+    device_of_node.resize(out.num_nodes(), w);
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{run, Algorithm};
+    use crate::recursive::{partition, PartitionOptions};
+    use tofu_graph::{autodiff, Executor};
+
+    /// Trains one step of a small MLP; returns the graph plus tensors whose
+    /// values validation compares.
+    fn mlp(batch: usize, hidden: usize) -> (Graph, Vec<TensorId>) {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new(vec![batch, hidden]));
+        let w1 = g.add_weight("w1", Shape::new(vec![hidden, hidden]));
+        let w2 = g.add_weight("w2", Shape::new(vec![hidden, 8]));
+        let labels = g.add_input("labels", Shape::new(vec![batch]));
+        let h = g.add_op("matmul", "fc1", &[x, w1], Attrs::new()).unwrap();
+        let a = g.add_op("tanh", "act1", &[h], Attrs::new()).unwrap();
+        let y = g.add_op("matmul", "fc2", &[a, w2], Attrs::new()).unwrap();
+        let loss = g.add_op("softmax_ce", "loss", &[y, labels], Attrs::new()).unwrap();
+        let info = autodiff::backward(&mut g, loss, &[w1, w2]).unwrap();
+        let g1 = info.grad(w1).unwrap();
+        let g2 = info.grad(w2).unwrap();
+        (g, vec![loss, g1, g2])
+    }
+
+    fn feeds(g: &Graph) -> Vec<(TensorId, Tensor)> {
+        let mut out = Vec::new();
+        for t in g.tensor_ids() {
+            let meta = g.tensor(t);
+            match meta.kind {
+                TensorKind::Input | TensorKind::Weight => {
+                    let v = if meta.name == "labels" {
+                        let b = meta.shape.dim(0);
+                        Tensor::from_vec(
+                            meta.shape.clone(),
+                            (0..b).map(|i| (i % 3) as f32).collect(),
+                        )
+                        .unwrap()
+                    } else {
+                        Tensor::random(meta.shape.clone(), t.0 as u64 + 1, 0.5)
+                    };
+                    out.push((t, v));
+                }
+                TensorKind::Intermediate => {}
+            }
+        }
+        out
+    }
+
+    /// Runs original and sharded graphs and asserts the checked tensors agree.
+    fn validate(g: &Graph, plan: &PartitionPlan, check: &[TensorId], tol: f32) {
+        let sharded = generate(g, plan, &GenOptions::default()).unwrap();
+        assert!(sharded.exact, "plan should be exactly executable");
+
+        let mut base = Executor::new();
+        let mut part = Executor::new();
+        for (t, v) in feeds(g) {
+            base.feed(t, v.clone());
+            for (shard, piece) in sharded.scatter(t, &v).unwrap() {
+                part.feed(shard, piece);
+            }
+        }
+        let base_vals = base.run(g).unwrap();
+        let part_vals = part.run(&sharded.graph).unwrap();
+        for &t in check {
+            let expect = &base_vals[&t];
+            let got = sharded.gather(t, expect.shape(), &part_vals).unwrap();
+            assert!(
+                got.allclose(expect, tol),
+                "tensor {} diverged: {:?} vs {:?}",
+                g.tensor(t).name,
+                &got.data()[..got.data().len().min(4)],
+                &expect.data()[..expect.data().len().min(4)]
+            );
+        }
+    }
+
+    #[test]
+    fn two_worker_mlp_matches_single_device() {
+        let (g, check) = mlp(8, 16);
+        let plan = partition(&g, &PartitionOptions { workers: 2, ..Default::default() }).unwrap();
+        validate(&g, &plan, &check, 1e-4);
+    }
+
+    #[test]
+    fn four_worker_mlp_matches_single_device() {
+        let (g, check) = mlp(8, 16);
+        let plan = partition(&g, &PartitionOptions { workers: 4, ..Default::default() }).unwrap();
+        validate(&g, &plan, &check, 1e-4);
+    }
+
+    #[test]
+    fn eight_worker_mlp_matches_single_device() {
+        let (g, check) = mlp(16, 32);
+        let plan = partition(&g, &PartitionOptions { workers: 8, ..Default::default() }).unwrap();
+        validate(&g, &plan, &check, 1e-3);
+    }
+
+    #[test]
+    fn baseline_plans_also_execute_correctly() {
+        let (g, check) = mlp(8, 16);
+        for alg in [Algorithm::AllRowGreedy, Algorithm::EqualChop, Algorithm::Icml18] {
+            let plan = run(&g, alg, 4).unwrap();
+            validate(&g, &plan, &check, 1e-4);
+        }
+    }
+
+    #[test]
+    fn sharded_graph_has_device_tags_and_control_deps() {
+        let (g, _) = mlp(8, 16);
+        let plan = partition(&g, &PartitionOptions { workers: 2, ..Default::default() }).unwrap();
+        let with = generate(&g, &plan, &GenOptions { control_deps: true }).unwrap();
+        let without = generate(&g, &plan, &GenOptions { control_deps: false }).unwrap();
+        let count = |s: &ShardedGraph| {
+            s.graph.node_ids().map(|n| s.graph.node(n).control_deps.len()).sum::<usize>()
+        };
+        assert!(count(&with) > count(&without));
+        for n in with.graph.node_ids() {
+            assert!(with.graph.node(n).tags.device.is_some());
+        }
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip() {
+        let (g, _) = mlp(8, 16);
+        let plan = partition(&g, &PartitionOptions { workers: 4, ..Default::default() }).unwrap();
+        let sharded = generate(&g, &plan, &GenOptions::default()).unwrap();
+        let x = g.tensor_by_name("x").unwrap();
+        let v = Tensor::random(g.tensor(x).shape.clone(), 9, 1.0);
+        let pieces = sharded.scatter(x, &v).unwrap();
+        let values: BTreeMap<TensorId, Tensor> = pieces.into_iter().collect();
+        let back = sharded.gather(x, v.shape(), &values).unwrap();
+        assert!(back.allclose(&v, 0.0));
+    }
+}

@@ -1,0 +1,435 @@
+//! Recursive partitioning (§5.2).
+//!
+//! The basic DP partitions a graph between *two* worker groups. To reach
+//! `k = k1·k2·…·km` workers (`ki ≥ ki+1`), the search is applied recursively:
+//! each step runs the DP on the current (already scaled) graph, then *applies*
+//! the chosen basic plan — every tensor's shape shrinks along its chosen
+//! dimension, and the regions a group must fetch from its sibling become
+//! extra input tensors of the consuming operators (Fig. 6), so later steps
+//! account for partitioning the fetched buffers too.
+//!
+//! Theorem 2 of the paper (per-step costs are non-decreasing,
+//! `δᵢ ≤ δᵢ₊₁`) is exposed via [`PartitionPlan::step_costs`] and verified in
+//! the test suite; it is also why the recursion maps well onto hierarchical
+//! interconnects — the early (cheapest-per-group) cuts land on the slowest
+//! links.
+
+use tofu_graph::{Graph, TensorId};
+use tofu_tensor::Shape;
+
+use crate::coarsen::{coarsen, CoarseGraph};
+use crate::dp::{search, DpOptions, ExtraInputs, NodeChoice, StepPlan};
+use crate::error::CoreError;
+use crate::spec::{ConcreteOut, ConcreteReq, TensorSpec};
+use crate::strategies::ShapeView;
+use crate::Result;
+
+/// Options controlling the full recursive search.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionOptions {
+    /// Total number of workers.
+    pub workers: usize,
+    /// Allow Case-2 (output reduction) strategies; `false` models ICML18.
+    pub allow_reduce: bool,
+    /// DP safety bounds.
+    pub state_bound: usize,
+    /// Combinatorial bound for within-group enumeration.
+    pub internal_bound: usize,
+    /// DP beam width per cut.
+    pub beam: usize,
+    /// Ignore fetch buffers smaller than this (bytes) when propagating extra
+    /// inputs to later steps — keeps the bookkeeping proportional to what
+    /// actually matters.
+    pub fetch_buffer_floor: u64,
+}
+
+impl Default for PartitionOptions {
+    fn default() -> Self {
+        PartitionOptions {
+            workers: 8,
+            allow_reduce: true,
+            state_bound: 200_000,
+            internal_bound: 1024,
+            beam: 512,
+            fetch_buffer_floor: 1 << 20,
+        }
+    }
+}
+
+/// One recursion step's record.
+#[derive(Debug, Clone)]
+pub struct StepRecord {
+    /// Group count of this step (`ki`).
+    pub ways: usize,
+    /// Number of worker groups existing *before* this step
+    /// (`k1·…·k(i-1)`).
+    pub groups_before: usize,
+    /// The basic plan chosen by the DP.
+    pub plan: StepPlan,
+}
+
+impl StepRecord {
+    /// Total communication δᵢ of this step across all groups.
+    pub fn delta(&self) -> f64 {
+        self.plan.comm_bytes * self.groups_before as f64
+    }
+}
+
+/// The full multi-step partition plan.
+#[derive(Debug, Clone)]
+pub struct PartitionPlan {
+    /// Worker count the plan targets.
+    pub workers: usize,
+    /// One record per recursion step.
+    pub steps: Vec<StepRecord>,
+    /// Per original tensor: the per-step split dimension (or `None` when the
+    /// tensor was replicated at that step).
+    pub tiling: Vec<Vec<Option<usize>>>,
+    /// Wall time the search took.
+    pub search_time: std::time::Duration,
+}
+
+impl PartitionPlan {
+    /// Total communication bytes over all steps and groups.
+    pub fn total_comm_bytes(&self) -> f64 {
+        self.steps.iter().map(StepRecord::delta).sum()
+    }
+
+    /// The per-step total costs `δ₁, …, δm` (Theorem 2: non-decreasing).
+    pub fn step_costs(&self) -> Vec<f64> {
+        self.steps.iter().map(StepRecord::delta).collect()
+    }
+
+    /// The per-worker shard shape of a tensor under the final plan.
+    pub fn shard_shape(&self, original: &Shape, t: TensorId) -> Shape {
+        let mut dims = original.dims().to_vec();
+        for (step, spec) in self.tiling[t.0].iter().enumerate() {
+            if let Some(d) = spec {
+                dims[*d] /= self.steps[step].ways;
+            }
+        }
+        Shape::new(dims)
+    }
+
+    /// Fraction of the original tensor each worker stores (1 / k when the
+    /// tensor was split at every step).
+    pub fn shard_fraction(&self, t: TensorId) -> f64 {
+        let mut f = 1.0;
+        for (step, spec) in self.tiling[t.0].iter().enumerate() {
+            if spec.is_some() {
+                f /= self.steps[step].ways as f64;
+            }
+        }
+        f
+    }
+}
+
+/// Factorizes the worker count as `k1 ≥ k2 ≥ … ≥ km` (prime factors, largest
+/// first), per §5.2.
+pub fn factorize(workers: usize) -> Result<Vec<usize>> {
+    if workers == 0 {
+        return Err(CoreError::BadWorkerCount(0));
+    }
+    let mut n = workers;
+    let mut factors = Vec::new();
+    let mut p = 2;
+    while p * p <= n {
+        while n % p == 0 {
+            factors.push(p);
+            n /= p;
+        }
+        p += 1;
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors.sort_unstable_by(|a, b| b.cmp(a));
+    Ok(factors)
+}
+
+/// Runs the full recursive search on a training graph.
+///
+/// # Examples
+///
+/// ```
+/// use tofu_core::recursive::{partition, PartitionOptions};
+/// use tofu_graph::{autodiff, Attrs, Graph};
+/// use tofu_tensor::Shape;
+///
+/// let mut g = Graph::new();
+/// let x = g.add_input("x", Shape::new(vec![16, 32]));
+/// let w = g.add_weight("w", Shape::new(vec![32, 8]));
+/// let labels = g.add_input("labels", Shape::new(vec![16]));
+/// let y = g.add_op("matmul", "fc", &[x, w], Attrs::new()).unwrap();
+/// let loss = g.add_op("softmax_ce", "loss", &[y, labels], Attrs::new()).unwrap();
+/// autodiff::backward(&mut g, loss, &[w]).unwrap();
+/// let plan = partition(&g, &PartitionOptions { workers: 4, ..Default::default() }).unwrap();
+/// assert_eq!(plan.steps.len(), 2);
+/// ```
+pub fn partition(g: &Graph, opts: &PartitionOptions) -> Result<PartitionPlan> {
+    let started = std::time::Instant::now();
+    let factors = factorize(opts.workers)?;
+    let cg = coarsen(g);
+    partition_with_coarse(g, &cg, &factors, opts, started)
+}
+
+/// Like [`partition`] but with a caller-provided coarsened graph and factor
+/// sequence (used by baselines and benchmarks).
+pub fn partition_with_coarse(
+    g: &Graph,
+    cg: &CoarseGraph,
+    factors: &[usize],
+    opts: &PartitionOptions,
+    started: std::time::Instant,
+) -> Result<PartitionPlan> {
+    let mut view = ShapeView::from_graph(g);
+    let mut extra = ExtraInputs::new();
+    let mut steps: Vec<StepRecord> = Vec::with_capacity(factors.len());
+    let mut tiling: Vec<Vec<Option<usize>>> = vec![Vec::new(); g.num_tensors()];
+    let mut groups_before = 1usize;
+
+    for &ways in factors {
+        let dp_opts = DpOptions {
+            ways,
+            allow_reduce: opts.allow_reduce,
+            state_bound: opts.state_bound,
+            internal_bound: opts.internal_bound,
+            beam: opts.beam,
+        };
+        let plan = search(g, &view, cg, &extra, &dp_opts)?;
+
+        // Record tiling for original tensors.
+        for t in g.tensor_ids() {
+            tiling[t.0].push(plan.spec(t).dim());
+        }
+
+        // Apply the plan: scale every tensor (graph + extras).
+        for t in 0..view.len() {
+            if let TensorSpec::Split(d) = plan.tensor_spec[t] {
+                let scaled = view
+                    .shape(TensorId(t))
+                    .split_dim(d, ways)
+                    .map_err(|e| CoreError::Internal(format!("applying step: {e}")))?;
+                view.set(TensorId(t), scaled);
+            }
+        }
+
+        // Materialize fetch buffers as extra inputs (Fig. 6): the regions a
+        // group pulled from its siblings become leaf tensors that later
+        // steps must also partition.
+        let mut new_buffers: Vec<(tofu_graph::NodeId, usize, Shape)> = Vec::new();
+        for id in g.node_ids() {
+            let node = g.node(id);
+            match &plan.node_choice[id.0] {
+                NodeChoice::Strategy(st) => {
+                    for (i, &t) in node.inputs.iter().enumerate() {
+                        let spec = plan.spec(t);
+                        let req = st.inputs.get(i).cloned().unwrap_or(ConcreteReq::Unused);
+                        if let Some(shape) =
+                            fetch_buffer_shape(view.shape(t), spec, &req, ways)
+                        {
+                            if shape.bytes() >= opts.fetch_buffer_floor {
+                                new_buffers.push((id, i, shape));
+                            }
+                        }
+                    }
+                    if let ConcreteOut::Reduce = st.out {
+                        // The reduce-scatter buffer: each worker receives the
+                        // partial slabs of its final output shard.
+                        let shape = view.shape(node.output).clone();
+                        if shape.bytes() >= opts.fetch_buffer_floor {
+                            new_buffers.push((id, usize::MAX, shape));
+                        }
+                    }
+                }
+                NodeChoice::Ewise(class_spec) => {
+                    for (i, &t) in node.inputs.iter().enumerate() {
+                        let spec = plan.spec(t);
+                        let shape = view.shape(t);
+                        let req = match class_spec {
+                            TensorSpec::Split(d) if *d < shape.rank() => {
+                                ConcreteReq::Split { dim: *d, halo: 0.0 }
+                            }
+                            _ => ConcreteReq::Replicated,
+                        };
+                        if let Some(shape) = fetch_buffer_shape(shape, spec, &req, ways) {
+                            if shape.bytes() >= opts.fetch_buffer_floor {
+                                new_buffers.push((id, i, shape));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (node, for_input, shape) in new_buffers {
+            let pseudo = TensorId(view.len());
+            view.push(shape);
+            extra.push(node, for_input.min(g.node(node).inputs.len().saturating_sub(1)), pseudo);
+        }
+
+        steps.push(StepRecord { ways, groups_before, plan });
+        groups_before *= ways;
+    }
+
+    Ok(PartitionPlan { workers: opts.workers, steps, tiling, search_time: started.elapsed() })
+}
+
+/// Shape of the per-worker buffer fetched for one input under one strategy,
+/// or `None` when nothing is fetched. All shapes are at post-step scale.
+fn fetch_buffer_shape(
+    scaled: &Shape,
+    spec: TensorSpec,
+    req: &ConcreteReq,
+    ways: usize,
+) -> Option<Shape> {
+    match (spec, req) {
+        (_, ConcreteReq::Unused) => None,
+        (TensorSpec::Replicated, _) => None,
+        (TensorSpec::Split(a), ConcreteReq::Replicated) => {
+            // The rest of the tensor: (ways-1) x the local shard along a.
+            scaled.with_dim(a, scaled.dim(a) * (ways - 1)).ok()
+        }
+        (TensorSpec::Split(a), ConcreteReq::Split { dim, halo }) => {
+            if a == *dim {
+                if *halo <= 0.0 {
+                    None
+                } else {
+                    let h = (*halo).ceil() as usize;
+                    scaled.with_dim(a, h.min(scaled.dim(a).max(1))).ok()
+                }
+            } else {
+                // Cross split: the worker swaps (ways-1)/ways of its slab.
+                let keep = scaled.dim(a).max(1);
+                scaled.with_dim(a, keep.saturating_sub(keep / ways).max(1)).ok()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tofu_graph::{autodiff, Attrs};
+
+    fn mlp(batch: usize, dims: &[usize]) -> Graph {
+        let mut g = Graph::new();
+        let mut t = g.add_input("x", Shape::new(vec![batch, dims[0]]));
+        let mut weights = Vec::new();
+        for (i, w) in dims.windows(2).enumerate() {
+            let wt = g.add_weight(&format!("w{i}"), Shape::new(vec![w[0], w[1]]));
+            weights.push(wt);
+            t = g.add_op("matmul", &format!("fc{i}"), &[t, wt], Attrs::new()).unwrap();
+            t = g.add_op("relu", &format!("act{i}"), &[t], Attrs::new()).unwrap();
+        }
+        let labels = g.add_input("labels", Shape::new(vec![batch]));
+        let loss = g.add_op("softmax_ce", "loss", &[t, labels], Attrs::new()).unwrap();
+        let info = autodiff::backward(&mut g, loss, &weights).unwrap();
+        for (i, &w) in weights.iter().enumerate() {
+            let gw = info.grad(w).unwrap();
+            g.add_op("sgd_update", &format!("upd{i}"), &[w, gw], Attrs::new()).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn factorization_is_sorted_descending() {
+        assert_eq!(factorize(8).unwrap(), vec![2, 2, 2]);
+        assert_eq!(factorize(6).unwrap(), vec![3, 2]);
+        assert_eq!(factorize(12).unwrap(), vec![3, 2, 2]);
+        assert_eq!(factorize(7).unwrap(), vec![7]);
+        assert_eq!(factorize(1).unwrap(), Vec::<usize>::new());
+        assert!(factorize(0).is_err());
+    }
+
+    #[test]
+    fn eight_workers_three_steps() {
+        let g = mlp(32, &[64, 64, 16]);
+        let plan = partition(&g, &PartitionOptions::default()).unwrap();
+        assert_eq!(plan.steps.len(), 3);
+        assert_eq!(plan.workers, 8);
+        assert!(plan.total_comm_bytes().is_finite());
+        // Every original tensor has one tiling entry per step.
+        assert!(plan.tiling.iter().all(|t| t.len() == 3));
+    }
+
+    #[test]
+    fn theorem_2_step_costs_non_decreasing() {
+        // δᵢ ≤ δᵢ₊₁ (paper appendix A.3). Allow a small numerical slack for
+        // the fetch-buffer bookkeeping.
+        for g in [mlp(64, &[128, 128, 32]), mlp(16, &[512, 256]), mlp(256, &[64, 64, 64, 16])] {
+            let plan = partition(&g, &PartitionOptions::default()).unwrap();
+            let costs = plan.step_costs();
+            for pair in costs.windows(2) {
+                assert!(
+                    pair[0] <= pair[1] * 1.05 + 1024.0,
+                    "step costs decreased: {costs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_shapes_divide_by_workers() {
+        let g = mlp(32, &[64, 64, 16]);
+        let plan = partition(&g, &PartitionOptions::default()).unwrap();
+        // Most tensors should end up split at every step: their shard volume
+        // is 1/8 of the original (the per-GPU memory claim of §2).
+        let mut full_split = 0;
+        let mut total = 0;
+        for t in g.tensor_ids() {
+            let original = &g.tensor(t).shape;
+            if original.rank() == 0 {
+                continue;
+            }
+            total += 1;
+            if (plan.shard_fraction(t) - 1.0 / 8.0).abs() < 1e-9 {
+                full_split += 1;
+                let shard = plan.shard_shape(original, t);
+                assert_eq!(shard.volume() * 8, original.volume());
+            }
+        }
+        assert!(full_split * 2 > total, "only {full_split}/{total} tensors fully split");
+    }
+
+    #[test]
+    fn non_power_of_two_worker_counts() {
+        let g = mlp(36, &[72, 36]);
+        let plan = partition(&g, &PartitionOptions { workers: 6, ..Default::default() }).unwrap();
+        assert_eq!(plan.steps.len(), 2);
+        assert_eq!(plan.steps[0].ways, 3);
+        assert_eq!(plan.steps[1].ways, 2);
+    }
+
+    #[test]
+    fn one_worker_is_a_noop_plan() {
+        let g = mlp(8, &[16, 8]);
+        let plan = partition(&g, &PartitionOptions { workers: 1, ..Default::default() }).unwrap();
+        assert!(plan.steps.is_empty());
+        assert_eq!(plan.total_comm_bytes(), 0.0);
+    }
+
+    #[test]
+    fn recursion_beats_or_matches_single_flat_chop() {
+        // EqualChop-style single 8-way step vs the 3-step recursion: the
+        // recursion can express multi-dimensional tilings and must not be
+        // worse.
+        let g = mlp(64, &[256, 256, 64]);
+        let recursive = partition(&g, &PartitionOptions::default()).unwrap();
+        let flat = partition_with_coarse(
+            &g,
+            &coarsen(&g),
+            &[8],
+            &PartitionOptions::default(),
+            std::time::Instant::now(),
+        )
+        .unwrap();
+        assert!(recursive.total_comm_bytes() <= flat.total_comm_bytes() * 1.01 + 1024.0);
+    }
+
+    #[test]
+    fn search_time_is_recorded() {
+        let g = mlp(16, &[32, 16]);
+        let plan = partition(&g, &PartitionOptions::default()).unwrap();
+        assert!(plan.search_time.as_nanos() > 0);
+    }
+}

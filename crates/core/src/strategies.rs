@@ -1,0 +1,235 @@
+//! Instantiating TDL-discovered strategies at concrete shapes.
+//!
+//! [`tofu_tdl::discover_strategies`] yields symbolic strategies; here they
+//! are bound to a node's concrete (possibly already-scaled-by-recursion)
+//! shapes: halos become element counts and the variable extents needed by
+//! the cost model are resolved via [`tofu_tdl::bind_extents`].
+
+use tofu_graph::{Graph, NodeId};
+use tofu_tensor::Shape;
+
+use tofu_tdl::{bind_extents, discover_strategies, InputRequirement, OutputPartition};
+
+use crate::error::CoreError;
+use crate::spec::{ConcreteOut, ConcreteReq};
+use crate::Result;
+
+/// A view of per-tensor shapes that overrides the graph's declared shapes.
+///
+/// The recursive partitioner scales tensor shapes step by step (each step
+/// halves every tensor); the DP always reads shapes through this view.
+#[derive(Debug, Clone)]
+pub struct ShapeView {
+    shapes: Vec<Shape>,
+}
+
+impl ShapeView {
+    /// A view equal to the graph's declared shapes.
+    pub fn from_graph(g: &Graph) -> ShapeView {
+        ShapeView { shapes: g.tensor_ids().map(|t| g.tensor(t).shape.clone()).collect() }
+    }
+
+    /// Shape of a tensor under this view.
+    pub fn shape(&self, t: tofu_graph::TensorId) -> &Shape {
+        &self.shapes[t.0]
+    }
+
+    /// Replaces a tensor's shape.
+    pub fn set(&mut self, t: tofu_graph::TensorId, shape: Shape) {
+        self.shapes[t.0] = shape;
+    }
+
+    /// Appends an extra (pseudo-input) tensor's shape, returning nothing;
+    /// the new tensor's id is the previous length.
+    pub fn push(&mut self, shape: Shape) {
+        self.shapes.push(shape);
+    }
+
+    /// Number of tensors covered.
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// True when the view covers no tensors.
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+}
+
+/// One fully concrete basic strategy of one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStrategy {
+    /// Strategy identifier from discovery (e.g. `"split:b"`).
+    pub id: String,
+    /// The TDL index variable this strategy partitions (needed by the
+    /// partitioned-graph generator to narrow variable ranges per worker).
+    pub var: usize,
+    /// Concrete extent of that variable at the analyzed shapes (used for
+    /// divisibility feasibility checks).
+    pub var_extent: u64,
+    /// Output disposition.
+    pub out: ConcreteOut,
+    /// The combining reducer for Case-2 strategies.
+    pub reducer: Option<tofu_tdl::Reducer>,
+    /// One concrete requirement per node input.
+    pub inputs: Vec<ConcreteReq>,
+}
+
+/// Computes the concrete strategies of a node at the given shapes.
+///
+/// # Errors
+///
+/// [`CoreError::NotDescribable`] when the node's operator has no TDL
+/// description — such operators cannot be partitioned (§9).
+pub fn node_strategies(g: &Graph, node: NodeId, view: &ShapeView) -> Result<Vec<NodeStrategy>> {
+    let n = g.node(node);
+    let def = tofu_graph::lookup(&n.op)?;
+    let in_shapes: Vec<Shape> = n.inputs.iter().map(|&t| view.shape(t).clone()).collect();
+    let tdl_fn = def.tdl.ok_or_else(|| CoreError::NotDescribable {
+        node: n.name.clone(),
+        op: n.op.clone(),
+    })?;
+    let desc = tdl_fn(&in_shapes, &n.attrs).ok_or_else(|| CoreError::NotDescribable {
+        node: n.name.clone(),
+        op: n.op.clone(),
+    })?;
+
+    let out_dims = view.shape(n.output).dims().to_vec();
+    let in_dims: Vec<Vec<usize>> = in_shapes.iter().map(|s| s.dims().to_vec()).collect();
+    let extents = bind_extents(&desc, &out_dims, &in_dims)?;
+    let eval = |sym: usize| extents.get(sym).copied().unwrap_or(1) as f64;
+
+    let symbolic = discover_strategies(&desc)?;
+    let mut out = Vec::with_capacity(symbolic.len());
+    for s in symbolic {
+        let (concrete_out, reducer) = match s.output {
+            OutputPartition::Split { dim } => (ConcreteOut::Split(dim), None),
+            OutputPartition::Reduce { reducer } => (ConcreteOut::Reduce, Some(reducer)),
+        };
+        let inputs = s
+            .inputs
+            .iter()
+            .map(|req| match req {
+                InputRequirement::Unused => ConcreteReq::Unused,
+                InputRequirement::Replicated => ConcreteReq::Replicated,
+                InputRequirement::Split { dim, halo } => ConcreteReq::Split {
+                    dim: *dim,
+                    halo: halo.eval(&eval).max(0.0),
+                },
+            })
+            .collect();
+        let var_extent = extents.get(s.var).copied().unwrap_or(1);
+        out.push(NodeStrategy { id: s.id, var: s.var, var_extent, out: concrete_out, reducer, inputs });
+    }
+    Ok(out)
+}
+
+/// True when a strategy is usable for a `ways`-way step at these shapes: the
+/// split dimensions it relies on must divide evenly.
+pub fn strategy_feasible(
+    strategy: &NodeStrategy,
+    out_shape: &Shape,
+    ways: usize,
+) -> bool {
+    match strategy.out {
+        ConcreteOut::Split(d) => {
+            d < out_shape.rank() && out_shape.dim(d) % ways == 0 && out_shape.dim(d) >= ways
+        }
+        // A reduce strategy splits the reduction domain, whose extent must
+        // divide evenly (e.g. a 3-channel stem convolution cannot reduce
+        // over input channels across 2 workers).
+        ConcreteOut::Reduce => {
+            strategy.var_extent % ways as u64 == 0 && strategy.var_extent >= ways as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tofu_graph::Attrs;
+
+    #[test]
+    fn conv1d_strategies_concretize_halo() {
+        let mut g = Graph::new();
+        let data = g.add_input("data", Shape::new(vec![4, 3, 10]));
+        let filt = g.add_weight("filt", Shape::new(vec![3, 8, 3]));
+        let out = g.add_op("conv1d", "c", &[data, filt], Attrs::new()).unwrap();
+        let view = ShapeView::from_graph(&g);
+        assert_eq!(view.shape(out).dims(), &[4, 8, 8]);
+        let node = g.producer(out).unwrap();
+        let s = node_strategies(&g, node, &view).unwrap();
+        assert_eq!(s.len(), 5);
+        // split:x has a halo equal to the filter window (3 elements).
+        let x = s.iter().find(|st| st.id == "split:x").unwrap();
+        match &x.inputs[0] {
+            ConcreteReq::Split { dim: 2, halo } => assert!((halo - 3.0).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_view_overrides() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new(vec![8, 8]));
+        let mut view = ShapeView::from_graph(&g);
+        view.set(x, Shape::new(vec![4, 8]));
+        assert_eq!(view.shape(x).dims(), &[4, 8]);
+        assert_eq!(view.len(), 1);
+        assert!(!view.is_empty());
+    }
+
+    #[test]
+    fn feasibility_checks_divisibility() {
+        let s = NodeStrategy {
+            id: "split:d0".into(),
+            var: 0,
+            var_extent: 8,
+            out: ConcreteOut::Split(0),
+            reducer: None,
+            inputs: vec![],
+        };
+        assert!(strategy_feasible(&s, &Shape::new(vec![8, 3]), 2));
+        assert!(!strategy_feasible(&s, &Shape::new(vec![9, 3]), 2));
+        let r = NodeStrategy {
+            id: "reduce:k".into(),
+            var: 2,
+            var_extent: 8,
+            out: ConcreteOut::Reduce,
+            reducer: Some(tofu_tdl::Reducer::Sum),
+            inputs: vec![],
+        };
+        let odd = NodeStrategy { var_extent: 3, ..r.clone() };
+        assert!(!strategy_feasible(&odd, &Shape::new(vec![9, 3]), 2));
+        assert!(strategy_feasible(&r, &Shape::new(vec![9, 3]), 2));
+    }
+
+    #[test]
+    fn non_describable_is_reported() {
+        let mut g = Graph::new();
+        let a = g.add_input("a", Shape::new(vec![2, 3]));
+        let b = g.add_input("b", Shape::new(vec![2, 3]));
+        let out = g
+            .add_op("concat", "cat", &[a, b], Attrs::new().with_int("axis", 0))
+            .unwrap();
+        let node = g.producer(out).unwrap();
+        let view = ShapeView::from_graph(&g);
+        let err = node_strategies(&g, node, &view).unwrap_err();
+        assert!(matches!(err, CoreError::NotDescribable { .. }));
+    }
+
+    #[test]
+    fn scaled_view_scales_halo_costs_not_structure() {
+        // Shrinking the batch does not change the strategy list.
+        let mut g = Graph::new();
+        let a = g.add_input("a", Shape::new(vec![8, 6]));
+        let b = g.add_weight("b", Shape::new(vec![6, 4]));
+        let out = g.add_op("matmul", "mm", &[a, b], Attrs::new()).unwrap();
+        let node = g.producer(out).unwrap();
+        let mut view = ShapeView::from_graph(&g);
+        view.set(a, Shape::new(vec![4, 6]));
+        view.set(out, Shape::new(vec![4, 4]));
+        let s = node_strategies(&g, node, &view).unwrap();
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for graph construction, autodiff and execution.
+
+use std::fmt;
+
+/// Errors produced by the dataflow graph layer.
+#[derive(Debug, Clone)]
+pub enum GraphError {
+    /// The operator name is not registered.
+    UnknownOp(String),
+    /// An input tensor id does not exist in the graph.
+    UnknownTensor(usize),
+    /// Shape inference failed for a node.
+    ShapeInference {
+        /// Node instance name.
+        node: String,
+        /// Operator name.
+        op: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Autodiff could not differentiate the graph.
+    Autodiff(String),
+    /// The CPU executor failed.
+    Exec(String),
+    /// A TDL analysis error surfaced through the graph layer.
+    Tdl(tofu_tdl::TdlError),
+    /// A tensor kernel error surfaced through the executor.
+    Tensor(tofu_tensor::TensorError),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownOp(op) => write!(f, "unknown operator {op:?}"),
+            GraphError::UnknownTensor(t) => write!(f, "unknown tensor id {t}"),
+            GraphError::ShapeInference { node, op, detail } => {
+                write!(f, "shape inference failed for node {node:?} (op {op}): {detail}")
+            }
+            GraphError::Autodiff(msg) => write!(f, "autodiff: {msg}"),
+            GraphError::Exec(msg) => write!(f, "execution: {msg}"),
+            GraphError::Tdl(e) => write!(f, "tdl: {e}"),
+            GraphError::Tensor(e) => write!(f, "tensor: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<tofu_tdl::TdlError> for GraphError {
+    fn from(e: tofu_tdl::TdlError) -> Self {
+        GraphError::Tdl(e)
+    }
+}
+
+impl From<tofu_tensor::TensorError> for GraphError {
+    fn from(e: tofu_tensor::TensorError) -> Self {
+        GraphError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(GraphError::UnknownOp("frobnicate".into()).to_string().contains("frobnicate"));
+        assert!(GraphError::UnknownTensor(7).to_string().contains('7'));
+        let e = GraphError::ShapeInference {
+            node: "fc1".into(),
+            op: "matmul".into(),
+            detail: "inner dims".into(),
+        };
+        assert!(e.to_string().contains("fc1"));
+        assert!(GraphError::Autodiff("no grad".into()).to_string().contains("no grad"));
+    }
+
+    #[test]
+    fn conversions() {
+        let t: GraphError = tofu_tensor::TensorError::Incompatible("x".into()).into();
+        assert!(matches!(t, GraphError::Tensor(_)));
+        let d: GraphError = tofu_tdl::TdlError::Invalid("y".into()).into();
+        assert!(matches!(d, GraphError::Tdl(_)));
+    }
+}

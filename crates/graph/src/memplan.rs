@@ -1,0 +1,293 @@
+//! Static memory planning (the §6 "leveraging the existing memory planner"
+//! substrate).
+//!
+//! Like MXNet's planner, buffers are assigned by a greedy liveness scan over
+//! a serial schedule: an intermediate tensor's buffer becomes free after its
+//! last consumer and can then be reused by a later allocation. The partition
+//! pass inserts extra control dependencies precisely so that each worker's
+//! sub-schedule stays serial and this reuse keeps working (§6, Fig. 7); the
+//! `reuse` flag models the ablation where those dependencies are missing and
+//! no cross-operator reuse is safe.
+
+use std::collections::BTreeMap;
+
+use crate::graph::{Graph, NodeId, TensorId, TensorKind};
+
+/// Result of planning one device's memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemPlan {
+    /// Peak bytes of transient (intermediate) buffers.
+    pub peak_transient_bytes: u64,
+    /// Bytes of persistent tensors (inputs and weights).
+    pub persistent_bytes: u64,
+    /// Number of physical buffers allocated (≤ number of intermediates when
+    /// reuse succeeds).
+    pub buffers_allocated: usize,
+}
+
+impl MemPlan {
+    /// Total peak memory: persistent plus transient peak.
+    pub fn total_bytes(&self) -> u64 {
+        self.peak_transient_bytes + self.persistent_bytes
+    }
+}
+
+/// True when MXNet would run this operator in place (same-shape
+/// element-wise math and gradient aggregation).
+fn is_inplace_capable(g: &Graph, id: NodeId) -> bool {
+    let node = g.node(id);
+    if node.op == "add_n" {
+        return true;
+    }
+    match crate::registry::lookup(&node.op) {
+        Ok(def) => matches!(
+            def.category,
+            crate::registry::OpCategory::Elementwise | crate::registry::OpCategory::Optimizer
+        ),
+        Err(_) => false,
+    }
+}
+
+/// Plans memory for the whole graph in insertion order.
+pub fn plan_memory(g: &Graph, reuse: bool) -> MemPlan {
+    let schedule: Vec<NodeId> = g.node_ids().collect();
+    plan_memory_for_schedule(g, &schedule, reuse)
+}
+
+/// Plans memory for a sub-schedule (e.g. one worker's nodes of a partitioned
+/// graph). Only tensors produced by scheduled nodes count as transient;
+/// persistent bytes cover inputs/weights this device *owns* (consumed by a
+/// non-fetch node of the schedule — a `multi_fetch` of a remote tensor only
+/// materializes the fetched piece, which is the fetch node's own output).
+///
+/// A tensor produced here but consumed by other devices stays live until
+/// the local step at which its last remote consumer has run (the §6
+/// behavior: the buffer is released once the remote fetch completed).
+pub fn plan_memory_for_schedule(g: &Graph, schedule: &[NodeId], reuse: bool) -> MemPlan {
+    let mut produced: BTreeMap<TensorId, usize> = BTreeMap::new();
+    for (pos, &id) in schedule.iter().enumerate() {
+        produced.insert(g.node(id).output, pos);
+    }
+
+    // Global last-consumer index of every tensor (one pass over the graph).
+    let mut global_last: Vec<usize> = vec![0; g.num_tensors()];
+    for id in g.node_ids() {
+        for &t in &g.node(id).inputs {
+            global_last[t.0] = global_last[t.0].max(id.0);
+        }
+    }
+    // Map a global node index to the local schedule position at (or after)
+    // which it has certainly happened. Schedule ids ascend by construction.
+    let global_ids: Vec<usize> = schedule.iter().map(|n| n.0).collect();
+    let to_local = |global: usize| -> usize {
+        match global_ids.binary_search(&global) {
+            Ok(p) => p,
+            Err(p) => p.min(schedule.len().saturating_sub(1)),
+        }
+    };
+    let mut last_use: BTreeMap<TensorId, usize> = BTreeMap::new();
+    for (pos, &id) in schedule.iter().enumerate() {
+        for &t in &g.node(id).inputs {
+            let e = last_use.entry(t).or_insert(pos);
+            *e = (*e).max(pos);
+        }
+    }
+    // Locally produced tensors with remote consumers: extend their liveness
+    // to the local step aligned with the last remote consumer.
+    for (&t, &def_pos) in &produced {
+        let remote_last = global_last[t.0];
+        let local = to_local(remote_last).max(def_pos);
+        let e = last_use.entry(t).or_insert(local);
+        *e = (*e).max(local);
+    }
+
+    // Persistent bytes: inputs/weights consumed by non-fetch nodes of the
+    // schedule (i.e. resident on this device).
+    let mut persistent = 0u64;
+    let mut seen_persistent: Vec<TensorId> = Vec::new();
+    for &id in schedule {
+        let node = g.node(id);
+        if node.op == "multi_fetch" {
+            continue;
+        }
+        for &t in &node.inputs {
+            let meta = g.tensor(t);
+            let external = meta.kind != TensorKind::Intermediate;
+            if external && !produced.contains_key(&t) && !seen_persistent.contains(&t) {
+                seen_persistent.push(t);
+                persistent += meta.shape.bytes();
+            }
+        }
+    }
+
+    // Greedy buffer reuse over the serial schedule.
+    let mut free_buffers: Vec<u64> = Vec::new(); // sizes of free physical buffers
+    let mut live: Vec<(TensorId, u64, usize)> = Vec::new(); // (tensor, buffer size, last use)
+    let mut current = 0u64;
+    let mut peak = 0u64;
+    let mut allocated = 0usize;
+
+    for (pos, &id) in schedule.iter().enumerate() {
+        let node = g.node(id);
+        let out = node.output;
+        let need = g.tensor(out).shape.bytes();
+        // In-place execution (MXNet marks element-wise operators in-place):
+        // when the first input's buffer dies at this very node, the output
+        // takes it over without any new allocation.
+        let in_place_slot = if reuse && is_inplace_capable(g, id) {
+            node.inputs.first().and_then(|&t| {
+                live.iter().position(|&(lt, size, last)| {
+                    lt == t && last == pos && size >= need
+                })
+            })
+        } else {
+            None
+        };
+        if let Some(i) = in_place_slot {
+            let (_, size, _) = live.swap_remove(i);
+            let last = last_use.get(&out).copied().unwrap_or(usize::MAX);
+            live.push((out, size, last));
+            continue;
+        }
+        // Reuse a free buffer when one exists. MXNet's planner assigns
+        // buffers offline with full liveness knowledge, so it can resize
+        // assignments freely; model that by growing an undersized free
+        // buffer instead of allocating a disjoint one (the pool's high-water
+        // mark then tracks the true live-byte peak, not fragmentation).
+        let slot = if reuse {
+            // Prefer an exact/over-sized fit, else the largest free buffer.
+            free_buffers
+                .iter()
+                .enumerate()
+                .filter(|(_, &size)| size >= need)
+                .min_by_key(|(_, &size)| size)
+                .map(|(i, _)| i)
+                .or_else(|| {
+                    free_buffers
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, &size)| size)
+                        .map(|(i, _)| i)
+                })
+        } else {
+            None
+        };
+        let size = match slot {
+            Some(i) => {
+                let size = free_buffers.swap_remove(i);
+                if size < need {
+                    current += need - size;
+                    peak = peak.max(current);
+                }
+                size.max(need)
+            }
+            None => {
+                allocated += 1;
+                current += need;
+                peak = peak.max(current);
+                need
+            }
+        };
+        let last = last_use.get(&out).copied().unwrap_or(usize::MAX);
+        live.push((out, size, last));
+
+        // Release buffers whose last consumer just ran. Without reuse the
+        // planner cannot reclaim them at all — this models the missing
+        // control dependencies of Fig. 7, where ops of the partitioned graph
+        // have no ordering that would make reclamation safe.
+        if reuse {
+            let mut i = 0;
+            while i < live.len() {
+                if live[i].2 <= pos {
+                    let (_, size, _) = live.swap_remove(i);
+                    free_buffers.push(size);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    MemPlan { peak_transient_bytes: peak, persistent_bytes: persistent, buffers_allocated: allocated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::Attrs;
+    use tofu_tensor::Shape;
+
+    /// A chain of n element-wise ops over a 1 KiB tensor.
+    fn chain(n: usize) -> Graph {
+        let mut g = Graph::new();
+        let mut t = g.add_input("x", Shape::new(vec![256]));
+        for i in 0..n {
+            t = g.add_op("relu", &format!("r{i}"), &[t], Attrs::new()).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn chain_runs_in_place_with_one_buffer() {
+        // Element-wise chains execute in place (as MXNet marks them): after
+        // the first allocation every step reuses the same buffer.
+        let g = chain(10);
+        let plan = plan_memory(&g, true);
+        assert_eq!(plan.buffers_allocated, 1, "allocated {}", plan.buffers_allocated);
+        assert_eq!(plan.peak_transient_bytes, 1024);
+        assert_eq!(plan.persistent_bytes, 1024);
+    }
+
+    #[test]
+    fn no_reuse_allocates_per_node() {
+        let g = chain(10);
+        let plan = plan_memory(&g, false);
+        assert_eq!(plan.buffers_allocated, 10);
+        // Without reuse every transient stays live: 10 x 1 KiB.
+        assert_eq!(plan.peak_transient_bytes, 10 * 1024);
+        let with_reuse = plan_memory(&g, true);
+        assert!(plan.peak_transient_bytes > with_reuse.peak_transient_bytes);
+    }
+
+    #[test]
+    fn fan_out_keeps_source_live() {
+        // x -> a, x -> b, (a, b) -> c: x stays live until both consumers ran.
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new(vec![256]));
+        let a = g.add_op("relu", "a", &[x], Attrs::new()).unwrap();
+        let b = g.add_op("tanh", "b", &[x], Attrs::new()).unwrap();
+        let _c = g.add_op("add", "c", &[a, b], Attrs::new()).unwrap();
+        let plan = plan_memory(&g, true);
+        // a and b live at once; the add runs in place on a's buffer.
+        assert_eq!(plan.peak_transient_bytes, 2 * 1024);
+    }
+
+    #[test]
+    fn weights_count_as_persistent() {
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new(vec![4, 8]));
+        let w = g.add_weight("w", Shape::new(vec![8, 2]));
+        let _y = g.add_op("matmul", "mm", &[x, w], Attrs::new()).unwrap();
+        let plan = plan_memory(&g, true);
+        assert_eq!(plan.persistent_bytes, (4 * 8 + 8 * 2) * 4);
+        assert_eq!(plan.peak_transient_bytes, 4 * 2 * 4);
+    }
+
+    #[test]
+    fn total_adds_up() {
+        let g = chain(3);
+        let p = plan_memory(&g, true);
+        assert_eq!(p.total_bytes(), p.peak_transient_bytes + p.persistent_bytes);
+    }
+
+    #[test]
+    fn sub_schedule_scopes_to_workers_nodes() {
+        let g = chain(4);
+        let first_two: Vec<NodeId> = g.node_ids().take(2).collect();
+        let plan = plan_memory_for_schedule(&g, &first_two, true);
+        // r0 allocates; r1 runs in place. But r1's output feeds r2, which is
+        // outside this schedule, so it must stay live: peak is one buffer
+        // (the in-place takeover keeps a single physical buffer).
+        assert_eq!(plan.peak_transient_bytes, 1024);
+    }
+}

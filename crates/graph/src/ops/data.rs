@@ -1,0 +1,407 @@
+//! Data-movement operators, opaque-function operators and the sparse
+//! operators TDL cannot describe (§4.1).
+//!
+//! `slice_axis` and `concat` are the primitives partitioned graphs use to
+//! extract remote input regions and reassemble them (§6); MXNet ships the
+//! same trio (`copy` lives in the element-wise family).
+
+use tofu_tdl::{builder::Idx, DescBuilder, TdlDesc};
+use tofu_tensor::Shape;
+
+use crate::attrs::Attrs;
+use crate::graph::TensorId;
+use crate::registry::{GradCtx, OpCategory, OpDef};
+use crate::Result;
+
+/// Gradient of `slice_axis`: zero-pad the output gradient back to the input
+/// extent (used heavily by LSTM gate slicing).
+fn grad_slice_axis(ctx: &mut GradCtx<'_>) -> Result<Vec<Option<TensorId>>> {
+    let axis = ctx.attrs.int_or("axis", 0);
+    let begin = ctx.attrs.int_or("begin", 0);
+    let in_extent = ctx.shape(ctx.inputs[0]).dim(axis as usize) as i64;
+    let end = ctx.attrs.int_or("end", in_extent);
+    let dx = ctx.op(
+        "pad",
+        &[ctx.out_grad],
+        Attrs::new()
+            .with_int("axis", axis)
+            .with_int("before", begin)
+            .with_int("after", in_extent - end),
+    )?;
+    Ok(vec![Some(dx)])
+}
+
+// ---- Shape inference ---------------------------------------------------------
+
+fn shape_slice_axis(ins: &[Shape], attrs: &Attrs) -> std::result::Result<Shape, String> {
+    if ins.len() != 1 {
+        return Err("slice_axis expects one input".into());
+    }
+    let rank = ins[0].rank();
+    let axis = attrs.int_or("axis", 0);
+    if axis < 0 || axis as usize >= rank {
+        return Err(format!("axis {axis} out of range for rank {rank}"));
+    }
+    let begin = attrs.int_or("begin", 0);
+    let end = attrs.int_or("end", ins[0].dim(axis as usize) as i64);
+    if begin < 0 || end < begin || end as usize > ins[0].dim(axis as usize) {
+        return Err(format!("invalid slice [{begin}, {end})"));
+    }
+    ins[0].with_dim(axis as usize, (end - begin) as usize).map_err(|e| e.to_string())
+}
+
+fn shape_concat(ins: &[Shape], attrs: &Attrs) -> std::result::Result<Shape, String> {
+    let first = ins.first().ok_or("concat of zero tensors")?;
+    let axis = attrs.int_or("axis", 0);
+    if axis < 0 || axis as usize >= first.rank() {
+        return Err(format!("axis {axis} out of range"));
+    }
+    let axis = axis as usize;
+    let mut total = 0;
+    for s in ins {
+        if s.rank() != first.rank() {
+            return Err("rank mismatch in concat".into());
+        }
+        for d in 0..s.rank() {
+            if d != axis && s.dim(d) != first.dim(d) {
+                return Err(format!("extent mismatch in concat: {first} vs {s}"));
+            }
+        }
+        total += s.dim(axis);
+    }
+    first.with_dim(axis, total).map_err(|e| e.to_string())
+}
+
+fn shape_pad(ins: &[Shape], attrs: &Attrs) -> std::result::Result<Shape, String> {
+    if ins.len() != 1 {
+        return Err("pad expects one input".into());
+    }
+    let axis = attrs.int_or("axis", 0) as usize;
+    let before = attrs.int_or("before", 0) as usize;
+    let after = attrs.int_or("after", 0) as usize;
+    if axis >= ins[0].rank() {
+        return Err("axis out of range".into());
+    }
+    ins[0]
+        .with_dim(axis, ins[0].dim(axis) + before + after)
+        .map_err(|e| e.to_string())
+}
+
+fn shape_flip(ins: &[Shape], attrs: &Attrs) -> std::result::Result<Shape, String> {
+    if ins.len() != 1 {
+        return Err("flip expects one input".into());
+    }
+    let axis = attrs.int_or("axis", 0) as usize;
+    if axis >= ins[0].rank() {
+        return Err("axis out of range".into());
+    }
+    Ok(ins[0].clone())
+}
+
+fn shape_repeat(ins: &[Shape], attrs: &Attrs) -> std::result::Result<Shape, String> {
+    if ins.len() != 1 {
+        return Err("repeat expects one input".into());
+    }
+    let axis = attrs.int_or("axis", 0) as usize;
+    let k = attrs.int_or("repeats", 2).max(1) as usize;
+    if axis >= ins[0].rank() {
+        return Err("axis out of range".into());
+    }
+    ins[0].with_dim(axis, ins[0].dim(axis) * k).map_err(|e| e.to_string())
+}
+
+fn shape_tile(ins: &[Shape], attrs: &Attrs) -> std::result::Result<Shape, String> {
+    shape_repeat(ins, attrs)
+}
+
+fn shape_batch_square(ins: &[Shape], _: &Attrs) -> std::result::Result<Shape, String> {
+    // (b, n, n) -> (b, n, n) for batched matrix decompositions.
+    if ins.len() != 1 || ins[0].rank() != 3 || ins[0].dim(1) != ins[0].dim(2) {
+        return Err("expects one (b, n, n) input".into());
+    }
+    Ok(ins[0].clone())
+}
+
+fn shape_square_mat(ins: &[Shape], _: &Attrs) -> std::result::Result<Shape, String> {
+    if ins.len() != 1 || ins[0].rank() != 2 || ins[0].dim(0) != ins[0].dim(1) {
+        return Err("expects one square matrix".into());
+    }
+    Ok(ins[0].clone())
+}
+
+fn shape_sparse(_: &[Shape], _: &Attrs) -> std::result::Result<Shape, String> {
+    Err("sparse operators are not supported by the dense executor".into())
+}
+
+// ---- TDL descriptions -----------------------------------------------------------
+
+fn tdl_slice_axis(ins: &[Shape], attrs: &Attrs) -> Option<TdlDesc> {
+    let rank = ins.first()?.rank();
+    let axis = attrs.int_or("axis", 0) as usize;
+    let begin = attrs.int_or("begin", 0);
+    let mut b = DescBuilder::new("slice_axis", &[rank]);
+    let vars: Vec<_> = (0..rank).map(|d| b.output_var(format!("d{d}"))).collect();
+    let coords: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(d, v)| if d == axis { v.at() + begin } else { v.at() })
+        .collect();
+    let body = b.input(0, &coords);
+    b.build(body).ok()
+}
+
+fn tdl_pad(ins: &[Shape], attrs: &Attrs) -> Option<TdlDesc> {
+    let rank = ins.first()?.rank();
+    let axis = attrs.int_or("axis", 0) as usize;
+    let before = attrs.int_or("before", 0);
+    let mut b = DescBuilder::new("pad", &[rank]);
+    let vars: Vec<_> = (0..rank).map(|d| b.output_var(format!("d{d}"))).collect();
+    let coords: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(d, v)| if d == axis { v.at() - before } else { v.at() })
+        .collect();
+    let body = b.input(0, &coords);
+    b.build(body).ok()
+}
+
+fn tdl_flip(ins: &[Shape], attrs: &Attrs) -> Option<TdlDesc> {
+    // out[i] = x[N - 1 - i]; the constant is shape-dependent, which is fine
+    // because descriptions are instantiated per node.
+    let shape = ins.first()?;
+    let rank = shape.rank();
+    let axis = attrs.int_or("axis", 0) as usize;
+    let n = shape.dim(axis) as i64;
+    let mut b = DescBuilder::new("flip", &[rank]);
+    let vars: Vec<_> = (0..rank).map(|d| b.output_var(format!("d{d}"))).collect();
+    let coords: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(d, v)| if d == axis { v.at() * -1 + (n - 1) } else { v.at() })
+        .collect();
+    let body = b.input(0, &coords);
+    b.build(body).ok()
+}
+
+fn tdl_repeat(ins: &[Shape], attrs: &Attrs) -> Option<TdlDesc> {
+    // out[i] = x[i / k]: rational coefficient, region-exact.
+    let rank = ins.first()?.rank();
+    let axis = attrs.int_or("axis", 0) as usize;
+    let k = attrs.int_or("repeats", 2).max(1);
+    let mut b = DescBuilder::new("repeat", &[rank]);
+    let vars: Vec<_> = (0..rank).map(|d| b.output_var(format!("d{d}"))).collect();
+    let coords: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(d, v)| if d == axis { v.at().div(k) } else { v.at() })
+        .collect();
+    let body = b.input(0, &coords);
+    b.build(body).ok()
+}
+
+fn tdl_batch_cholesky(_: &[Shape], _: &Attrs) -> Option<TdlDesc> {
+    // Fig. 3 of the paper: lambda b, i, j: Cholesky(batch_mat[b, :, :])[i, j].
+    let mut b = DescBuilder::new("batch_cholesky", &[3]);
+    let (bb, i, j) = (b.output_var("b"), b.output_var("i"), b.output_var("j"));
+    let slice = b.input(0, &[bb.at(), Idx::full(), Idx::full()]);
+    let body = b.opaque("cholesky", vec![slice], &[i, j]);
+    b.build(body).ok()
+}
+
+fn tdl_batch_inverse(_: &[Shape], _: &Attrs) -> Option<TdlDesc> {
+    let mut b = DescBuilder::new("batch_inverse", &[3]);
+    let (bb, i, j) = (b.output_var("b"), b.output_var("i"), b.output_var("j"));
+    let slice = b.input(0, &[bb.at(), Idx::full(), Idx::full()]);
+    let body = b.opaque("inverse", vec![slice], &[i, j]);
+    b.build(body).ok()
+}
+
+// ---- Definitions --------------------------------------------------------------------
+
+fn flops_vol(_: &[Shape], out: &Shape, _: &Attrs) -> f64 {
+    out.volume() as f64
+}
+
+/// Returns data-movement, opaque and sparse operator definitions.
+pub fn defs() -> Vec<OpDef> {
+    let mut out = vec![
+        OpDef {
+            name: "slice_axis",
+            category: OpCategory::Data,
+            infer_shape: shape_slice_axis,
+            tdl: Some(tdl_slice_axis),
+            gradient: Some(grad_slice_axis),
+            flops: flops_vol,
+        },
+        OpDef {
+            name: "concat",
+            category: OpCategory::Data,
+            infer_shape: shape_concat,
+            // Concatenation is piecewise, which TDL's single lambda body
+            // cannot express; MXNet's concat is likewise special-cased.
+            tdl: None,
+            gradient: None,
+            flops: flops_vol,
+        },
+        OpDef {
+            name: "pad",
+            category: OpCategory::Data,
+            infer_shape: shape_pad,
+            tdl: Some(tdl_pad),
+            gradient: None,
+            flops: flops_vol,
+        },
+        OpDef {
+            name: "flip",
+            category: OpCategory::Data,
+            infer_shape: shape_flip,
+            tdl: Some(tdl_flip),
+            gradient: None,
+            flops: flops_vol,
+        },
+        OpDef {
+            name: "repeat",
+            category: OpCategory::Data,
+            infer_shape: shape_repeat,
+            tdl: Some(tdl_repeat),
+            gradient: None,
+            flops: flops_vol,
+        },
+        OpDef {
+            name: "tile",
+            category: OpCategory::Data,
+            infer_shape: shape_tile,
+            // out[i] = x[i mod n] is not affine.
+            tdl: None,
+            gradient: None,
+            flops: flops_vol,
+        },
+        // Opaque-function operators (2, matching §4.1's MXNet count).
+        OpDef {
+            name: "batch_cholesky",
+            category: OpCategory::Opaque,
+            infer_shape: shape_batch_square,
+            tdl: Some(tdl_batch_cholesky),
+            gradient: None,
+            flops: |ins, _, _| {
+                let n = ins[0].dim(1) as f64;
+                ins[0].dim(0) as f64 * n * n * n / 3.0
+            },
+        },
+        OpDef {
+            name: "batch_inverse",
+            category: OpCategory::Opaque,
+            infer_shape: shape_batch_square,
+            tdl: Some(tdl_batch_inverse),
+            gradient: None,
+            flops: |ins, _, _| {
+                let n = ins[0].dim(1) as f64;
+                ins[0].dim(0) as f64 * n * n * n
+            },
+        },
+        // Un-batched Cholesky cannot be parallelized by partition-n-reduce at
+        // all (§3.1) — no TDL description exists.
+        OpDef {
+            name: "cholesky",
+            category: OpCategory::Linalg,
+            infer_shape: shape_square_mat,
+            tdl: None,
+            gradient: None,
+            flops: |ins, _, _| {
+                let n = ins[0].dim(0) as f64;
+                n * n * n / 3.0
+            },
+        },
+    ];
+    out.push(OpDef {
+        name: "multi_fetch",
+        category: OpCategory::Data,
+        infer_shape: |_, attrs| {
+            attrs
+                .ints("out_dims")
+                .map(|d| Shape::new(d.iter().map(|&v| v as usize).collect()))
+                .ok_or_else(|| "multi_fetch missing out_dims".to_string())
+        },
+        tdl: None,
+        gradient: None,
+        flops: flops_vol,
+    });
+    // Sparse operators: describable in TDL in principle, but unsupported by
+    // Tofu due to load imbalance (§9); we register them undescribed like the
+    // paper's coverage count does.
+    for name in ["sparse_dot", "sparse_retain", "cast_storage", "sparse_embedding"] {
+        out.push(OpDef {
+            name: match name {
+                "sparse_dot" => "sparse_dot",
+                "sparse_retain" => "sparse_retain",
+                "cast_storage" => "cast_storage",
+                _ => "sparse_embedding",
+            },
+            category: OpCategory::Sparse,
+            infer_shape: shape_sparse,
+            tdl: None,
+            gradient: None,
+            flops: flops_vol,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tofu_tdl::{discover_strategies, InputRequirement};
+
+    #[test]
+    fn slice_axis_shapes() {
+        let x = Shape::new(vec![4, 8]);
+        let attrs = Attrs::new().with_int("axis", 1).with_int("begin", 2).with_int("end", 6);
+        assert_eq!(shape_slice_axis(&[x.clone()], &attrs).unwrap().dims(), &[4, 4]);
+        let bad = Attrs::new().with_int("axis", 1).with_int("begin", 6).with_int("end", 2);
+        assert!(shape_slice_axis(&[x], &bad).is_err());
+    }
+
+    #[test]
+    fn concat_shapes() {
+        let a = Shape::new(vec![2, 3]);
+        let b = Shape::new(vec![5, 3]);
+        let attrs = Attrs::new().with_int("axis", 0);
+        assert_eq!(shape_concat(&[a.clone(), b], &attrs).unwrap().dims(), &[7, 3]);
+        let c = Shape::new(vec![5, 4]);
+        assert!(shape_concat(&[a, c], &attrs).is_err());
+    }
+
+    #[test]
+    fn flip_strategies_still_split() {
+        // Flip reverses order: halves map to halves (in swapped order).
+        let desc = tdl_flip(&[Shape::new(vec![8])], &Attrs::new()).unwrap();
+        let s = discover_strategies(&desc).unwrap();
+        assert!(matches!(s[0].inputs[0], InputRequirement::Split { dim: 0, .. }));
+    }
+
+    #[test]
+    fn batch_cholesky_matches_paper_example() {
+        let desc = tdl_batch_cholesky(&[], &Attrs::new()).unwrap();
+        assert!(desc.has_opaque());
+        let s = discover_strategies(&desc).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].id, "split:b");
+    }
+
+    #[test]
+    fn sparse_ops_are_not_describable() {
+        let ops = defs();
+        let sparse: Vec<_> =
+            ops.iter().filter(|d| d.category == OpCategory::Sparse).collect();
+        assert_eq!(sparse.len(), 4);
+        assert!(sparse.iter().all(|d| d.tdl.is_none()));
+    }
+
+    #[test]
+    fn repeat_region_is_rational() {
+        let desc =
+            tdl_repeat(&[Shape::new(vec![4])], &Attrs::new().with_int("repeats", 2)).unwrap();
+        let s = discover_strategies(&desc).unwrap();
+        assert!(matches!(s[0].inputs[0], InputRequirement::Split { dim: 0, .. }));
+    }
+}

@@ -1,0 +1,91 @@
+//! Multi-layer perceptron training graphs (the paper's Fig. 5 example).
+
+use tofu_graph::{autodiff, Attrs, Graph};
+
+use crate::BuiltModel;
+use tofu_tensor::Shape;
+
+/// Configuration of an MLP.
+#[derive(Debug, Clone)]
+pub struct MlpConfig {
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Layer widths, input first: `dims[0] -> dims[1] -> … -> classes`.
+    pub dims: Vec<usize>,
+    /// Number of output classes.
+    pub classes: usize,
+    /// Add SGD update nodes (the optimizer segment of §5.1).
+    pub with_updates: bool,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig { batch: 32, dims: vec![128, 128, 128], classes: 16, with_updates: true }
+    }
+}
+
+/// Builds an MLP training graph: `matmul -> bias_add -> sigmoid` per layer,
+/// softmax cross-entropy loss, backward pass and (optionally) SGD updates.
+pub fn mlp(cfg: &MlpConfig) -> tofu_graph::Result<BuiltModel> {
+    let mut g = Graph::new();
+    let x = g.add_input("x", Shape::new(vec![cfg.batch, cfg.dims[0]]));
+    let labels = g.add_input("labels", Shape::new(vec![cfg.batch]));
+    let mut weights = Vec::new();
+    let mut t = x;
+    let widths: Vec<usize> = cfg.dims.iter().copied().chain([cfg.classes]).collect();
+    for (i, pair) in widths.windows(2).enumerate() {
+        let w = g.add_weight(&format!("w{i}"), Shape::new(vec![pair[0], pair[1]]));
+        let b = g.add_weight(&format!("b{i}"), Shape::new(vec![pair[1]]));
+        weights.push(w);
+        weights.push(b);
+        t = g.add_op("matmul", &format!("fc{i}"), &[t, w], Attrs::new())?;
+        t = g.add_op("bias_add", &format!("bias{i}"), &[t, b], Attrs::new().with_int("axis", 1))?;
+        if i + 2 < widths.len() {
+            t = g.add_op("sigmoid", &format!("act{i}"), &[t], Attrs::new())?;
+        }
+    }
+    let loss = g.add_op("softmax_ce", "loss", &[t, labels], Attrs::new())?;
+    let info = autodiff::backward(&mut g, loss, &weights)?;
+    let grads: Vec<_> =
+        weights.iter().filter_map(|&w| info.grad(w).map(|gw| (w, gw))).collect();
+    if cfg.with_updates {
+        for (i, &(w, gw)) in grads.iter().enumerate() {
+            g.add_op(
+                "sgd_update",
+                &format!("upd{i}"),
+                &[w, gw],
+                Attrs::new().with_float("lr", 0.01),
+            )?;
+        }
+    }
+    Ok(BuiltModel { graph: g, loss, weights, inputs: vec![x, labels], grads, batch: cfg.batch })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mlp_builds() {
+        let m = mlp(&MlpConfig::default()).unwrap();
+        assert!(m.graph.num_nodes() > 10);
+        assert_eq!(m.grads.len(), m.weights.len());
+        assert_eq!(m.graph.tensor(m.loss).shape.rank(), 0);
+    }
+
+    #[test]
+    fn weight_bytes_match_dims() {
+        let cfg = MlpConfig { batch: 4, dims: vec![8, 16], classes: 4, with_updates: false };
+        let m = mlp(&cfg).unwrap();
+        // w0 8x16 + b0 16 + w1 16x4 + b1 4 = 128 + 16 + 64 + 4 = 212 floats.
+        assert_eq!(m.weight_bytes(), 212 * 4);
+    }
+
+    #[test]
+    fn updates_toggle() {
+        let with = mlp(&MlpConfig::default()).unwrap();
+        let without =
+            mlp(&MlpConfig { with_updates: false, ..MlpConfig::default() }).unwrap();
+        assert!(with.graph.num_nodes() > without.graph.num_nodes());
+    }
+}

@@ -1,0 +1,241 @@
+//! Discrete-event simulation of a device-tagged dataflow graph.
+//!
+//! Each GPU executes its nodes serially (one stream, like MXNet's default).
+//! A node consuming a tensor produced on another device triggers a transfer
+//! occupying the (undirected) link between the two devices; transfers on the
+//! same link serialize. `multi_fetch` nodes transfer each remote piece
+//! separately — the bytes come from the piece descriptors, so halo exchanges
+//! cost only their overlap.
+
+use std::collections::BTreeMap;
+
+use tofu_graph::{Graph, NodeId};
+
+use crate::compute::node_seconds;
+use crate::machine::Machine;
+
+/// Result of one simulated iteration.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// End-to-end iteration time (seconds).
+    pub makespan: f64,
+    /// Total busy compute time per device.
+    pub compute_busy: Vec<f64>,
+    /// Total bytes moved between devices.
+    pub comm_bytes: f64,
+    /// Total link-occupancy time (seconds, summed over links).
+    pub comm_seconds: f64,
+}
+
+impl SimResult {
+    /// The fraction of the makespan attributable to communication, measured
+    /// the way Fig. 10 does: against a hypothetical run with free transfers.
+    pub fn comm_overhead_fraction(&self, compute_only_makespan: f64) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        ((self.makespan - compute_only_makespan) / self.makespan).max(0.0)
+    }
+}
+
+/// Per-node device assignment for the simulation.
+pub trait DeviceMap {
+    /// Device of a node.
+    fn device(&self, node: NodeId) -> usize;
+}
+
+impl DeviceMap for Vec<usize> {
+    fn device(&self, node: NodeId) -> usize {
+        self[node.0]
+    }
+}
+
+/// Simulates one iteration of `g` under the device assignment.
+///
+/// `free_transfers` zeroes all communication cost — the methodology Fig. 10
+/// uses to separate computation from communication overhead.
+pub fn simulate(
+    g: &Graph,
+    devices: &impl DeviceMap,
+    machine: &Machine,
+    free_transfers: bool,
+) -> SimResult {
+    let n = g.num_nodes();
+    let mut finish: Vec<f64> = vec![0.0; n];
+    let mut device_avail: Vec<f64> = vec![0.0; machine.gpus.max(1)];
+    let mut link_avail: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    // Producer device and availability time per tensor.
+    let mut tensor_ready: Vec<(usize, f64)> = vec![(usize::MAX, 0.0); g.num_tensors()];
+    let mut comm_bytes = 0.0f64;
+    let mut comm_seconds = 0.0f64;
+    let mut compute_busy = vec![0.0f64; machine.gpus.max(1)];
+
+    // Leaf tensors (inputs/weights) are resident on their consumer's device
+    // from time zero; in partitioned graphs each worker owns its shard, so a
+    // leaf's device is taken from the first consumer.
+    for id in g.node_ids() {
+        let node = g.node(id);
+        let dev = devices.device(id);
+        for &t in &node.inputs {
+            if g.producer(t).is_none() && tensor_ready[t.0].0 == usize::MAX {
+                tensor_ready[t.0] = (dev, 0.0);
+            }
+        }
+    }
+
+    for id in g.node_ids() {
+        let node = g.node(id);
+        let dev = devices.device(id);
+        let mut ready = device_avail[dev];
+        for &dep in &node.control_deps {
+            ready = ready.max(finish[dep.0]);
+        }
+
+        // Per-input arrival, with transfers for remote tensors.
+        let piece_bytes = multi_fetch_piece_bytes(g, id);
+        for (i, &t) in node.inputs.iter().enumerate() {
+            let (src, avail) = tensor_ready[t.0];
+            let src = if src == usize::MAX { dev } else { src };
+            let mut arrive = avail;
+            if src != dev && !free_transfers {
+                let bytes = match &piece_bytes {
+                    Some(pb) => pb.get(i).copied().unwrap_or(0.0),
+                    None => g.tensor(t).shape.bytes() as f64,
+                };
+                if bytes > 0.0 {
+                    let key = (src.min(dev), src.max(dev));
+                    let bw = machine.link_bw(src, dev);
+                    let start = avail.max(*link_avail.get(&key).unwrap_or(&0.0));
+                    let dur = bytes / bw;
+                    link_avail.insert(key, start + dur);
+                    comm_bytes += bytes;
+                    comm_seconds += dur;
+                    arrive = start + dur;
+                }
+            } else if src != dev {
+                comm_bytes += match &piece_bytes {
+                    Some(pb) => pb.get(i).copied().unwrap_or(0.0),
+                    None => g.tensor(t).shape.bytes() as f64,
+                };
+            }
+            ready = ready.max(arrive);
+        }
+
+        let dur = node_seconds(g, id, machine);
+        let end = ready + dur;
+        finish[id.0] = end;
+        device_avail[dev] = end;
+        compute_busy[dev] += dur;
+        tensor_ready[node.output.0] = (dev, end);
+    }
+
+    SimResult {
+        makespan: finish.iter().copied().fold(0.0, f64::max),
+        compute_busy,
+        comm_bytes,
+        comm_seconds,
+    }
+}
+
+/// For a `multi_fetch` node, the bytes read from each input (piece volumes);
+/// `None` for ordinary nodes.
+fn multi_fetch_piece_bytes(g: &Graph, id: NodeId) -> Option<Vec<f64>> {
+    let node = g.node(id);
+    if node.op != "multi_fetch" {
+        return None;
+    }
+    let rank = node.attrs.ints("out_dims")?.len();
+    let pieces = node.attrs.ints("pieces")?;
+    let mut out = Vec::with_capacity(node.inputs.len());
+    for i in 0..node.inputs.len() {
+        let desc = &pieces[i * 3 * rank..(i + 1) * 3 * rank];
+        let len: i64 = desc[2 * rank..].iter().product::<i64>().max(0);
+        out.push(len as f64 * 4.0);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tofu_graph::Attrs;
+    use tofu_tensor::Shape;
+
+    fn chain_on(devices: Vec<usize>) -> (Graph, Vec<usize>) {
+        let mut g = Graph::new();
+        let mut t = g.add_input("x", Shape::new(vec![1 << 20]));
+        for i in 0..devices.len() {
+            t = g.add_op("relu", &format!("r{i}"), &[t], Attrs::new()).unwrap();
+        }
+        (g, devices)
+    }
+
+    #[test]
+    fn single_device_serializes() {
+        let m = Machine::p2_8xlarge();
+        let (g, dev) = chain_on(vec![0, 0, 0]);
+        let r = simulate(&g, &dev, &m, false);
+        assert!((r.makespan - r.compute_busy[0]).abs() < 1e-12);
+        assert_eq!(r.comm_bytes, 0.0);
+    }
+
+    #[test]
+    fn cross_device_chain_pays_transfers() {
+        let m = Machine::p2_8xlarge();
+        let (g, dev) = chain_on(vec![0, 1, 0]);
+        let with = simulate(&g, &dev, &m, false);
+        let free = simulate(&g, &dev, &m, true);
+        assert!(with.makespan > free.makespan);
+        // Two hops of 4 MiB each.
+        assert_eq!(with.comm_bytes, 2.0 * 4.0 * (1 << 20) as f64);
+        assert!(with.comm_overhead_fraction(free.makespan) > 0.0);
+    }
+
+    #[test]
+    fn parallel_branches_overlap() {
+        let m = Machine::p2_8xlarge();
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new(vec![1 << 22]));
+        let _a = g.add_op("relu", "a", &[x], Attrs::new()).unwrap();
+        let _b = g.add_op("tanh", "b", &[x], Attrs::new()).unwrap();
+        // Same work on one device vs two.
+        let serial = simulate(&g, &vec![0, 0], &m, false);
+        let parallel = simulate(&g, &vec![0, 1], &m, true);
+        assert!(parallel.makespan < serial.makespan * 0.75);
+    }
+
+    #[test]
+    fn slow_links_cost_more() {
+        let m = Machine::p2_8xlarge();
+        let (g, _) = chain_on(vec![0, 0]);
+        let near = simulate(&g, &vec![0, 1], &m, false);
+        let far = simulate(&g, &vec![0, 7], &m, false);
+        assert!(far.makespan > near.makespan);
+    }
+
+    #[test]
+    fn multi_fetch_bytes_come_from_pieces() {
+        let m = Machine::p2_8xlarge();
+        let mut g = Graph::new();
+        let a = g.add_input("a", Shape::new(vec![64]));
+        let b = g.add_input("b", Shape::new(vec![64]));
+        let _pa = g.add_op("relu", "pa", &[a], Attrs::new()).unwrap();
+        let _pb = g.add_op("relu", "pb", &[b], Attrs::new()).unwrap();
+        let pa = g.tensor_by_name("pa:out").unwrap();
+        let pb = g.tensor_by_name("pb:out").unwrap();
+        // Fetch 16 elements from pa and 48 from pb.
+        let _f = g
+            .add_op(
+                "multi_fetch",
+                "fetch",
+                &[pa, pb],
+                Attrs::new()
+                    .with_ints("out_dims", vec![64])
+                    .with_ints("pieces", vec![0, 0, 16, 0, 16, 48]),
+            )
+            .unwrap();
+        // pa on device 1, pb on device 2, fetch on device 0.
+        let r = simulate(&g, &vec![1, 2, 0], &m, false);
+        assert_eq!(r.comm_bytes, (16.0 + 48.0) * 4.0);
+    }
+}

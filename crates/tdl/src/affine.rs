@@ -1,0 +1,241 @@
+//! Affine forms over symbolic extents.
+//!
+//! The paper (Eq. 1) represents a symbolic interval bound as an affine
+//! transformation `Σᵢ aᵢ·Xᵢ + c` of the symbolic upper bounds `Xᵢ` of the
+//! index-variable ranges. [`AffineForm`] is that representation: a sparse
+//! real-coefficient linear form plus constant. Symbol `i` is the extent of
+//! index variable `i` of the description being analyzed.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a symbolic extent (`X_i`): the id of the index variable
+/// whose range it bounds.
+pub type SymId = usize;
+
+/// A sparse affine form `Σ coeff·X_sym + constant` with real coefficients.
+///
+/// # Examples
+///
+/// ```
+/// use tofu_tdl::AffineForm;
+///
+/// let half_x = AffineForm::sym(0).scale(0.5);
+/// let v = half_x.eval(&|_| 10.0);
+/// assert_eq!(v, 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffineForm {
+    coeffs: BTreeMap<SymId, f64>,
+    constant: f64,
+}
+
+impl AffineForm {
+    /// The zero form.
+    pub fn zero() -> AffineForm {
+        AffineForm { coeffs: BTreeMap::new(), constant: 0.0 }
+    }
+
+    /// A constant form.
+    pub fn constant(c: f64) -> AffineForm {
+        AffineForm { coeffs: BTreeMap::new(), constant: c }
+    }
+
+    /// The form `1·X_sym`.
+    pub fn sym(sym: SymId) -> AffineForm {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(sym, 1.0);
+        AffineForm { coeffs, constant: 0.0 }
+    }
+
+    /// Returns the coefficient of a symbol (0 when absent).
+    pub fn coeff(&self, sym: SymId) -> f64 {
+        self.coeffs.get(&sym).copied().unwrap_or(0.0)
+    }
+
+    /// Returns the constant term.
+    pub fn constant_term(&self) -> f64 {
+        self.constant
+    }
+
+    /// Iterates over `(symbol, coefficient)` pairs with non-zero coefficient.
+    pub fn terms(&self) -> impl Iterator<Item = (SymId, f64)> + '_ {
+        self.coeffs.iter().map(|(&s, &c)| (s, c))
+    }
+
+    /// Returns `self + other`.
+    pub fn add(&self, other: &AffineForm) -> AffineForm {
+        let mut out = self.clone();
+        for (s, c) in other.terms() {
+            let e = out.coeffs.entry(s).or_insert(0.0);
+            *e += c;
+            if *e == 0.0 {
+                out.coeffs.remove(&s);
+            }
+        }
+        out.constant += other.constant;
+        out
+    }
+
+    /// Returns `self - other`.
+    pub fn sub(&self, other: &AffineForm) -> AffineForm {
+        self.add(&other.scale(-1.0))
+    }
+
+    /// Returns `self` scaled by a real factor.
+    pub fn scale(&self, k: f64) -> AffineForm {
+        if k == 0.0 {
+            return AffineForm::zero();
+        }
+        AffineForm {
+            coeffs: self.coeffs.iter().map(|(&s, &c)| (s, c * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    /// Returns `self + k`.
+    pub fn offset(&self, k: f64) -> AffineForm {
+        let mut out = self.clone();
+        out.constant += k;
+        out
+    }
+
+    /// Evaluates the form under a concrete symbol assignment.
+    pub fn eval(&self, assignment: &impl Fn(SymId) -> f64) -> f64 {
+        self.terms().map(|(s, c)| c * assignment(s)).sum::<f64>() + self.constant
+    }
+
+    /// True when the form is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty() && self.constant == 0.0
+    }
+
+    /// True when the form is a bare constant (no symbols).
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Pointwise minimum with another form — sound as an interval lower bound
+    /// whenever all symbols are non-negative, which holds for extents.
+    pub fn pointwise_min(&self, other: &AffineForm) -> AffineForm {
+        let mut coeffs = BTreeMap::new();
+        for s in self.coeffs.keys().chain(other.coeffs.keys()) {
+            let v = self.coeff(*s).min(other.coeff(*s));
+            if v != 0.0 {
+                coeffs.insert(*s, v);
+            }
+        }
+        AffineForm { coeffs, constant: self.constant.min(other.constant) }
+    }
+
+    /// Pointwise maximum with another form — sound as an interval upper bound
+    /// whenever all symbols are non-negative.
+    pub fn pointwise_max(&self, other: &AffineForm) -> AffineForm {
+        let mut coeffs = BTreeMap::new();
+        for s in self.coeffs.keys().chain(other.coeffs.keys()) {
+            let v = self.coeff(*s).max(other.coeff(*s));
+            if v != 0.0 {
+                coeffs.insert(*s, v);
+            }
+        }
+        AffineForm { coeffs, constant: self.constant.max(other.constant) }
+    }
+
+    /// True when `self(x) <= other(x)` for every non-negative symbol
+    /// assignment: every coefficient and the constant are no larger.
+    pub fn dominated_by(&self, other: &AffineForm) -> bool {
+        if self.constant > other.constant + 1e-9 {
+            return false;
+        }
+        for s in self.coeffs.keys().chain(other.coeffs.keys()) {
+            if self.coeff(*s) > other.coeff(*s) + 1e-9 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Approximate structural equality with a small numeric tolerance.
+    pub fn approx_eq(&self, other: &AffineForm) -> bool {
+        self.dominated_by(other) && other.dominated_by(self)
+    }
+}
+
+impl fmt::Display for AffineForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (s, c) in self.terms() {
+            if !first {
+                write!(f, " + ")?;
+            }
+            if c == 1.0 {
+                write!(f, "X{s}")?;
+            } else {
+                write!(f, "{c}*X{s}")?;
+            }
+            first = false;
+        }
+        if self.constant != 0.0 || first {
+            if !first {
+                write!(f, " + ")?;
+            }
+            write!(f, "{}", self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_eval() {
+        // 0.5*X0 + 2*X1 + 3.
+        let form = AffineForm::sym(0).scale(0.5).add(&AffineForm::sym(1).scale(2.0)).offset(3.0);
+        assert_eq!(form.coeff(0), 0.5);
+        assert_eq!(form.coeff(1), 2.0);
+        assert_eq!(form.coeff(2), 0.0);
+        assert_eq!(form.constant_term(), 3.0);
+        assert_eq!(form.eval(&|s| if s == 0 { 4.0 } else { 1.0 }), 7.0);
+    }
+
+    #[test]
+    fn sub_cancels() {
+        let x = AffineForm::sym(0);
+        assert!(x.sub(&x).is_zero());
+        assert!(AffineForm::constant(2.0).is_constant());
+        assert!(!x.is_constant());
+    }
+
+    #[test]
+    fn pointwise_bounds() {
+        let a = AffineForm::sym(0).scale(0.5);
+        let b = AffineForm::sym(0).offset(-1.0);
+        let mn = a.pointwise_min(&b);
+        assert_eq!(mn.coeff(0), 0.5);
+        assert_eq!(mn.constant_term(), -1.0);
+        let mx = a.pointwise_max(&b);
+        assert_eq!(mx.coeff(0), 1.0);
+        assert_eq!(mx.constant_term(), 0.0);
+    }
+
+    #[test]
+    fn domination_order() {
+        let half = AffineForm::sym(0).scale(0.5);
+        let whole = AffineForm::sym(0);
+        assert!(half.dominated_by(&whole));
+        assert!(!whole.dominated_by(&half));
+        assert!(half.approx_eq(&half.clone()));
+        assert!(!half.approx_eq(&whole));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let form = AffineForm::sym(1).scale(0.5).offset(2.0);
+        let s = form.to_string();
+        assert!(s.contains("X1"));
+        assert!(s.contains('2'));
+        assert_eq!(AffineForm::zero().to_string(), "0");
+    }
+}

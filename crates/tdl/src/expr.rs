@@ -1,0 +1,661 @@
+//! The TDL abstract syntax tree.
+//!
+//! A description is deliberately *not* Turing-complete (§4.1): no loops, no
+//! recursion, no data-dependent indexing. Index expressions are affine in the
+//! index variables, which is exactly what makes the symbolic interval
+//! analysis of [`crate::analysis`] precise.
+
+use std::fmt;
+
+/// Identifier of an index variable within one [`TdlDesc`].
+pub type VarId = usize;
+
+/// Whether an index variable ranges over an output dimension or a reduction
+/// domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// Appears as a lambda argument of the output tensor; output dimension
+    /// `i` has extent equal to this variable's range.
+    Output,
+    /// Introduced by a reducer (`Sum(lambda ci, dx: ...)`).
+    Reduce,
+}
+
+/// Metadata for one index variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Human-readable name (`"b"`, `"ci"`, ...), used in strategy ids.
+    pub name: String,
+    /// Output or reduction variable.
+    pub kind: VarKind,
+    /// A statically known extent (e.g. a pooling window from the operator's
+    /// attributes); lets [`crate::bind_extents`] resolve variables that
+    /// never appear alone in an access.
+    pub extent_hint: Option<u64>,
+}
+
+/// An affine combination of index variables: `Σ coeff·var + constant`.
+///
+/// Coefficients are rational (stored as `f64`): integer coefficients model
+/// strided forward accesses (`data[2*y + ky]`) while fractional ones model
+/// the *region* semantics of strided backward operators
+/// (`d_out[(h + pad - ky) / s]` reads a `1/s`-scaled window).
+///
+/// # Examples
+///
+/// ```
+/// use tofu_tdl::AffineIndex;
+///
+/// let x_plus_dx = AffineIndex::var(0).add(&AffineIndex::var(1));
+/// assert_eq!(x_plus_dx.terms, vec![(0, 1.0), (1, 1.0)]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffineIndex {
+    /// `(variable, coefficient)` pairs, sorted by variable id, no zero
+    /// coefficients, no duplicate variables.
+    pub terms: Vec<(VarId, f64)>,
+    /// The constant offset.
+    pub constant: f64,
+}
+
+impl AffineIndex {
+    /// The single variable `v` with coefficient 1.
+    pub fn var(v: VarId) -> AffineIndex {
+        AffineIndex { terms: vec![(v, 1.0)], constant: 0.0 }
+    }
+
+    /// A constant index.
+    pub fn constant(c: f64) -> AffineIndex {
+        AffineIndex { terms: Vec::new(), constant: c }
+    }
+
+    /// Returns the sum of two affine indices.
+    pub fn add(&self, other: &AffineIndex) -> AffineIndex {
+        let mut out = self.clone();
+        for &(v, c) in &other.terms {
+            out.add_term(v, c);
+        }
+        out.constant += other.constant;
+        out
+    }
+
+    /// Returns this index scaled by a rational factor.
+    pub fn scale(&self, k: f64) -> AffineIndex {
+        if k == 0.0 {
+            return AffineIndex::constant(0.0);
+        }
+        AffineIndex {
+            terms: self.terms.iter().map(|&(v, c)| (v, c * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    /// Returns this index shifted by a constant offset.
+    pub fn offset(&self, k: f64) -> AffineIndex {
+        let mut out = self.clone();
+        out.constant += k;
+        out
+    }
+
+    fn add_term(&mut self, v: VarId, c: f64) {
+        match self.terms.binary_search_by_key(&v, |&(tv, _)| tv) {
+            Ok(pos) => {
+                self.terms[pos].1 += c;
+                if self.terms[pos].1 == 0.0 {
+                    self.terms.remove(pos);
+                }
+            }
+            Err(pos) => self.terms.insert(pos, (v, c)),
+        }
+    }
+
+    /// Returns the variables referenced by this index.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.terms.iter().map(|&(v, _)| v)
+    }
+
+    /// Returns the coefficient of `v` (0 when absent).
+    pub fn coeff(&self, v: VarId) -> f64 {
+        self.terms
+            .binary_search_by_key(&v, |&(tv, _)| tv)
+            .map(|pos| self.terms[pos].1)
+            .unwrap_or(0.0)
+    }
+
+    /// True when this is exactly `1·v + 0`.
+    pub fn is_identity_of(&self, v: VarId) -> bool {
+        self.constant == 0.0 && self.terms == [(v, 1.0)]
+    }
+}
+
+/// One coordinate of a tensor access.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexExpr {
+    /// An affine index expression.
+    Affine(AffineIndex),
+    /// A full slice `:` — used by opaque functions (`batch_mat[b, :, :]`).
+    Full,
+}
+
+impl IndexExpr {
+    /// Returns the affine payload when this is not a full slice.
+    pub fn as_affine(&self) -> Option<&AffineIndex> {
+        match self {
+            IndexExpr::Affine(a) => Some(a),
+            IndexExpr::Full => None,
+        }
+    }
+}
+
+/// Built-in commutative, associative reducers (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reducer {
+    /// Addition.
+    Sum,
+    /// Maximum.
+    Max,
+    /// Minimum.
+    Min,
+    /// Product.
+    Prod,
+}
+
+impl fmt::Display for Reducer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Reducer::Sum => "sum",
+            Reducer::Max => "max",
+            Reducer::Min => "min",
+            Reducer::Prod => "prod",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary scalar operations appearing in descriptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Negation.
+    Neg,
+    /// Exponential.
+    Exp,
+    /// Natural logarithm.
+    Log,
+    /// Square root.
+    Sqrt,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// `max(x, 0)`.
+    Relu,
+    /// Absolute value.
+    Abs,
+}
+
+/// Binary scalar operations appearing in descriptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Maximum.
+    Max,
+    /// Minimum.
+    Min,
+}
+
+/// A scalar-valued TDL expression (the lambda body).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// A floating constant.
+    Const(f64),
+    /// An index variable used as a value (e.g. `arange`-style operators).
+    VarValue(VarId),
+    /// An element read from input tensor `input` at the given coordinates.
+    Access {
+        /// Which input tensor (0-based).
+        input: usize,
+        /// One coordinate per input dimension.
+        indices: Vec<IndexExpr>,
+    },
+    /// A unary scalar operation.
+    Unary {
+        /// The operation.
+        op: UnaryOp,
+        /// Operand.
+        arg: Box<ScalarExpr>,
+    },
+    /// A binary scalar operation.
+    Binary {
+        /// The operation.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<ScalarExpr>,
+        /// Right operand.
+        rhs: Box<ScalarExpr>,
+    },
+    /// An opaque function (§4.1): computation TDL cannot express, applied to
+    /// full slices of the inputs. `out_vars` are the output index variables
+    /// that select elements from the opaque result; those variables cannot be
+    /// partitioned.
+    Opaque {
+        /// Name of the opaque computation (e.g. `"cholesky"`).
+        name: String,
+        /// Tensor arguments, usually accesses containing [`IndexExpr::Full`]
+        /// slices.
+        args: Vec<ScalarExpr>,
+        /// Output variables indexing into the opaque result.
+        out_vars: Vec<VarId>,
+    },
+}
+
+impl ScalarExpr {
+    /// Visits every tensor access in the expression tree.
+    pub fn for_each_access(&self, f: &mut impl FnMut(usize, &[IndexExpr])) {
+        match self {
+            ScalarExpr::Const(_) | ScalarExpr::VarValue(_) => {}
+            ScalarExpr::Access { input, indices } => f(*input, indices),
+            ScalarExpr::Unary { arg, .. } => arg.for_each_access(f),
+            ScalarExpr::Binary { lhs, rhs, .. } => {
+                lhs.for_each_access(f);
+                rhs.for_each_access(f);
+            }
+            ScalarExpr::Opaque { args, .. } => {
+                for a in args {
+                    a.for_each_access(f);
+                }
+            }
+        }
+    }
+
+    /// Visits every opaque node in the expression tree.
+    pub fn for_each_opaque(&self, f: &mut impl FnMut(&str, &[VarId])) {
+        match self {
+            ScalarExpr::Const(_) | ScalarExpr::VarValue(_) | ScalarExpr::Access { .. } => {}
+            ScalarExpr::Unary { arg, .. } => arg.for_each_opaque(f),
+            ScalarExpr::Binary { lhs, rhs, .. } => {
+                lhs.for_each_opaque(f);
+                rhs.for_each_opaque(f);
+            }
+            ScalarExpr::Opaque { name, args, out_vars } => {
+                f(name, out_vars);
+                for a in args {
+                    a.for_each_opaque(f);
+                }
+            }
+        }
+    }
+}
+
+/// Errors raised while building or analyzing TDL descriptions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TdlError {
+    /// An access used a different number of coordinates than the input rank.
+    RankMismatch {
+        /// Which input.
+        input: usize,
+        /// Declared rank.
+        rank: usize,
+        /// Number of coordinates in the access.
+        got: usize,
+    },
+    /// An access referenced an undeclared input.
+    UnknownInput {
+        /// The out-of-range input number.
+        input: usize,
+        /// Number of declared inputs.
+        num_inputs: usize,
+    },
+    /// A non-affine interval operation was required (Fig. 4 forbids interval
+    /// products and comparisons).
+    NonAffine(String),
+    /// A reduction variable's extent could not be tied to any input dimension.
+    UnresolvedExtent {
+        /// The variable whose extent is unknown.
+        var: VarId,
+    },
+    /// Assumption 1 of the paper's appendix is violated: an output variable
+    /// indexes two different dimensions of the same input (`A[i, i]`).
+    RepeatedVar {
+        /// The offending input.
+        input: usize,
+        /// The repeated variable.
+        var: VarId,
+    },
+    /// Concrete shapes disagree with the description.
+    ShapeMismatch(String),
+    /// Free-form invalid-description error.
+    Invalid(String),
+}
+
+impl fmt::Display for TdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TdlError::RankMismatch { input, rank, got } => {
+                write!(f, "input {input} has rank {rank} but was accessed with {got} coordinates")
+            }
+            TdlError::UnknownInput { input, num_inputs } => {
+                write!(f, "access to input {input} but only {num_inputs} inputs declared")
+            }
+            TdlError::NonAffine(msg) => write!(f, "non-affine interval operation: {msg}"),
+            TdlError::UnresolvedExtent { var } => {
+                write!(f, "cannot resolve the extent of reduction variable {var}")
+            }
+            TdlError::RepeatedVar { input, var } => {
+                write!(f, "variable {var} indexes multiple dimensions of input {input}")
+            }
+            TdlError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            TdlError::Invalid(msg) => write!(f, "invalid description: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TdlError {}
+
+/// A complete operator description.
+///
+/// Index variables are numbered so that the `output_rank` output variables
+/// come first (variable `i` names output dimension `i`), followed by the
+/// reduction variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TdlDesc {
+    name: String,
+    input_ranks: Vec<usize>,
+    vars: Vec<VarInfo>,
+    output_rank: usize,
+    reducer: Option<Reducer>,
+    body: ScalarExpr,
+}
+
+impl TdlDesc {
+    /// Assembles and validates a description; prefer [`crate::DescBuilder`].
+    pub fn new(
+        name: impl Into<String>,
+        input_ranks: Vec<usize>,
+        vars: Vec<VarInfo>,
+        reducer: Option<Reducer>,
+        body: ScalarExpr,
+    ) -> crate::Result<TdlDesc> {
+        let output_rank = vars.iter().take_while(|v| v.kind == VarKind::Output).count();
+        if vars[output_rank..].iter().any(|v| v.kind == VarKind::Output) {
+            return Err(TdlError::Invalid("output variables must precede reduce variables".into()));
+        }
+        if reducer.is_none() && output_rank != vars.len() {
+            return Err(TdlError::Invalid("reduce variables declared without a reducer".into()));
+        }
+        let desc = TdlDesc { name: name.into(), input_ranks, vars, output_rank, reducer, body };
+        desc.validate()?;
+        Ok(desc)
+    }
+
+    fn validate(&self) -> crate::Result<()> {
+        let mut err = None;
+        self.body.for_each_access(&mut |input, indices| {
+            if err.is_some() {
+                return;
+            }
+            if input >= self.input_ranks.len() {
+                err = Some(TdlError::UnknownInput { input, num_inputs: self.input_ranks.len() });
+                return;
+            }
+            if indices.len() != self.input_ranks[input] {
+                err = Some(TdlError::RankMismatch {
+                    input,
+                    rank: self.input_ranks[input],
+                    got: indices.len(),
+                });
+                return;
+            }
+            // Assumption 1 (appendix A.2): a variable may appear in at most
+            // one coordinate of any single access.
+            let mut seen: Vec<VarId> = Vec::new();
+            for ie in indices {
+                if let IndexExpr::Affine(a) = ie {
+                    for v in a.vars() {
+                        if seen.contains(&v) {
+                            err = Some(TdlError::RepeatedVar { input, var: v });
+                            return;
+                        }
+                        seen.push(v);
+                    }
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// The operator name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of input tensors.
+    pub fn num_inputs(&self) -> usize {
+        self.input_ranks.len()
+    }
+
+    /// Declared rank of each input tensor.
+    pub fn input_ranks(&self) -> &[usize] {
+        &self.input_ranks
+    }
+
+    /// Rank of the output tensor.
+    pub fn output_rank(&self) -> usize {
+        self.output_rank
+    }
+
+    /// All index variables: outputs first, then reductions.
+    pub fn vars(&self) -> &[VarInfo] {
+        &self.vars
+    }
+
+    /// The reduction variables, if any.
+    pub fn reduce_vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        (self.output_rank..self.vars.len()).filter(|&v| self.vars[v].kind == VarKind::Reduce)
+    }
+
+    /// The reducer, when the description has a reduction.
+    pub fn reducer(&self) -> Option<Reducer> {
+        self.reducer
+    }
+
+    /// The lambda body.
+    pub fn body(&self) -> &ScalarExpr {
+        &self.body
+    }
+
+    /// Variables that cannot be partitioned because they index an opaque
+    /// function's result (the opaque computation is indivisible).
+    pub fn unsplittable_vars(&self) -> Vec<VarId> {
+        let mut vars = Vec::new();
+        self.body.for_each_opaque(&mut |_, out_vars| {
+            for &v in out_vars {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        });
+        vars
+    }
+
+    /// True when the description contains an opaque function.
+    pub fn has_opaque(&self) -> bool {
+        let mut found = false;
+        self.body.for_each_opaque(&mut |_, _| found = true);
+        found
+    }
+
+    /// True when the operator is element-wise: no reduction, and every input
+    /// is accessed at exactly the identity output coordinates.
+    ///
+    /// Element-wise operators are coalesced by the coarsening pass (§5.1)
+    /// because their input and output tensors must share a partition.
+    pub fn is_elementwise(&self) -> bool {
+        if self.reducer.is_some() || self.has_opaque() {
+            return false;
+        }
+        let mut elementwise = true;
+        self.body.for_each_access(&mut |input, indices| {
+            if !elementwise {
+                return;
+            }
+            if self.input_ranks[input] != self.output_rank {
+                elementwise = false;
+                return;
+            }
+            for (dim, ie) in indices.iter().enumerate() {
+                match ie.as_affine() {
+                    Some(a) if a.is_identity_of(dim) => {}
+                    _ => {
+                        elementwise = false;
+                        return;
+                    }
+                }
+            }
+        });
+        elementwise
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_index_arithmetic() {
+        let x = AffineIndex::var(0);
+        let dx = AffineIndex::var(1);
+        let e = x.add(&dx).offset(3.0).scale(2.0);
+        assert_eq!(e.coeff(0), 2.0);
+        assert_eq!(e.coeff(1), 2.0);
+        assert_eq!(e.constant, 6.0);
+        assert_eq!(e.coeff(9), 0.0);
+    }
+
+    #[test]
+    fn affine_index_cancellation() {
+        let x = AffineIndex::var(0);
+        let minus_x = x.scale(-1.0);
+        let zero = x.add(&minus_x);
+        assert!(zero.terms.is_empty());
+        assert_eq!(zero.constant, 0.0);
+    }
+
+    #[test]
+    fn identity_detection() {
+        assert!(AffineIndex::var(2).is_identity_of(2));
+        assert!(!AffineIndex::var(2).is_identity_of(1));
+        assert!(!AffineIndex::var(2).offset(1.0).is_identity_of(2));
+        assert!(!AffineIndex::var(2).scale(2.0).is_identity_of(2));
+    }
+
+    fn elementwise_desc() -> TdlDesc {
+        // out = lambda i, j: A[i, j] + B[i, j]
+        let vars = vec![
+            VarInfo { name: "i".into(), kind: VarKind::Output, extent_hint: None },
+            VarInfo { name: "j".into(), kind: VarKind::Output, extent_hint: None },
+        ];
+        let access = |input| ScalarExpr::Access {
+            input,
+            indices: vec![
+                IndexExpr::Affine(AffineIndex::var(0)),
+                IndexExpr::Affine(AffineIndex::var(1)),
+            ],
+        };
+        let body = ScalarExpr::Binary {
+            op: BinaryOp::Add,
+            lhs: Box::new(access(0)),
+            rhs: Box::new(access(1)),
+        };
+        TdlDesc::new("add", vec![2, 2], vars, None, body).unwrap()
+    }
+
+    #[test]
+    fn elementwise_is_detected() {
+        assert!(elementwise_desc().is_elementwise());
+    }
+
+    #[test]
+    fn transpose_is_not_elementwise() {
+        // out = lambda i, j: A[j, i]
+        let vars = vec![
+            VarInfo { name: "i".into(), kind: VarKind::Output, extent_hint: None },
+            VarInfo { name: "j".into(), kind: VarKind::Output, extent_hint: None },
+        ];
+        let body = ScalarExpr::Access {
+            input: 0,
+            indices: vec![
+                IndexExpr::Affine(AffineIndex::var(1)),
+                IndexExpr::Affine(AffineIndex::var(0)),
+            ],
+        };
+        let desc = TdlDesc::new("transpose", vec![2], vars, None, body).unwrap();
+        assert!(!desc.is_elementwise());
+    }
+
+    #[test]
+    fn rank_mismatch_is_rejected() {
+        let vars = vec![VarInfo { name: "i".into(), kind: VarKind::Output, extent_hint: None }];
+        let body = ScalarExpr::Access {
+            input: 0,
+            indices: vec![
+                IndexExpr::Affine(AffineIndex::var(0)),
+                IndexExpr::Affine(AffineIndex::var(0)),
+            ],
+        };
+        let err = TdlDesc::new("bad", vec![1], vars, None, body).unwrap_err();
+        assert!(matches!(err, TdlError::RankMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_input_is_rejected() {
+        let vars = vec![VarInfo { name: "i".into(), kind: VarKind::Output, extent_hint: None }];
+        let body = ScalarExpr::Access {
+            input: 3,
+            indices: vec![IndexExpr::Affine(AffineIndex::var(0))],
+        };
+        let err = TdlDesc::new("bad", vec![1], vars, None, body).unwrap_err();
+        assert!(matches!(err, TdlError::UnknownInput { .. }));
+    }
+
+    #[test]
+    fn repeated_var_violates_assumption_one() {
+        // lambda i: A[i, i] is ruled out by appendix assumption 1.
+        let vars = vec![VarInfo { name: "i".into(), kind: VarKind::Output, extent_hint: None }];
+        let body = ScalarExpr::Access {
+            input: 0,
+            indices: vec![
+                IndexExpr::Affine(AffineIndex::var(0)),
+                IndexExpr::Affine(AffineIndex::var(0)),
+            ],
+        };
+        let err = TdlDesc::new("diag", vec![2], vars, None, body).unwrap_err();
+        assert!(matches!(err, TdlError::RepeatedVar { input: 0, var: 0 }));
+    }
+
+    #[test]
+    fn reduce_vars_without_reducer_rejected() {
+        let vars = vec![
+            VarInfo { name: "i".into(), kind: VarKind::Output, extent_hint: None },
+            VarInfo { name: "k".into(), kind: VarKind::Reduce, extent_hint: None },
+        ];
+        let body = ScalarExpr::Const(0.0);
+        assert!(TdlDesc::new("bad", vec![], vars, None, body).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TdlError::NonAffine("interval product".into());
+        assert!(e.to_string().contains("non-affine"));
+        assert!(TdlError::UnresolvedExtent { var: 3 }.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,501 @@
+//! Convolution and pooling kernels (forward and backward).
+//!
+//! Layouts follow the paper's examples: `data` is `(batch, channel, [height,]
+//! width)` and `filters` is `(c_in, c_out, [kh,] kw)` — matching the conv1d
+//! TDL description in Fig. 3 of the paper.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Hyper-parameters of a 1-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv1dParams {
+    /// Spatial stride.
+    pub stride: usize,
+    /// Symmetric zero padding on the spatial axis.
+    pub pad: usize,
+}
+
+impl Default for Conv1dParams {
+    fn default() -> Self {
+        Conv1dParams { stride: 1, pad: 0 }
+    }
+}
+
+/// Hyper-parameters of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Spatial stride (both axes).
+    pub stride: usize,
+    /// Symmetric zero padding (both axes).
+    pub pad: usize,
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Self {
+        Conv2dParams { stride: 1, pad: 0 }
+    }
+}
+
+/// Pooling mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// Hyper-parameters of a 2-D pooling operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolParams {
+    /// Pooling mode.
+    pub kind: PoolKind,
+    /// Square window size.
+    pub window: usize,
+    /// Spatial stride (both axes).
+    pub stride: usize,
+}
+
+/// Computes the output spatial extent of a convolution/pooling axis.
+pub(crate) fn conv_out_extent(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    let padded = input + 2 * pad;
+    if padded < kernel {
+        return 0;
+    }
+    (padded - kernel) / stride + 1
+}
+
+impl Tensor {
+    /// 1-D convolution: `data (b, ci, x)` with `filters (ci, co, dx)`.
+    pub fn conv1d(&self, filters: &Tensor, p: Conv1dParams) -> Result<Tensor> {
+        if self.shape().rank() != 3 || filters.shape().rank() != 3 {
+            return Err(TensorError::Incompatible("conv1d expects rank-3 operands".into()));
+        }
+        let (b, ci, x) = (self.shape().dim(0), self.shape().dim(1), self.shape().dim(2));
+        let (fci, co, dx) = (filters.shape().dim(0), filters.shape().dim(1), filters.shape().dim(2));
+        if ci != fci {
+            return Err(TensorError::Incompatible(format!("conv1d channels {ci} vs {fci}")));
+        }
+        let ox = conv_out_extent(x, dx, p.stride, p.pad);
+        let mut out = Tensor::zeros(Shape::new(vec![b, co, ox]));
+        for ib in 0..b {
+            for ico in 0..co {
+                for iox in 0..ox {
+                    let mut acc = 0.0;
+                    for ici in 0..ci {
+                        for idx in 0..dx {
+                            let src = (iox * p.stride + idx) as isize - p.pad as isize;
+                            if src < 0 || src as usize >= x {
+                                continue;
+                            }
+                            acc += self.at(&[ib, ici, src as usize])
+                                * filters.at(&[ici, ico, idx]);
+                        }
+                    }
+                    out.set(&[ib, ico, iox], acc);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// 2-D convolution: `data (b, ci, h, w)` with `filters (ci, co, kh, kw)`.
+    pub fn conv2d(&self, filters: &Tensor, p: Conv2dParams) -> Result<Tensor> {
+        if self.shape().rank() != 4 || filters.shape().rank() != 4 {
+            return Err(TensorError::Incompatible("conv2d expects rank-4 operands".into()));
+        }
+        let (b, ci, h, w) =
+            (self.shape().dim(0), self.shape().dim(1), self.shape().dim(2), self.shape().dim(3));
+        let (fci, co, kh, kw) = (
+            filters.shape().dim(0),
+            filters.shape().dim(1),
+            filters.shape().dim(2),
+            filters.shape().dim(3),
+        );
+        if ci != fci {
+            return Err(TensorError::Incompatible(format!("conv2d channels {ci} vs {fci}")));
+        }
+        let oh = conv_out_extent(h, kh, p.stride, p.pad);
+        let ow = conv_out_extent(w, kw, p.stride, p.pad);
+        let mut out = Tensor::zeros(Shape::new(vec![b, co, oh, ow]));
+        for ib in 0..b {
+            for ico in 0..co {
+                for ioh in 0..oh {
+                    for iow in 0..ow {
+                        let mut acc = 0.0;
+                        for ici in 0..ci {
+                            for ikh in 0..kh {
+                                let sh = (ioh * p.stride + ikh) as isize - p.pad as isize;
+                                if sh < 0 || sh as usize >= h {
+                                    continue;
+                                }
+                                for ikw in 0..kw {
+                                    let sw = (iow * p.stride + ikw) as isize - p.pad as isize;
+                                    if sw < 0 || sw as usize >= w {
+                                        continue;
+                                    }
+                                    acc += self.at(&[ib, ici, sh as usize, sw as usize])
+                                        * filters.at(&[ici, ico, ikh, ikw]);
+                                }
+                            }
+                        }
+                        out.set(&[ib, ico, ioh, iow], acc);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gradient of [`Tensor::conv2d`] with respect to the data input.
+    pub fn conv2d_backward_data(
+        out_grad: &Tensor,
+        filters: &Tensor,
+        data_shape: &Shape,
+        p: Conv2dParams,
+    ) -> Result<Tensor> {
+        let (b, co, oh, ow) = (
+            out_grad.shape().dim(0),
+            out_grad.shape().dim(1),
+            out_grad.shape().dim(2),
+            out_grad.shape().dim(3),
+        );
+        let (ci, fco, kh, kw) = (
+            filters.shape().dim(0),
+            filters.shape().dim(1),
+            filters.shape().dim(2),
+            filters.shape().dim(3),
+        );
+        if co != fco {
+            return Err(TensorError::Incompatible(format!("channels {co} vs {fco}")));
+        }
+        let (h, w) = (data_shape.dim(2), data_shape.dim(3));
+        let mut grad = Tensor::zeros(data_shape.clone());
+        for ib in 0..b {
+            for ico in 0..co {
+                for ioh in 0..oh {
+                    for iow in 0..ow {
+                        let g = out_grad.at(&[ib, ico, ioh, iow]);
+                        if g == 0.0 {
+                            continue;
+                        }
+                        for ici in 0..ci {
+                            for ikh in 0..kh {
+                                let sh = (ioh * p.stride + ikh) as isize - p.pad as isize;
+                                if sh < 0 || sh as usize >= h {
+                                    continue;
+                                }
+                                for ikw in 0..kw {
+                                    let sw = (iow * p.stride + ikw) as isize - p.pad as isize;
+                                    if sw < 0 || sw as usize >= w {
+                                        continue;
+                                    }
+                                    let idx = [ib, ici, sh as usize, sw as usize];
+                                    let v = grad.at(&idx) + g * filters.at(&[ici, ico, ikh, ikw]);
+                                    grad.set(&idx, v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad)
+    }
+
+    /// Gradient of [`Tensor::conv2d`] with respect to the filters.
+    pub fn conv2d_backward_filter(
+        out_grad: &Tensor,
+        data: &Tensor,
+        filter_shape: &Shape,
+        p: Conv2dParams,
+    ) -> Result<Tensor> {
+        let (b, co, oh, ow) = (
+            out_grad.shape().dim(0),
+            out_grad.shape().dim(1),
+            out_grad.shape().dim(2),
+            out_grad.shape().dim(3),
+        );
+        let (ci, _fco, kh, kw) =
+            (filter_shape.dim(0), filter_shape.dim(1), filter_shape.dim(2), filter_shape.dim(3));
+        let (h, w) = (data.shape().dim(2), data.shape().dim(3));
+        let mut grad = Tensor::zeros(filter_shape.clone());
+        for ib in 0..b {
+            for ico in 0..co {
+                for ioh in 0..oh {
+                    for iow in 0..ow {
+                        let g = out_grad.at(&[ib, ico, ioh, iow]);
+                        if g == 0.0 {
+                            continue;
+                        }
+                        for ici in 0..ci {
+                            for ikh in 0..kh {
+                                let sh = (ioh * p.stride + ikh) as isize - p.pad as isize;
+                                if sh < 0 || sh as usize >= h {
+                                    continue;
+                                }
+                                for ikw in 0..kw {
+                                    let sw = (iow * p.stride + ikw) as isize - p.pad as isize;
+                                    if sw < 0 || sw as usize >= w {
+                                        continue;
+                                    }
+                                    let idx = [ici, ico, ikh, ikw];
+                                    let v = grad.at(&idx)
+                                        + g * data.at(&[ib, ici, sh as usize, sw as usize]);
+                                    grad.set(&idx, v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad)
+    }
+
+    /// 2-D pooling over `(b, c, h, w)` data.
+    pub fn pool2d(&self, p: PoolParams) -> Result<Tensor> {
+        if self.shape().rank() != 4 {
+            return Err(TensorError::Incompatible("pool2d expects rank-4 data".into()));
+        }
+        let (b, c, h, w) =
+            (self.shape().dim(0), self.shape().dim(1), self.shape().dim(2), self.shape().dim(3));
+        let oh = conv_out_extent(h, p.window, p.stride, 0);
+        let ow = conv_out_extent(w, p.window, p.stride, 0);
+        let mut out = Tensor::zeros(Shape::new(vec![b, c, oh, ow]));
+        for ib in 0..b {
+            for ic in 0..c {
+                for ioh in 0..oh {
+                    for iow in 0..ow {
+                        let mut acc = match p.kind {
+                            PoolKind::Max => f32::NEG_INFINITY,
+                            PoolKind::Avg => 0.0,
+                        };
+                        for dh in 0..p.window {
+                            for dw in 0..p.window {
+                                let v =
+                                    self.at(&[ib, ic, ioh * p.stride + dh, iow * p.stride + dw]);
+                                match p.kind {
+                                    PoolKind::Max => acc = acc.max(v),
+                                    PoolKind::Avg => acc += v,
+                                }
+                            }
+                        }
+                        if p.kind == PoolKind::Avg {
+                            acc /= (p.window * p.window) as f32;
+                        }
+                        out.set(&[ib, ic, ioh, iow], acc);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Global average pooling: `(b, c, h, w)` to `(b, c)`.
+    pub fn global_avg_pool(&self) -> Result<Tensor> {
+        if self.shape().rank() != 4 {
+            return Err(TensorError::Incompatible("global_avg_pool expects rank-4 data".into()));
+        }
+        let (b, c, h, w) =
+            (self.shape().dim(0), self.shape().dim(1), self.shape().dim(2), self.shape().dim(3));
+        let mut out = Tensor::zeros(Shape::new(vec![b, c]));
+        let norm = (h * w) as f32;
+        for ib in 0..b {
+            for ic in 0..c {
+                let mut acc = 0.0;
+                for ih in 0..h {
+                    for iw in 0..w {
+                        acc += self.at(&[ib, ic, ih, iw]);
+                    }
+                }
+                out.set(&[ib, ic], acc / norm);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_extent_formula() {
+        assert_eq!(conv_out_extent(8, 3, 1, 0), 6);
+        assert_eq!(conv_out_extent(8, 3, 1, 1), 8);
+        assert_eq!(conv_out_extent(8, 3, 2, 1), 4);
+        assert_eq!(conv_out_extent(2, 3, 1, 0), 0);
+    }
+
+    #[test]
+    fn conv1d_matches_hand_computation() {
+        // data (1, 1, 4) = [1 2 3 4], filter (1, 1, 2) = [1 1] -> [3 5 7].
+        let data = Tensor::from_vec(Shape::new(vec![1, 1, 4]), vec![1., 2., 3., 4.]).unwrap();
+        let f = Tensor::from_vec(Shape::new(vec![1, 1, 2]), vec![1., 1.]).unwrap();
+        let out = data.conv1d(&f, Conv1dParams::default()).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 3]);
+        assert_eq!(out.data(), &[3., 5., 7.]);
+    }
+
+    #[test]
+    fn conv1d_channel_mix() {
+        // Two input channels summed with unit filters.
+        let data = Tensor::from_vec(
+            Shape::new(vec![1, 2, 3]),
+            vec![1., 2., 3., 10., 20., 30.],
+        )
+        .unwrap();
+        let f = Tensor::from_vec(Shape::new(vec![2, 1, 1]), vec![1., 1.]).unwrap();
+        let out = data.conv1d(&f, Conv1dParams::default()).unwrap();
+        assert_eq!(out.data(), &[11., 22., 33.]);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        let data = Tensor::from_vec(
+            Shape::new(vec![1, 1, 2, 2]),
+            vec![1., 2., 3., 4.],
+        )
+        .unwrap();
+        let f = Tensor::from_vec(Shape::new(vec![1, 1, 1, 1]), vec![2.0]).unwrap();
+        let out = data.conv2d(&f, Conv2dParams::default()).unwrap();
+        assert_eq!(out.data(), &[2., 4., 6., 8.]);
+    }
+
+    #[test]
+    fn conv2d_padding_preserves_extent() {
+        let data = Tensor::full(Shape::new(vec![1, 1, 4, 4]), 1.0);
+        let f = Tensor::full(Shape::new(vec![1, 1, 3, 3]), 1.0);
+        let out = data.conv2d(&f, Conv2dParams { stride: 1, pad: 1 }).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 4, 4]);
+        // Center pixels see the full 3x3 window, corners only 2x2.
+        assert_eq!(out.at(&[0, 0, 1, 1]), 9.0);
+        assert_eq!(out.at(&[0, 0, 0, 0]), 4.0);
+    }
+
+    #[test]
+    fn conv2d_stride_halves_extent() {
+        let data = Tensor::full(Shape::new(vec![1, 1, 4, 4]), 1.0);
+        let f = Tensor::full(Shape::new(vec![1, 1, 2, 2]), 1.0);
+        let out = data.conv2d(&f, Conv2dParams { stride: 2, pad: 0 }).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[4.0; 4]);
+    }
+
+    #[test]
+    fn conv2d_grads_match_finite_difference() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let data_shape = Shape::new(vec![1, 2, 4, 4]);
+        let filt_shape = Shape::new(vec![2, 2, 3, 3]);
+        let p = Conv2dParams { stride: 1, pad: 1 };
+        let data = Tensor::from_vec(
+            data_shape.clone(),
+            (0..data_shape.volume()).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap();
+        let filt = Tensor::from_vec(
+            filt_shape.clone(),
+            (0..filt_shape.volume()).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap();
+        let out = data.conv2d(&filt, p).unwrap();
+        // Loss = sum(out); so out_grad is all ones.
+        let og = Tensor::full(out.shape().clone(), 1.0);
+        let gd = Tensor::conv2d_backward_data(&og, &filt, &data_shape, p).unwrap();
+        let gf = Tensor::conv2d_backward_filter(&og, &data, &filt_shape, p).unwrap();
+
+        let eps = 1e-2f32;
+        // Check a handful of coordinates by central differences.
+        for probe in [0usize, 7, 19] {
+            let mut dp = data.clone();
+            dp.data_mut()[probe] += eps;
+            let mut dm = data.clone();
+            dm.data_mut()[probe] -= eps;
+            let fd = (dp.conv2d(&filt, p).unwrap().sum_all()
+                - dm.conv2d(&filt, p).unwrap().sum_all())
+                / (2.0 * eps);
+            assert!((fd - gd.data()[probe]).abs() < 1e-2, "data grad {probe}: {fd} vs {}", gd.data()[probe]);
+
+            let mut fp = filt.clone();
+            fp.data_mut()[probe] += eps;
+            let mut fm = filt.clone();
+            fm.data_mut()[probe] -= eps;
+            let fd = (data.conv2d(&fp, p).unwrap().sum_all()
+                - data.conv2d(&fm, p).unwrap().sum_all())
+                / (2.0 * eps);
+            assert!((fd - gf.data()[probe]).abs() < 1e-2, "filter grad {probe}: {fd} vs {}", gf.data()[probe]);
+        }
+    }
+
+    #[test]
+    fn pooling_modes() {
+        let data = Tensor::from_vec(
+            Shape::new(vec![1, 1, 2, 2]),
+            vec![1., 2., 3., 4.],
+        )
+        .unwrap();
+        let mx = data.pool2d(PoolParams { kind: PoolKind::Max, window: 2, stride: 2 }).unwrap();
+        assert_eq!(mx.data(), &[4.0]);
+        let avg = data.pool2d(PoolParams { kind: PoolKind::Avg, window: 2, stride: 2 }).unwrap();
+        assert_eq!(avg.data(), &[2.5]);
+        let g = data.global_avg_pool().unwrap();
+        assert_eq!(g.shape().dims(), &[1, 1]);
+        assert_eq!(g.data(), &[2.5]);
+    }
+
+    #[test]
+    fn conv_rank_validation() {
+        let bad = Tensor::zeros(Shape::new(vec![2, 2]));
+        let f3 = Tensor::zeros(Shape::new(vec![1, 1, 1]));
+        assert!(bad.conv1d(&f3, Conv1dParams::default()).is_err());
+        let f4 = Tensor::zeros(Shape::new(vec![1, 1, 1, 1]));
+        assert!(bad.conv2d(&f4, Conv2dParams::default()).is_err());
+        assert!(bad.pool2d(PoolParams { kind: PoolKind::Max, window: 1, stride: 1 }).is_err());
+    }
+
+    #[test]
+    fn conv1d_batch_split_is_partitionable() {
+        // Fig. 2(a): splitting the batch dimension and concatenating outputs
+        // reproduces the unpartitioned result.
+        let data = Tensor::from_vec(
+            Shape::new(vec![2, 1, 3]),
+            vec![1., 2., 3., 4., 5., 6.],
+        )
+        .unwrap();
+        let f = Tensor::from_vec(Shape::new(vec![1, 2, 2]), vec![1., -1., 0.5, 2.]).unwrap();
+        let whole = data.conv1d(&f, Conv1dParams::default()).unwrap();
+        let d0 = data.slice(0, 0, 1).unwrap();
+        let d1 = data.slice(0, 1, 2).unwrap();
+        let stitched = Tensor::concat(
+            &[d0.conv1d(&f, Conv1dParams::default()).unwrap(), d1.conv1d(&f, Conv1dParams::default()).unwrap()],
+            0,
+        )
+        .unwrap();
+        assert!(stitched.allclose(&whole, 1e-6));
+    }
+
+    #[test]
+    fn conv1d_channel_split_requires_reduction() {
+        // Fig. 2(b): splitting the input-channel dimension yields partial
+        // outputs whose sum equals the unpartitioned result.
+        let data = Tensor::from_vec(
+            Shape::new(vec![1, 2, 3]),
+            vec![1., 2., 3., 4., 5., 6.],
+        )
+        .unwrap();
+        let f = Tensor::from_vec(Shape::new(vec![2, 1, 2]), vec![1., -1., 2., 0.5]).unwrap();
+        let whole = data.conv1d(&f, Conv1dParams::default()).unwrap();
+        let d0 = data.slice(1, 0, 1).unwrap();
+        let d1 = data.slice(1, 1, 2).unwrap();
+        let f0 = f.slice(0, 0, 1).unwrap();
+        let f1 = f.slice(0, 1, 2).unwrap();
+        let partial = d0
+            .conv1d(&f0, Conv1dParams::default())
+            .unwrap()
+            .add(&d1.conv1d(&f1, Conv1dParams::default()).unwrap())
+            .unwrap();
+        assert!(partial.allclose(&whole, 1e-6));
+    }
+}

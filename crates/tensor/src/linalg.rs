@@ -1,0 +1,154 @@
+//! Matrix multiplication kernels.
+//!
+//! The forward and the two gradient variants (`N^T·dC` and `dC·N^T`) are the
+//! workhorses of the RNN benchmarks; the paper notes (§7.2) that matrix
+//! multiplication has much lower arithmetic density than convolution, which
+//! is why shrinking the batch hurts RNNs more — the simulator's efficiency
+//! model mirrors that.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+impl Tensor {
+    /// Computes the matrix product `self · other` for rank-2 tensors.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        matmul_impl(self, other, false, false)
+    }
+
+    /// Computes `self^T · other`.
+    pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
+        matmul_impl(self, other, true, false)
+    }
+
+    /// Computes `self · other^T`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
+        matmul_impl(self, other, false, true)
+    }
+}
+
+fn matmul_impl(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Result<Tensor> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(TensorError::Incompatible(format!(
+            "matmul requires rank-2 operands, got {} and {}",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    let (m, k1) = if ta { (a.shape().dim(1), a.shape().dim(0)) } else { (a.shape().dim(0), a.shape().dim(1)) };
+    let (k2, n) = if tb { (b.shape().dim(1), b.shape().dim(0)) } else { (b.shape().dim(0), b.shape().dim(1)) };
+    if k1 != k2 {
+        return Err(TensorError::Incompatible(format!(
+            "matmul inner dims {k1} vs {k2} (shapes {} and {})",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    let mut out = vec![0.0f32; m * n];
+    let (ar, ac) = (a.shape().dim(0), a.shape().dim(1));
+    let (br, bc) = (b.shape().dim(0), b.shape().dim(1));
+    let _ = (ar, br);
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        for p in 0..k1 {
+            let av = if ta { ad[p * ac + i] } else { ad[i * ac + p] };
+            if av == 0.0 {
+                continue;
+            }
+            let row = &mut out[i * n..(i + 1) * n];
+            if tb {
+                for (j, r) in row.iter_mut().enumerate() {
+                    *r += av * bd[j * bc + p];
+                }
+            } else {
+                let brow = &bd[p * bc..p * bc + n];
+                for (r, &bv) in row.iter_mut().zip(brow) {
+                    *r += av * bv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::new(vec![m, n]), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: Vec<f32>) -> Tensor {
+        Tensor::from_vec(Shape::new(vec![rows, cols]), v).unwrap()
+    }
+
+    #[test]
+    fn matmul_basic() {
+        let a = m(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m(2, 2, vec![1., 2., 3., 4.]);
+        let i = m(2, 2, vec![1., 0., 0., 1.]);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let a = m(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = m(2, 4, vec![1., 0., 2., 1., 3., 1., 0., 2.]);
+        let expect = a.transpose().unwrap().matmul(&b).unwrap();
+        assert_eq!(a.matmul_tn(&b).unwrap(), expect);
+
+        let c = m(4, 3, (0..12).map(|x| x as f32).collect());
+        let expect = a.matmul(&c.transpose().unwrap()).unwrap();
+        assert_eq!(a.matmul_nt(&c).unwrap(), expect);
+    }
+
+    #[test]
+    fn matmul_inner_dim_mismatch() {
+        let a = m(2, 3, vec![0.0; 6]);
+        let b = m(2, 3, vec![0.0; 6]);
+        assert!(a.matmul(&b).is_err());
+        assert!(a.matmul_tn(&b).is_ok());
+        assert!(a.matmul_nt(&b).is_ok());
+    }
+
+    #[test]
+    fn matmul_requires_rank_two() {
+        let a = Tensor::arange(4);
+        let b = m(2, 2, vec![0.0; 4]);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn block_partitioned_matmul_matches_whole() {
+        // The essence of partition-n-reduce for matmul: row-split A, col-split
+        // B, and reduction over the inner dimension all reassemble to C.
+        let a = m(4, 4, (0..16).map(|x| (x as f32).sin()).collect());
+        let b = m(4, 4, (0..16).map(|x| (x as f32).cos()).collect());
+        let c = a.matmul(&b).unwrap();
+
+        // Row split of A -> row-concat of C.
+        let a0 = a.slice(0, 0, 2).unwrap();
+        let a1 = a.slice(0, 2, 4).unwrap();
+        let c_rows = Tensor::concat(&[a0.matmul(&b).unwrap(), a1.matmul(&b).unwrap()], 0).unwrap();
+        assert!(c_rows.allclose(&c, 1e-5));
+
+        // Column split of B -> column-concat of C.
+        let b0 = b.slice(1, 0, 2).unwrap();
+        let b1 = b.slice(1, 2, 4).unwrap();
+        let c_cols = Tensor::concat(&[a.matmul(&b0).unwrap(), a.matmul(&b1).unwrap()], 1).unwrap();
+        assert!(c_cols.allclose(&c, 1e-5));
+
+        // Inner split -> partial sums reduce to C (Case-2, output reduction).
+        let ak0 = a.slice(1, 0, 2).unwrap();
+        let ak1 = a.slice(1, 2, 4).unwrap();
+        let bk0 = b.slice(0, 0, 2).unwrap();
+        let bk1 = b.slice(0, 2, 4).unwrap();
+        let c_red = ak0.matmul(&bk0).unwrap().add(&ak1.matmul(&bk1).unwrap()).unwrap();
+        assert!(c_red.allclose(&c, 1e-5));
+    }
+}

@@ -1,0 +1,42 @@
+//! Tofu-rs: automatic dataflow-graph partitioning for very large DNN models.
+//!
+//! A Rust reproduction of *"Supporting Very Large Models using Automatic
+//! Dataflow Graph Partitioning"* (Wang, Huang, Li — EuroSys 2019). This
+//! facade re-exports the workspace crates:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`tensor`] | `tofu-tensor` | dense tensors and CPU kernels |
+//! | [`tdl`] | `tofu-tdl` | the Tensor Description Language, symbolic interval analysis, strategy discovery (§4) |
+//! | [`graph`] | `tofu-graph` | dataflow IR, operator registry, autodiff, memory planner |
+//! | [`core`] | `tofu-core` | coarsening, the recursive DP search, partitioned-graph generation, baseline partitioners (§5-§6) |
+//! | [`sim`] | `tofu-sim` | the 8-GPU discrete-event simulator and training baselines (§7) |
+//! | [`models`] | `tofu-models` | WResNet, multi-layer LSTM, MLP and CNN training graphs |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tofu::models::{mlp, MlpConfig};
+//! use tofu::core::{partition, PartitionOptions};
+//!
+//! let model = mlp(&MlpConfig::default()).unwrap();
+//! let plan = partition(
+//!     &model.graph,
+//!     &PartitionOptions { workers: 8, ..Default::default() },
+//! )
+//! .unwrap();
+//! println!(
+//!     "8-worker plan: {} steps, {:.1} MB of communication per iteration",
+//!     plan.steps.len(),
+//!     plan.total_comm_bytes() / 1e6
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use tofu_core as core;
+pub use tofu_graph as graph;
+pub use tofu_models as models;
+pub use tofu_sim as sim;
+pub use tofu_tdl as tdl;
+pub use tofu_tensor as tensor;
