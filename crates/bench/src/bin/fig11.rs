@@ -54,7 +54,7 @@ fn main() {
         "conv layer", "weight tiling (ci co kh kw)", "data tiling (b c h w)"
     );
 
-    let mut shown_per_stage = vec![0usize; 4];
+    let mut shown_per_stage = [0usize; 4];
     let mut batch_split_layers = 0usize;
     let mut channel_split_layers = 0usize;
     let mut total = 0usize;

@@ -1,0 +1,153 @@
+//! Runtime scaling sweep: shard-parallel throughput of `tofu-runtime` at
+//! 1/2/4/8 workers for an MLP and a small WResNet, written to
+//! `BENCH_runtime.json` so later changes have a perf trajectory to beat.
+//!
+//! The numbers measure the *runtime*, not the partitioner: the partition
+//! search runs once per (model, workers) outside the timed region. Worker
+//! threads only help when the host has cores to run them — the JSON records
+//! `host_cpus` so a single-core container's flat curve is not mistaken for a
+//! runtime regression.
+
+use std::time::Instant;
+
+use tofu_core::{generate, partition, GenOptions, PartitionOptions, ShardedGraph};
+use tofu_graph::{Graph, TensorId, TensorKind};
+use tofu_models::{mlp, wresnet, MlpConfig, WResNetConfig};
+use tofu_runtime::run;
+use tofu_tensor::Tensor;
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+const WARMUP: usize = 1;
+const ITERS: usize = 5;
+
+fn feeds(g: &Graph) -> Vec<(TensorId, Tensor)> {
+    let mut out = Vec::new();
+    for t in g.tensor_ids() {
+        let meta = g.tensor(t);
+        if meta.kind == TensorKind::Intermediate {
+            continue;
+        }
+        let v = if meta.name == "labels" {
+            let b = meta.shape.dim(0);
+            Tensor::from_vec(meta.shape.clone(), (0..b).map(|i| (i % 3) as f32).collect())
+                .unwrap()
+        } else {
+            let fan_in = (meta.shape.volume() / meta.shape.dim(0).max(1)).max(1);
+            let scale = (3.0f32 / fan_in as f32).sqrt().min(0.5);
+            Tensor::random(meta.shape.clone(), t.0 as u64 + 1, scale)
+        };
+        out.push((t, v));
+    }
+    out
+}
+
+struct Row {
+    model: &'static str,
+    workers: usize,
+    seconds_per_iter: f64,
+    samples_per_sec: f64,
+    comm_bytes: u64,
+    nodes: usize,
+    exact: bool,
+}
+
+fn measure(model: &'static str, g: &Graph, batch: usize, workers: usize) -> Option<Row> {
+    let plan = match partition(g, &PartitionOptions { workers, ..Default::default() }) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{model} w={workers}: partition failed: {e}");
+            return None;
+        }
+    };
+    let sharded: ShardedGraph = match generate(g, &plan, &GenOptions::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{model} w={workers}: generate failed: {e}");
+            return None;
+        }
+    };
+    let mut shard_feeds = Vec::new();
+    for (t, v) in feeds(g) {
+        shard_feeds.extend(sharded.scatter(t, &v).expect("scatter"));
+    }
+    let mut best = f64::INFINITY;
+    let mut comm_bytes = 0;
+    for i in 0..WARMUP + ITERS {
+        let t0 = Instant::now();
+        let out = run(&sharded, &shard_feeds).expect("runtime run");
+        let dt = t0.elapsed().as_secs_f64();
+        comm_bytes = out.trace.comm_bytes();
+        if i >= WARMUP {
+            best = best.min(dt);
+        }
+    }
+    Some(Row {
+        model,
+        workers,
+        seconds_per_iter: best,
+        samples_per_sec: batch as f64 / best,
+        comm_bytes,
+        nodes: sharded.graph.num_nodes(),
+        exact: sharded.exact,
+    })
+}
+
+fn main() {
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mlp_model = mlp(&MlpConfig { batch: 64, dims: vec![256, 256], classes: 64, with_updates: true })
+        .expect("mlp builds");
+    let wres_model = wresnet(&WResNetConfig {
+        layers: 50,
+        width: 1,
+        batch: 8,
+        image: 16,
+        classes: 8,
+        with_updates: true,
+    })
+    .expect("wresnet builds");
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, model, batch) in [
+        ("mlp-256x2 (batch 64)", &mlp_model, 64usize),
+        ("wresnet-50-1 (batch 8)", &wres_model, 8),
+    ] {
+        println!("\n{name} — best of {ITERS} iterations after {WARMUP} warmup");
+        println!(
+            "{:<8} {:>12} {:>14} {:>12} {:>7} {:>6}",
+            "workers", "s/iter", "samples/s", "comm bytes", "nodes", "exact"
+        );
+        println!("{}", "-".repeat(64));
+        for workers in WORKERS {
+            if let Some(r) = measure(name, &model.graph, batch, workers) {
+                println!(
+                    "{:<8} {:>12.6} {:>14.1} {:>12} {:>7} {:>6}",
+                    r.workers, r.seconds_per_iter, r.samples_per_sec, r.comm_bytes, r.nodes, r.exact
+                );
+                rows.push(r);
+            }
+        }
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"runtime_scaling\",\n");
+    json.push_str(&format!("  \"host_cpus\": {cpus},\n"));
+    json.push_str(&format!("  \"warmup\": {WARMUP},\n  \"iters\": {ITERS},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"model\": \"{}\", \"workers\": {}, \"seconds_per_iter\": {:.6}, \
+             \"samples_per_sec\": {:.2}, \"comm_bytes\": {}, \"nodes\": {}, \"exact\": {}}}{}\n",
+            r.model,
+            r.workers,
+            r.seconds_per_iter,
+            r.samples_per_sec,
+            r.comm_bytes,
+            r.nodes,
+            r.exact,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
+    println!("\nwrote BENCH_runtime.json ({} rows, host_cpus={cpus})", rows.len());
+}

@@ -270,7 +270,7 @@ mod tests {
     fn every_algorithm_produces_a_plan() {
         let g = model(32, 64);
         for alg in Algorithm::all() {
-            let plan = run(&g, alg, 8).expect(alg.label());
+            let plan = run(&g, alg, 8).unwrap_or_else(|e| panic!("{}: {e}", alg.label()));
             assert!(plan.total_comm_bytes().is_finite(), "{}", alg.label());
             assert_eq!(plan.workers, 8);
         }

@@ -168,10 +168,10 @@ fn build_bundles(
         members[b].push(out);
     }
     // Leaf bundles for everything else (inputs, weights, extra buffers).
-    for t in 0..total_tensors {
-        if of_tensor[t] == usize::MAX {
+    for (t, bundle) in of_tensor.iter_mut().enumerate() {
+        if *bundle == usize::MAX {
             members.push(vec![TensorId(t)]);
-            of_tensor[t] = members.len() - 1;
+            *bundle = members.len() - 1;
         }
     }
 
@@ -306,8 +306,9 @@ pub fn search(
     // Class-cost memoization: specs of a class's touched bundles fully
     // determine its cost, so (class, spec-key) results are cached across the
     // state x combo product.
-    let mut cost_cache: std::collections::HashMap<(usize, Vec<u8>), Option<(f64, Option<usize>)>> =
-        std::collections::HashMap::new();
+    type ClassCostCache =
+        std::collections::HashMap<(usize, Vec<u8>), Option<(f64, Option<usize>)>>;
+    let mut cost_cache: ClassCostCache = ClassCostCache::new();
     const REP: u8 = u8::MAX;
     fn enc(s: TensorSpec) -> u8 {
         match s {

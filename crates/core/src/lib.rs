@@ -53,7 +53,7 @@ pub mod strategies;
 pub use coarsen::{coarsen, CoarseGraph};
 pub use dp::{DpOptions, ExtraInputs, NodeChoice, StepPlan};
 pub use error::CoreError;
-pub use genplan::{generate, GenOptions, ShardedGraph};
+pub use genplan::{fetch_pieces, generate, CommEdge, FetchPiece, GenOptions, ShardedGraph};
 pub use recursive::{factorize, partition, PartitionOptions, PartitionPlan};
 pub use spec::{ConcreteOut, ConcreteReq, TensorSpec};
 pub use strategies::{node_strategies, NodeStrategy, ShapeView};

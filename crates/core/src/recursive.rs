@@ -134,7 +134,7 @@ pub fn factorize(workers: usize) -> Result<Vec<usize>> {
     let mut factors = Vec::new();
     let mut p = 2;
     while p * p <= n {
-        while n % p == 0 {
+        while n.is_multiple_of(p) {
             factors.push(p);
             n /= p;
         }

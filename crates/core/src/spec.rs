@@ -33,7 +33,7 @@ impl TensorSpec {
 /// does (and always for scalars).
 pub fn legal_specs(shape: &Shape, ways: usize) -> Vec<TensorSpec> {
     let mut specs: Vec<TensorSpec> = (0..shape.rank())
-        .filter(|&d| shape.dim(d) % ways == 0 && shape.dim(d) >= ways)
+        .filter(|&d| shape.dim(d).is_multiple_of(ways) && shape.dim(d) >= ways)
         .map(TensorSpec::Split)
         .collect();
     if specs.is_empty() {

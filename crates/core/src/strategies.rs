@@ -133,13 +133,13 @@ pub fn strategy_feasible(
 ) -> bool {
     match strategy.out {
         ConcreteOut::Split(d) => {
-            d < out_shape.rank() && out_shape.dim(d) % ways == 0 && out_shape.dim(d) >= ways
+            d < out_shape.rank() && out_shape.dim(d).is_multiple_of(ways) && out_shape.dim(d) >= ways
         }
         // A reduce strategy splits the reduction domain, whose extent must
         // divide evenly (e.g. a 3-channel stem convolution cannot reduce
         // over input channels across 2 workers).
         ConcreteOut::Reduce => {
-            strategy.var_extent % ways as u64 == 0 && strategy.var_extent >= ways as u64
+            strategy.var_extent.is_multiple_of(ways as u64) && strategy.var_extent >= ways as u64
         }
     }
 }

@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use tofu_tensor::{Conv1dParams, Conv2dParams, PoolKind, PoolParams, ReduceKind, Shape, Tensor};
 
 use crate::attrs::Attrs;
-use crate::graph::{Graph, TensorId, TensorKind};
+use crate::graph::{Graph, NodeId, TensorId, TensorKind};
 use crate::ops::elementwise::{BINARY_KERNELS, SCALAR_KERNELS, UNARY_KERNELS};
 use crate::registry::GraphError;
 use crate::Result;
@@ -91,22 +91,30 @@ impl Executor {
                     })
                 })
                 .collect::<Result<_>>()?;
-            let out = dispatch(&node.op, &inputs, &node.attrs, &g.tensor(node.output).shape)
-                .map_err(|e| {
-                    GraphError::Exec(format!("node {:?} (op {}): {e}", node.name, node.op))
-                })?;
-            if out.shape() != &g.tensor(node.output).shape {
-                return Err(GraphError::Exec(format!(
-                    "node {:?} produced shape {} but {} was inferred",
-                    node.name,
-                    out.shape(),
-                    g.tensor(node.output).shape
-                )));
-            }
+            let out = execute_node(g, id, &inputs)?;
             values.insert(node.output, out);
         }
         Ok(values)
     }
+}
+
+/// Executes one node of `g` on already-resolved input values — the per-node
+/// entry a multi-worker runtime drives directly ([`Executor::run`] is the
+/// serial loop over it). Inputs are passed positionally; the output shape is
+/// checked against the graph's inferred shape.
+pub fn execute_node(g: &Graph, id: NodeId, inputs: &[&Tensor]) -> Result<Tensor> {
+    let node = g.node(id);
+    let out = dispatch(&node.op, inputs, &node.attrs, &g.tensor(node.output).shape)
+        .map_err(|e| GraphError::Exec(format!("node {:?} (op {}): {e}", node.name, node.op)))?;
+    if out.shape() != &g.tensor(node.output).shape {
+        return Err(GraphError::Exec(format!(
+            "node {:?} produced shape {} but {} was inferred",
+            node.name,
+            out.shape(),
+            g.tensor(node.output).shape
+        )));
+    }
+    Ok(out)
 }
 
 fn conv1d_params(attrs: &Attrs) -> Conv1dParams {
@@ -518,11 +526,11 @@ fn batch_inverse(t: &Tensor) -> Result<Tensor> {
     for ib in 0..b {
         // Augmented [A | I] elimination.
         let mut a = vec![vec![0.0f32; 2 * n]; n];
-        for i in 0..n {
-            for j in 0..n {
-                a[i][j] = t.at(&[ib, i, j]);
+        for (i, row) in a.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().take(n).enumerate() {
+                *v = t.at(&[ib, i, j]);
             }
-            a[i][n + i] = 1.0;
+            row[n + i] = 1.0;
         }
         for col in 0..n {
             // Partial pivot.
@@ -537,20 +545,21 @@ fn batch_inverse(t: &Tensor) -> Result<Tensor> {
             for v in a[col].iter_mut() {
                 *v /= pivot;
             }
-            for row in 0..n {
+            let col_vals = a[col].clone();
+            for (row, r) in a.iter_mut().enumerate() {
                 if row != col {
-                    let factor = a[row][col];
+                    let factor = r[col];
                     if factor != 0.0 {
-                        for k in 0..2 * n {
-                            a[row][k] -= factor * a[col][k];
+                        for (v, cv) in r.iter_mut().zip(&col_vals) {
+                            *v -= factor * cv;
                         }
                     }
                 }
             }
         }
-        for i in 0..n {
+        for (i, row) in a.iter().enumerate() {
             for j in 0..n {
-                out.set(&[ib, i, j], a[i][n + j]);
+                out.set(&[ib, i, j], row[n + j]);
             }
         }
     }

@@ -46,9 +46,9 @@ pub mod registry;
 pub use attrs::{AttrValue, Attrs};
 pub use autodiff::{backward, GradInfo};
 pub use error::GraphError;
-pub use exec::Executor;
+pub use exec::{execute_node, Executor};
 pub use graph::{Graph, Node, NodeId, NodeTags, TensorId, TensorKind, TensorMeta};
-pub use memplan::{plan_memory, MemPlan};
+pub use memplan::{plan_buffers, plan_memory, plan_memory_for_schedule, BufferPlan, MemPlan, SlotAction};
 pub use registry::{coverage, lookup, register, Coverage, OpCategory, OpDef};
 
 /// Crate-wide result alias.

@@ -32,6 +32,63 @@ impl MemPlan {
     }
 }
 
+/// How a scheduled node's output obtains a physical buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotAction {
+    /// The output takes over the first input's buffer in place (the input's
+    /// liveness ends exactly at this node and the buffer is large enough).
+    InPlace {
+        /// Slot taken over.
+        slot: usize,
+    },
+    /// A freed buffer is reassigned; `grown_by` is the extra bytes the
+    /// planner had to add when the slot was smaller than the output.
+    Reuse {
+        /// Slot reassigned.
+        slot: usize,
+        /// Bytes the slot grew by (0 for an exact or oversized fit).
+        grown_by: u64,
+    },
+    /// A fresh physical buffer is allocated.
+    Alloc {
+        /// Newly created slot.
+        slot: usize,
+    },
+}
+
+impl SlotAction {
+    /// The slot this action places the output into.
+    pub fn slot(&self) -> usize {
+        match *self {
+            SlotAction::InPlace { slot }
+            | SlotAction::Reuse { slot, .. }
+            | SlotAction::Alloc { slot } => slot,
+        }
+    }
+}
+
+/// The full buffer assignment of one device's serial sub-schedule: the
+/// physical slots, the per-node placement actions and the liveness events a
+/// runtime needs to replay the plan against real allocations (the §6
+/// "leverage the existing memory planner" contract made explicit).
+#[derive(Debug, Clone)]
+pub struct BufferPlan {
+    /// The summary numbers (identical to [`plan_memory_for_schedule`]).
+    pub mem: MemPlan,
+    /// Final byte size of every physical buffer slot.
+    pub slot_bytes: Vec<u64>,
+    /// Per schedule position: how that node's output is placed.
+    pub actions: Vec<SlotAction>,
+    /// Per schedule position: locally-produced tensors whose liveness ends
+    /// right after the node at that position runs. (The greedy scan itself
+    /// returns a dying slot to the free pool one step later when the death
+    /// coincides with an in-place takeover; this list is exact.)
+    pub dead_after: Vec<Vec<TensorId>>,
+    /// Inputs/weights resident on this device for the whole run (consumed by
+    /// a non-fetch node of the schedule).
+    pub persistent: Vec<TensorId>,
+}
+
 /// True when MXNet would run this operator in place (same-shape
 /// element-wise math and gradient aggregation).
 fn is_inplace_capable(g: &Graph, id: NodeId) -> bool {
@@ -64,6 +121,14 @@ pub fn plan_memory(g: &Graph, reuse: bool) -> MemPlan {
 /// the local step at which its last remote consumer has run (the §6
 /// behavior: the buffer is released once the remote fetch completed).
 pub fn plan_memory_for_schedule(g: &Graph, schedule: &[NodeId], reuse: bool) -> MemPlan {
+    plan_buffers(g, schedule, reuse).mem
+}
+
+/// Plans memory for a sub-schedule and returns the full buffer assignment —
+/// the same greedy scan as [`plan_memory_for_schedule`], with every placement
+/// decision and liveness event recorded so a runtime can seed a real pool
+/// from the static plan.
+pub fn plan_buffers(g: &Graph, schedule: &[NodeId], reuse: bool) -> BufferPlan {
     let mut produced: BTreeMap<TensorId, usize> = BTreeMap::new();
     for (pos, &id) in schedule.iter().enumerate() {
         produced.insert(g.node(id).output, pos);
@@ -120,9 +185,24 @@ pub fn plan_memory_for_schedule(g: &Graph, schedule: &[NodeId], reuse: bool) -> 
         }
     }
 
-    // Greedy buffer reuse over the serial schedule.
-    let mut free_buffers: Vec<u64> = Vec::new(); // sizes of free physical buffers
-    let mut live: Vec<(TensorId, u64, usize)> = Vec::new(); // (tensor, buffer size, last use)
+    // Greedy buffer reuse over the serial schedule. Physical buffers carry
+    // stable slot ids so the recorded actions can be replayed; `free` holds
+    // ids of currently-unassigned slots.
+    let mut slot_bytes: Vec<u64> = Vec::new(); // by slot id, current size
+    let mut free: Vec<usize> = Vec::new(); // free slot ids
+    let mut live: Vec<(TensorId, usize, usize)> = Vec::new(); // (tensor, slot, last use)
+    let mut actions: Vec<SlotAction> = Vec::with_capacity(schedule.len());
+    // Exact death positions, straight from the liveness map (the scan below
+    // frees a slot one step late when a death coincides with an in-place
+    // takeover — harmless for the peak, wrong for a runtime's bookkeeping).
+    let mut dead_after: Vec<Vec<TensorId>> = vec![Vec::new(); schedule.len()];
+    for &t in produced.keys() {
+        if let Some(&last) = last_use.get(&t) {
+            if last < schedule.len() {
+                dead_after[last].push(t);
+            }
+        }
+    }
     let mut current = 0u64;
     let mut peak = 0u64;
     let mut allocated = 0usize;
@@ -136,17 +216,18 @@ pub fn plan_memory_for_schedule(g: &Graph, schedule: &[NodeId], reuse: bool) -> 
         // takes it over without any new allocation.
         let in_place_slot = if reuse && is_inplace_capable(g, id) {
             node.inputs.first().and_then(|&t| {
-                live.iter().position(|&(lt, size, last)| {
-                    lt == t && last == pos && size >= need
+                live.iter().position(|&(lt, slot, last)| {
+                    lt == t && last == pos && slot_bytes[slot] >= need
                 })
             })
         } else {
             None
         };
         if let Some(i) = in_place_slot {
-            let (_, size, _) = live.swap_remove(i);
+            let (_, slot, _) = live.swap_remove(i);
             let last = last_use.get(&out).copied().unwrap_or(usize::MAX);
-            live.push((out, size, last));
+            live.push((out, slot, last));
+            actions.push(SlotAction::InPlace { slot });
             continue;
         }
         // Reuse a free buffer when one exists. MXNet's planner assigns
@@ -154,42 +235,47 @@ pub fn plan_memory_for_schedule(g: &Graph, schedule: &[NodeId], reuse: bool) -> 
         // assignments freely; model that by growing an undersized free
         // buffer instead of allocating a disjoint one (the pool's high-water
         // mark then tracks the true live-byte peak, not fragmentation).
-        let slot = if reuse {
+        let pick = if reuse {
             // Prefer an exact/over-sized fit, else the largest free buffer.
-            free_buffers
-                .iter()
+            free.iter()
                 .enumerate()
-                .filter(|(_, &size)| size >= need)
-                .min_by_key(|(_, &size)| size)
+                .filter(|&(_, &s)| slot_bytes[s] >= need)
+                .min_by_key(|&(_, &s)| slot_bytes[s])
                 .map(|(i, _)| i)
                 .or_else(|| {
-                    free_buffers
-                        .iter()
+                    free.iter()
                         .enumerate()
-                        .max_by_key(|(_, &size)| size)
+                        .max_by_key(|&(_, &s)| slot_bytes[s])
                         .map(|(i, _)| i)
                 })
         } else {
             None
         };
-        let size = match slot {
+        let slot = match pick {
             Some(i) => {
-                let size = free_buffers.swap_remove(i);
-                if size < need {
-                    current += need - size;
+                let slot = free.swap_remove(i);
+                let size = slot_bytes[slot];
+                let grown_by = need.saturating_sub(size);
+                if grown_by > 0 {
+                    current += grown_by;
                     peak = peak.max(current);
+                    slot_bytes[slot] = need;
                 }
-                size.max(need)
+                actions.push(SlotAction::Reuse { slot, grown_by });
+                slot
             }
             None => {
+                let slot = slot_bytes.len();
+                slot_bytes.push(need);
                 allocated += 1;
                 current += need;
                 peak = peak.max(current);
-                need
+                actions.push(SlotAction::Alloc { slot });
+                slot
             }
         };
         let last = last_use.get(&out).copied().unwrap_or(usize::MAX);
-        live.push((out, size, last));
+        live.push((out, slot, last));
 
         // Release buffers whose last consumer just ran. Without reuse the
         // planner cannot reclaim them at all — this models the missing
@@ -199,8 +285,8 @@ pub fn plan_memory_for_schedule(g: &Graph, schedule: &[NodeId], reuse: bool) -> 
             let mut i = 0;
             while i < live.len() {
                 if live[i].2 <= pos {
-                    let (_, size, _) = live.swap_remove(i);
-                    free_buffers.push(size);
+                    let (_, slot, _) = live.swap_remove(i);
+                    free.push(slot);
                 } else {
                     i += 1;
                 }
@@ -208,7 +294,8 @@ pub fn plan_memory_for_schedule(g: &Graph, schedule: &[NodeId], reuse: bool) -> 
         }
     }
 
-    MemPlan { peak_transient_bytes: peak, persistent_bytes: persistent, buffers_allocated: allocated }
+    let mem = MemPlan { peak_transient_bytes: peak, persistent_bytes: persistent, buffers_allocated: allocated };
+    BufferPlan { mem, slot_bytes, actions, dead_after, persistent: seen_persistent }
 }
 
 #[cfg(test)]
@@ -278,6 +365,52 @@ mod tests {
         let g = chain(3);
         let p = plan_memory(&g, true);
         assert_eq!(p.total_bytes(), p.peak_transient_bytes + p.persistent_bytes);
+    }
+
+    #[test]
+    fn buffer_plan_matches_summary_and_replays() {
+        let g = chain(6);
+        let schedule: Vec<NodeId> = g.node_ids().collect();
+        let bp = plan_buffers(&g, &schedule, true);
+        assert_eq!(bp.mem, plan_memory(&g, true));
+        assert_eq!(bp.actions.len(), schedule.len());
+        assert_eq!(bp.slot_bytes.len(), bp.mem.buffers_allocated);
+        // Replay the actions against a byte counter: the high-water mark must
+        // reproduce the planner's peak exactly.
+        let (mut cur, mut peak) = (0u64, 0u64);
+        for (pos, a) in bp.actions.iter().enumerate() {
+            match *a {
+                SlotAction::InPlace { .. } => {}
+                SlotAction::Reuse { grown_by, .. } => {
+                    cur += grown_by;
+                    peak = peak.max(cur);
+                }
+                SlotAction::Alloc { .. } => {
+                    cur += g.tensor(g.node(schedule[pos]).output).shape.bytes();
+                    peak = peak.max(cur);
+                }
+            }
+        }
+        assert_eq!(peak, bp.mem.peak_transient_bytes);
+        // An element-wise chain runs in place: one slot, rest in-place.
+        assert_eq!(bp.slot_bytes, vec![1024]);
+        assert!(bp.actions[1..].iter().all(|a| matches!(a, SlotAction::InPlace { .. })));
+    }
+
+    #[test]
+    fn buffer_plan_records_liveness_deaths() {
+        // x -> a, x -> b, (a, b) -> c: `a` dies in place at c, `b` dies after c.
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new(vec![256]));
+        let a = g.add_op("relu", "a", &[x], Attrs::new()).unwrap();
+        let b = g.add_op("tanh", "b", &[x], Attrs::new()).unwrap();
+        let _c = g.add_op("add", "c", &[a, b], Attrs::new()).unwrap();
+        let schedule: Vec<NodeId> = g.node_ids().collect();
+        let bp = plan_buffers(&g, &schedule, true);
+        assert_eq!(bp.persistent, vec![x]);
+        let last = schedule.len() - 1;
+        assert!(bp.dead_after[last].contains(&a));
+        assert!(bp.dead_after[last].contains(&b));
     }
 
     #[test]

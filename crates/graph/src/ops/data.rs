@@ -356,7 +356,7 @@ mod tests {
     fn slice_axis_shapes() {
         let x = Shape::new(vec![4, 8]);
         let attrs = Attrs::new().with_int("axis", 1).with_int("begin", 2).with_int("end", 6);
-        assert_eq!(shape_slice_axis(&[x.clone()], &attrs).unwrap().dims(), &[4, 4]);
+        assert_eq!(shape_slice_axis(std::slice::from_ref(&x), &attrs).unwrap().dims(), &[4, 4]);
         let bad = Attrs::new().with_int("axis", 1).with_int("begin", 6).with_int("end", 2);
         assert!(shape_slice_axis(&[x], &bad).is_err());
     }

@@ -14,8 +14,18 @@ use crate::registry::{GradCtx, OpCategory, OpDef};
 
 use crate::Result;
 
+/// A named unary scalar kernel.
+pub type UnaryKernel = (&'static str, fn(f32) -> f32);
+
+/// A named binary scalar kernel.
+pub type BinaryKernel = (&'static str, fn(f32, f32) -> f32);
+
 /// The unary scalar kernel table, shared with the executor.
-pub const UNARY_KERNELS: &[(&str, fn(f32) -> f32)] = &[
+// The gelu/erf constants are quoted verbatim from their reference texts
+// (Hendrycks-Gimpel, Abramowitz-Stegun); rounding them to f32 width by hand
+// only invites transcription errors.
+#[allow(clippy::excessive_precision)]
+pub const UNARY_KERNELS: &[UnaryKernel] = &[
     ("relu", |x| x.max(0.0)),
     ("sigmoid", |x| 1.0 / (1.0 + (-x).exp())),
     ("tanh", f32::tanh),
@@ -51,7 +61,7 @@ pub const UNARY_KERNELS: &[(&str, fn(f32) -> f32)] = &[
     ("rcbrt", |x| 1.0 / x.cbrt()),
     ("degrees", f32::to_degrees),
     ("radians", f32::to_radians),
-    ("relu6", |x| x.max(0.0).min(6.0)),
+    ("relu6", |x| x.clamp(0.0, 6.0)),
     ("elu", |x| if x > 0.0 { x } else { x.exp() - 1.0 }),
     ("gelu", |x| 0.5 * x * (1.0 + (0.7978845608 * (x + 0.044715 * x * x * x)).tanh())),
     ("softrelu", |x| (1.0 + x.exp()).ln()),
@@ -87,7 +97,7 @@ pub const UNARY_KERNELS: &[(&str, fn(f32) -> f32)] = &[
 ];
 
 /// The binary scalar kernel table, shared with the executor.
-pub const BINARY_KERNELS: &[(&str, fn(f32, f32) -> f32)] = &[
+pub const BINARY_KERNELS: &[BinaryKernel] = &[
     ("add", |a, b| a + b),
     ("sub", |a, b| a - b),
     ("mul", |a, b| a * b),
@@ -111,7 +121,7 @@ pub const BINARY_KERNELS: &[(&str, fn(f32, f32) -> f32)] = &[
 
 /// Scalar-attribute element-wise kernels (`x op k`), shared with the
 /// executor; the scalar comes from the `"scalar"` attribute.
-pub const SCALAR_KERNELS: &[(&str, fn(f32, f32) -> f32)] = &[
+pub const SCALAR_KERNELS: &[BinaryKernel] = &[
     ("add_scalar", |x, k| x + k),
     ("sub_scalar", |x, k| x - k),
     ("rsub_scalar", |x, k| k - x),

@@ -34,7 +34,7 @@ pub struct RnnConfig {
 impl RnnConfig {
     /// The paper's notation, e.g. `RNN-8-8K`.
     pub fn name(&self) -> String {
-        if self.hidden % 1024 == 0 {
+        if self.hidden.is_multiple_of(1024) {
             format!("RNN-{}-{}K", self.layers, self.hidden / 1024)
         } else {
             format!("RNN-{}-{}", self.layers, self.hidden)

@@ -70,6 +70,8 @@ impl Builder<'_> {
         NodeTags { layer: Some(self.layer), ..NodeTags::default() }
     }
 
+    // A convolution is naturally parameterized by exactly these seven values.
+    #[allow(clippy::too_many_arguments)]
     fn conv(
         &mut self,
         name: &str,

@@ -1,0 +1,58 @@
+//! Runtime error type.
+
+use std::fmt;
+
+use tofu_core::CoreError;
+use tofu_graph::GraphError;
+
+/// Anything that can go wrong executing a sharded graph across workers.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// A kernel or graph lookup failed on some worker.
+    Exec(GraphError),
+    /// Scatter/gather bookkeeping failed.
+    Core(CoreError),
+    /// A leaf shard owned by a worker was not fed.
+    MissingFeed(String),
+    /// A cross-worker transfer failed (peer died or stalled).
+    Comm(String),
+    /// The planner-seeded buffer pool and the plan disagreed.
+    Pool(String),
+    /// Internal invariant violation.
+    Internal(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Exec(e) => write!(f, "execution failed: {e}"),
+            RuntimeError::Core(e) => write!(f, "partition bookkeeping failed: {e}"),
+            RuntimeError::MissingFeed(t) => write!(f, "leaf shard not fed: {t}"),
+            RuntimeError::Comm(m) => write!(f, "cross-worker transfer failed: {m}"),
+            RuntimeError::Pool(m) => write!(f, "buffer pool diverged from plan: {m}"),
+            RuntimeError::Internal(m) => write!(f, "internal runtime error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Exec(e) => Some(e),
+            RuntimeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for RuntimeError {
+    fn from(e: GraphError) -> Self {
+        RuntimeError::Exec(e)
+    }
+}
+
+impl From<CoreError> for RuntimeError {
+    fn from(e: CoreError) -> Self {
+        RuntimeError::Core(e)
+    }
+}

@@ -1,0 +1,410 @@
+//! Multi-worker runtime for Tofu-partitioned graphs.
+//!
+//! Executes a [`ShardedGraph`] across `N` OS threads — one per logical
+//! device — connected by channels. Each worker owns:
+//!
+//! - its serial sub-schedule of the sharded graph
+//!   ([`ShardedGraph::worker_schedule`]), which is a subsequence of the
+//!   global topological order;
+//! - a [`BufferPool`] seeded from the static memory planner's
+//!   [`BufferPlan`], so the measured footprint can be held against
+//!   `tofu-sim`'s `per_device_memory` prediction;
+//! - typed send/receive ports for cross-device tensor pieces.
+//!
+//! Communication follows the §6 invariant the generator establishes: every
+//! cross-device data edge enters a `multi_fetch` node, so producers *push*
+//! exactly the piece each remote consumer needs (precomputed by
+//! [`ShardedGraph::comm_edges`]) and non-fetch nodes only ever read local
+//! values. Pushes go over unbounded channels and never block, which rules
+//! out send/receive cycles: the earliest unexecuted node across all workers
+//! (in global topological order) always has its remote pieces already sent
+//! or owed by producers that come strictly earlier, so some worker can
+//! always make progress.
+//!
+//! The run records a [`RunTrace`] — per-op wall-clock events, per-link
+//! bytes, per-worker pool peaks — for side-by-side comparison with the
+//! simulator's predictions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod pool;
+mod trace;
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use tofu_core::{fetch_pieces, CommEdge, FetchPiece, ShardedGraph};
+use tofu_graph::{execute_node, plan_buffers, BufferPlan, NodeId, TensorId, TensorKind};
+use tofu_tensor::{Shape, Tensor};
+
+pub use error::RuntimeError;
+pub use pool::BufferPool;
+pub use trace::{LinkStat, OpEvent, RunTrace, WorkerTrace};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+/// Knobs of a run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Replay the planner with cross-op buffer reuse (the Fig. 7 control
+    /// dependencies make this safe; turning it off models the ablation).
+    pub buffer_reuse: bool,
+    /// How long a worker waits on a remote piece before declaring the run
+    /// stalled (guards against a dead peer; never hit on healthy runs).
+    pub recv_timeout: Duration,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { buffer_reuse: true, recv_timeout: Duration::from_secs(60) }
+    }
+}
+
+/// Everything a run produces: the value of every tensor of the sharded
+/// graph (gather the originals with [`ShardedGraph::gather`]) plus the
+/// measured trace.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// Value of every tensor, merged across workers.
+    pub values: BTreeMap<TensorId, Tensor>,
+    /// The measured event trace.
+    pub trace: RunTrace,
+}
+
+/// One cross-worker message: the extracted piece input `input_index` of
+/// `consumer` is waiting for.
+struct Msg {
+    consumer: NodeId,
+    input_index: usize,
+    piece: Tensor,
+}
+
+/// A worker's end of the interconnect: its own receiver plus a sender clone
+/// for every other worker (`None` at its own slot).
+type Ports = (Receiver<Msg>, Vec<Option<Sender<Msg>>>);
+
+/// What one worker thread hands back: its trace, the values it produced, and
+/// per-destination (bytes, messages) send tallies.
+type WorkerOutput = (WorkerTrace, BTreeMap<TensorId, Tensor>, Vec<(u64, u64)>);
+
+/// Executes `sharded` across one thread per worker with default options.
+/// `feeds` carries values for the sharded graph's leaf tensors (typically
+/// from [`ShardedGraph::scatter`] over the original feeds).
+pub fn run(sharded: &ShardedGraph, feeds: &[(TensorId, Tensor)]) -> Result<RunOutput> {
+    run_with_options(sharded, feeds, &RunOptions::default())
+}
+
+/// [`run`] with explicit options.
+pub fn run_with_options(
+    sharded: &ShardedGraph,
+    feeds: &[(TensorId, Tensor)],
+    opts: &RunOptions,
+) -> Result<RunOutput> {
+    let k = sharded.workers;
+    let edges = sharded.comm_edges();
+
+    // Producer-side send lists: leaf shards go out at startup (their owner
+    // has them before any node runs); computed tensors go out right after
+    // their producing node executes.
+    let mut startup_sends: Vec<Vec<&CommEdge>> = vec![Vec::new(); k];
+    let mut node_sends: BTreeMap<NodeId, Vec<&CommEdge>> = BTreeMap::new();
+    for e in &edges {
+        match sharded.graph.producer(e.tensor) {
+            Some(p) => node_sends.entry(p).or_default().push(e),
+            None => startup_sends[e.src].push(e),
+        }
+    }
+
+    // One channel per worker; worker `w` keeps receiver `w` and a sender
+    // clone for every *other* worker (holding one's own sender would keep
+    // the channel alive and turn a dead-peer stall into a hang).
+    let mut txs: Vec<Sender<Msg>> = Vec::with_capacity(k);
+    let mut rxs: Vec<Receiver<Msg>> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let ports: Vec<Ports> = rxs
+        .into_iter()
+        .enumerate()
+        .map(|(w, rx)| {
+            let out = (0..k).map(|d| if d != w { Some(txs[d].clone()) } else { None }).collect();
+            (rx, out)
+        })
+        .collect();
+    drop(txs);
+
+    type WorkerResult = Result<WorkerOutput>;
+    let results: Mutex<Vec<Option<WorkerResult>>> = Mutex::new((0..k).map(|_| None).collect());
+    let epoch = Instant::now();
+
+    std::thread::scope(|scope| {
+        for (w, (rx, out)) in ports.into_iter().enumerate() {
+            let startup = &startup_sends[w];
+            let node_sends = &node_sends;
+            let results = &results;
+            scope.spawn(move || {
+                let res = Worker::new(sharded, w, feeds, rx, out, epoch, opts)
+                    .and_then(|mut worker| worker.run(startup, node_sends));
+                if let Some(slot) = results.lock().get_mut(w) {
+                    *slot = Some(res);
+                }
+            });
+        }
+    });
+
+    let wall = epoch.elapsed();
+    let mut workers = Vec::with_capacity(k);
+    let mut values = BTreeMap::new();
+    let mut sent: Vec<Vec<(u64, u64)>> = Vec::with_capacity(k);
+    for slot in results.into_inner() {
+        let (trace, vals, per_dst) =
+            slot.ok_or_else(|| RuntimeError::Internal("worker vanished".into()))??;
+        workers.push(trace);
+        values.extend(vals);
+        sent.push(per_dst);
+    }
+    let mut links = Vec::new();
+    for (src, per_dst) in sent.iter().enumerate() {
+        for (dst, &(bytes, messages)) in per_dst.iter().enumerate() {
+            if bytes > 0 || messages > 0 {
+                links.push(LinkStat { src, dst, bytes, messages });
+            }
+        }
+    }
+    Ok(RunOutput { values, trace: RunTrace { workers, links, wall } })
+}
+
+/// One worker's execution state.
+struct Worker<'a> {
+    sharded: &'a ShardedGraph,
+    w: usize,
+    schedule: Vec<NodeId>,
+    plan: BufferPlan,
+    values: BTreeMap<TensorId, Tensor>,
+    /// Remote pieces that arrived before their consumer needed them, keyed
+    /// by `(consumer node, input index)`.
+    pending: BTreeMap<(usize, usize), Tensor>,
+    rx: Receiver<Msg>,
+    txs: Vec<Option<Sender<Msg>>>,
+    /// Per destination: (bytes, messages) pushed.
+    sent: Vec<(u64, u64)>,
+    bytes_received: u64,
+    pool: BufferPool,
+    ops: Vec<OpEvent>,
+    busy: Duration,
+    epoch: Instant,
+    recv_timeout: Duration,
+}
+
+impl<'a> Worker<'a> {
+    fn new(
+        sharded: &'a ShardedGraph,
+        w: usize,
+        feeds: &[(TensorId, Tensor)],
+        rx: Receiver<Msg>,
+        txs: Vec<Option<Sender<Msg>>>,
+        epoch: Instant,
+        opts: &RunOptions,
+    ) -> Result<Worker<'a>> {
+        let schedule = sharded.worker_schedule(w);
+        let plan = plan_buffers(&sharded.graph, &schedule, opts.buffer_reuse);
+        let mut values = BTreeMap::new();
+        for (t, v) in feeds {
+            if sharded.device_of_tensor.get(t.0).copied().flatten() != Some(w) {
+                continue;
+            }
+            let meta = sharded.graph.tensor(*t);
+            if meta.kind == TensorKind::Intermediate {
+                return Err(RuntimeError::Internal(format!(
+                    "fed tensor {:?} is not a leaf",
+                    meta.name
+                )));
+            }
+            if v.shape() != &meta.shape {
+                return Err(RuntimeError::Internal(format!(
+                    "fed shape {} for shard {:?} declared {}",
+                    v.shape(),
+                    meta.name,
+                    meta.shape
+                )));
+            }
+            values.insert(*t, v.clone());
+        }
+        let k = txs.len();
+        Ok(Worker {
+            sharded,
+            w,
+            schedule,
+            plan,
+            values,
+            pending: BTreeMap::new(),
+            rx,
+            txs,
+            sent: vec![(0, 0); k],
+            bytes_received: 0,
+            pool: BufferPool::new(),
+            ops: Vec::new(),
+            busy: Duration::ZERO,
+            epoch,
+            recv_timeout: opts.recv_timeout,
+        })
+    }
+
+    fn run(
+        &mut self,
+        startup: &[&CommEdge],
+        node_sends: &BTreeMap<NodeId, Vec<&CommEdge>>,
+    ) -> Result<WorkerOutput> {
+        // Resident leaf bytes, measured from the actual fed shards this
+        // worker's non-fetch nodes consume.
+        let mut persistent_bytes = 0u64;
+        for t in &self.plan.persistent {
+            let v = self.values.get(t).ok_or_else(|| {
+                RuntimeError::MissingFeed(self.sharded.graph.tensor(*t).name.clone())
+            })?;
+            persistent_bytes += v.shape().bytes();
+        }
+
+        // Owned leaf shards other devices fetch go out before any compute.
+        for e in startup {
+            self.send_edge(e)?;
+        }
+
+        for (pos, &id) in self.schedule.clone().iter().enumerate() {
+            let node = self.sharded.graph.node(id);
+            let start = self.epoch.elapsed();
+            let out = if node.op == "multi_fetch" {
+                self.assemble_fetch(id)?
+            } else {
+                let inputs: Vec<&Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|t| {
+                        self.values.get(t).ok_or_else(|| {
+                            RuntimeError::MissingFeed(self.sharded.graph.tensor(*t).name.clone())
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                execute_node(&self.sharded.graph, id, &inputs)?
+            };
+            self.pool.apply(self.plan.actions[pos], out.shape().bytes())?;
+            let end = self.epoch.elapsed();
+            self.busy += end - start;
+            self.ops.push(OpEvent { node: id, start, end });
+            self.values.insert(node.output, out);
+            if let Some(list) = node_sends.get(&id) {
+                for e in list {
+                    self.send_edge(e)?;
+                }
+            }
+        }
+
+        self.pool.verify_against(&self.plan)?;
+        let trace = WorkerTrace {
+            device: self.w,
+            ops: std::mem::take(&mut self.ops),
+            busy: self.busy,
+            pool_peak_bytes: self.pool.peak_bytes(),
+            persistent_bytes,
+            bytes_sent: self.sent.iter().map(|&(b, _)| b).sum(),
+            bytes_received: self.bytes_received,
+        };
+        Ok((trace, std::mem::take(&mut self.values), std::mem::take(&mut self.sent)))
+    }
+
+    /// Pushes the piece of `e.tensor` that `e.consumer` needs.
+    fn send_edge(&mut self, e: &CommEdge) -> Result<()> {
+        let src = self.values.get(&e.tensor).ok_or_else(|| {
+            RuntimeError::Internal(format!("comm edge reads unevaluated tensor {:?}", e.tensor))
+        })?;
+        let piece = extract_piece(src, &e.piece)?;
+        let bytes = piece.shape().bytes();
+        let tx = self.txs[e.dst].as_ref().ok_or_else(|| {
+            RuntimeError::Internal("comm edge addressed to the sending worker".into())
+        })?;
+        tx.send(Msg { consumer: e.consumer, input_index: e.input_index, piece })
+            .map_err(|_| RuntimeError::Comm(format!("worker {} hung up", e.dst)))?;
+        self.sent[e.dst].0 += bytes;
+        self.sent[e.dst].1 += 1;
+        Ok(())
+    }
+
+    /// Executes a `multi_fetch` node: local inputs are copied out of the
+    /// worker's own values; remote inputs block on the receive port until
+    /// their (already-extracted) piece arrives.
+    fn assemble_fetch(&mut self, id: NodeId) -> Result<Tensor> {
+        let node = self.sharded.graph.node(id);
+        let pieces = fetch_pieces(&self.sharded.graph, id)
+            .ok_or_else(|| RuntimeError::Internal("assemble on non-fetch node".into()))?;
+        let out_shape = self.sharded.graph.tensor(node.output).shape.clone();
+        let mut out = Tensor::zeros(out_shape);
+        let inputs = node.inputs.clone();
+        for (i, &t) in inputs.iter().enumerate() {
+            let p = &pieces[i];
+            if self.sharded.device_of_tensor[t.0] == Some(self.w) {
+                let src = self.values.get(&t).ok_or_else(|| {
+                    RuntimeError::Internal(format!("fetch reads unevaluated local {t:?}"))
+                })?;
+                copy_block(&mut out, src, &p.src_begin, &p.dst_begin, &p.len);
+            } else {
+                let piece = self.recv_piece(id, i)?;
+                self.bytes_received += piece.shape().bytes();
+                // The producer already extracted the block: source offsets
+                // are zero in the received piece's coordinates.
+                let zeros = vec![0i64; p.len.len()];
+                copy_block(&mut out, &piece, &zeros, &p.dst_begin, &p.len);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The piece for `(consumer, input_index)`, from the stash or the wire.
+    fn recv_piece(&mut self, consumer: NodeId, input_index: usize) -> Result<Tensor> {
+        loop {
+            if let Some(v) = self.pending.remove(&(consumer.0, input_index)) {
+                return Ok(v);
+            }
+            let msg = self.rx.recv_timeout(self.recv_timeout).map_err(|e| match e {
+                RecvTimeoutError::Timeout => RuntimeError::Comm(format!(
+                    "worker {} stalled waiting for node {consumer:?}",
+                    self.w
+                )),
+                RecvTimeoutError::Disconnected => {
+                    RuntimeError::Comm(format!("worker {}: every peer hung up", self.w))
+                }
+            })?;
+            self.pending.insert((msg.consumer.0, msg.input_index), msg.piece);
+        }
+    }
+}
+
+/// Slices the block `[src_begin, src_begin + len)` out of `src`.
+fn extract_piece(src: &Tensor, p: &FetchPiece) -> Result<Tensor> {
+    let mut out = src.clone();
+    for (d, (&b, &l)) in p.src_begin.iter().zip(&p.len).enumerate() {
+        out = out
+            .slice(d, b as usize, (b + l) as usize)
+            .map_err(|e| RuntimeError::Internal(format!("piece extraction: {e}")))?;
+    }
+    Ok(out)
+}
+
+/// Copies the `len`-sized block at `src_begin` of `src` to `dst_begin` of
+/// `dst`.
+fn copy_block(dst: &mut Tensor, src: &Tensor, src_begin: &[i64], dst_begin: &[i64], len: &[i64]) {
+    let lens: Vec<usize> = len.iter().map(|&l| l as usize).collect();
+    for idx in Shape::new(lens).indices() {
+        let s: Vec<usize> =
+            idx.iter().zip(src_begin).map(|(&o, &b)| o + b as usize).collect();
+        let d: Vec<usize> =
+            idx.iter().zip(dst_begin).map(|(&o, &b)| o + b as usize).collect();
+        dst.set(&d, src.at(&s));
+    }
+}

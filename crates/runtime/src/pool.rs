@@ -1,0 +1,138 @@
+//! Per-worker buffer pool seeded from the static memory planner.
+//!
+//! The pool replays a [`BufferPlan`]'s slot actions against real backing
+//! allocations: every planner slot becomes one `Vec<u8>` arena that is
+//! allocated (or grown) exactly when the plan says so. Its high-water mark is
+//! therefore the *measured* transient footprint of the worker, which the
+//! tests hold against `tofu-sim`'s independent `per_device_memory`
+//! prediction.
+
+use tofu_graph::{BufferPlan, SlotAction};
+
+use crate::error::RuntimeError;
+use crate::Result;
+
+/// Real backing storage for one worker's transient tensors.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    slots: Vec<Vec<u8>>,
+    current: u64,
+    peak: u64,
+}
+
+impl BufferPool {
+    /// An empty pool; arenas appear as the plan's actions are applied.
+    pub fn new() -> BufferPool {
+        BufferPool::default()
+    }
+
+    /// Applies the placement action of one schedule position. `need` is the
+    /// byte size of the node's output tensor.
+    pub fn apply(&mut self, action: SlotAction, need: u64) -> Result<()> {
+        match action {
+            SlotAction::InPlace { slot } => {
+                let have = self.slot_len(slot)?;
+                if have < need {
+                    return Err(RuntimeError::Pool(format!(
+                        "in-place takeover of slot {slot} ({have} B) needs {need} B"
+                    )));
+                }
+            }
+            SlotAction::Reuse { slot, grown_by } => {
+                let have = self.slot_len(slot)?;
+                if grown_by > 0 {
+                    self.slots[slot].resize((have + grown_by) as usize, 0);
+                    self.current += grown_by;
+                    self.peak = self.peak.max(self.current);
+                }
+                if self.slot_len(slot)? < need {
+                    return Err(RuntimeError::Pool(format!(
+                        "slot {slot} holds {} B after growth but {need} B are needed",
+                        self.slots[slot].len()
+                    )));
+                }
+            }
+            SlotAction::Alloc { slot } => {
+                if slot != self.slots.len() {
+                    return Err(RuntimeError::Pool(format!(
+                        "plan allocates slot {slot} but pool holds {}",
+                        self.slots.len()
+                    )));
+                }
+                self.slots.push(vec![0u8; need as usize]);
+                self.current += need;
+                self.peak = self.peak.max(self.current);
+            }
+        }
+        Ok(())
+    }
+
+    fn slot_len(&self, slot: usize) -> Result<u64> {
+        self.slots
+            .get(slot)
+            .map(|s| s.len() as u64)
+            .ok_or_else(|| RuntimeError::Pool(format!("plan references unallocated slot {slot}")))
+    }
+
+    /// High-water mark of resident arena bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak
+    }
+
+    /// Currently resident arena bytes.
+    pub fn current_bytes(&self) -> u64 {
+        self.current
+    }
+
+    /// Number of physical arenas.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Checks the fully-applied pool against its seeding plan: same arenas,
+    /// same sizes, same peak.
+    pub fn verify_against(&self, plan: &BufferPlan) -> Result<()> {
+        if self.slot_count() != plan.slot_bytes.len()
+            || self
+                .slots
+                .iter()
+                .zip(&plan.slot_bytes)
+                .any(|(s, &b)| s.len() as u64 != b)
+        {
+            return Err(RuntimeError::Pool("pool arenas diverged from the plan".into()));
+        }
+        if self.peak != plan.mem.peak_transient_bytes {
+            return Err(RuntimeError::Pool(format!(
+                "pool peak {} B but the plan predicted {} B",
+                self.peak, plan.mem.peak_transient_bytes
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replays_alloc_reuse_grow() {
+        let mut p = BufferPool::new();
+        p.apply(SlotAction::Alloc { slot: 0 }, 100).unwrap();
+        p.apply(SlotAction::Alloc { slot: 1 }, 50).unwrap();
+        p.apply(SlotAction::InPlace { slot: 0 }, 100).unwrap();
+        p.apply(SlotAction::Reuse { slot: 1, grown_by: 30 }, 80).unwrap();
+        assert_eq!(p.peak_bytes(), 180);
+        assert_eq!(p.current_bytes(), 180);
+        assert_eq!(p.slot_count(), 2);
+    }
+
+    #[test]
+    fn rejects_inconsistent_plans() {
+        let mut p = BufferPool::new();
+        assert!(p.apply(SlotAction::InPlace { slot: 0 }, 1).is_err());
+        assert!(p.apply(SlotAction::Alloc { slot: 3 }, 1).is_err());
+        p.apply(SlotAction::Alloc { slot: 0 }, 10).unwrap();
+        assert!(p.apply(SlotAction::InPlace { slot: 0 }, 11).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! End-to-end runtime tests: scatter → multi-worker execution → gather must
+//! reproduce the single-device executor, and the measured trace must be
+//! internally consistent.
+
+use std::collections::BTreeMap;
+
+use tofu_core::{generate, partition, GenOptions, PartitionOptions, ShardedGraph};
+use tofu_graph::{Executor, Graph, TensorId, TensorKind};
+use tofu_models::{mlp, MlpConfig};
+use tofu_runtime::{run, run_with_options, RunOptions};
+use tofu_tensor::Tensor;
+
+fn feeds(g: &Graph) -> Vec<(TensorId, Tensor)> {
+    let mut out = Vec::new();
+    for t in g.tensor_ids() {
+        let meta = g.tensor(t);
+        if meta.kind == TensorKind::Intermediate {
+            continue;
+        }
+        let v = if meta.name == "labels" {
+            let b = meta.shape.dim(0);
+            Tensor::from_vec(meta.shape.clone(), (0..b).map(|i| (i % 3) as f32).collect())
+                .unwrap()
+        } else {
+            Tensor::random(meta.shape.clone(), t.0 as u64 + 1, 0.5)
+        };
+        out.push((t, v));
+    }
+    out
+}
+
+fn shard(g: &Graph, workers: usize) -> (ShardedGraph, Vec<(TensorId, Tensor)>, BTreeMap<TensorId, Tensor>) {
+    let plan = partition(g, &PartitionOptions { workers, ..Default::default() }).unwrap();
+    let sharded = generate(g, &plan, &GenOptions::default()).unwrap();
+    assert!(sharded.exact);
+    let original = feeds(g);
+    let mut base = Executor::new();
+    let mut shard_feeds = Vec::new();
+    for (t, v) in &original {
+        base.feed(*t, v.clone());
+        shard_feeds.extend(sharded.scatter(*t, v).unwrap());
+    }
+    let base_vals = base.run(g).unwrap();
+    (sharded, shard_feeds, base_vals)
+}
+
+fn check_outputs(
+    g: &Graph,
+    sharded: &ShardedGraph,
+    got: &BTreeMap<TensorId, Tensor>,
+    base: &BTreeMap<TensorId, Tensor>,
+    tensors: &[TensorId],
+    tol: f32,
+) {
+    for &t in tensors {
+        let expect = &base[&t];
+        let gathered = sharded.gather(t, expect.shape(), got).unwrap();
+        assert!(
+            gathered.allclose(expect, tol),
+            "tensor {} diverged",
+            g.tensor(t).name
+        );
+    }
+}
+
+#[test]
+fn single_worker_matches_executor() {
+    let m = mlp(&MlpConfig { batch: 8, dims: vec![16, 16], classes: 8, with_updates: true })
+        .unwrap();
+    let (sharded, shard_feeds, base) = shard(&m.graph, 1);
+    let out = run(&sharded, &shard_feeds).unwrap();
+    let check: Vec<TensorId> =
+        std::iter::once(m.loss).chain(m.grads.iter().map(|&(_, gw)| gw)).collect();
+    check_outputs(&m.graph, &sharded, &out.values, &base, &check, 1e-6);
+    assert_eq!(out.trace.workers.len(), 1);
+    assert_eq!(out.trace.comm_bytes(), 0, "one worker must not communicate");
+}
+
+#[test]
+fn multi_worker_matches_executor() {
+    let m = mlp(&MlpConfig { batch: 8, dims: vec![16, 16], classes: 8, with_updates: true })
+        .unwrap();
+    let check: Vec<TensorId> =
+        std::iter::once(m.loss).chain(m.grads.iter().map(|&(_, gw)| gw)).collect();
+    for workers in [2, 4] {
+        let (sharded, shard_feeds, base) = shard(&m.graph, workers);
+        let out = run(&sharded, &shard_feeds).unwrap();
+        check_outputs(&m.graph, &sharded, &out.values, &base, &check, 1e-4);
+        assert_eq!(out.trace.workers.len(), workers);
+        assert!(out.trace.comm_bytes() > 0, "{workers} workers must communicate");
+    }
+}
+
+#[test]
+fn trace_is_internally_consistent() {
+    let m = mlp(&MlpConfig { batch: 8, dims: vec![16, 16], classes: 8, with_updates: true })
+        .unwrap();
+    let (sharded, shard_feeds, _) = shard(&m.graph, 4);
+    let out = run(&sharded, &shard_feeds).unwrap();
+    let trace = &out.trace;
+    // Every node executed exactly once, on its own worker.
+    assert_eq!(trace.ops_executed(), sharded.graph.num_nodes());
+    for w in &trace.workers {
+        let schedule = sharded.worker_schedule(w.device);
+        assert_eq!(w.ops.len(), schedule.len());
+        for (ev, id) in w.ops.iter().zip(&schedule) {
+            assert_eq!(ev.node, *id);
+            assert!(ev.start <= ev.end);
+            assert!(ev.end <= trace.wall);
+        }
+        assert!(w.pool_peak_bytes > 0);
+        assert!(w.persistent_bytes > 0);
+    }
+    // Conservation: what was pushed equals what was drained, link by link
+    // and in aggregate, and matches the static comm-edge metadata.
+    let sent: u64 = trace.workers.iter().map(|w| w.bytes_sent).sum();
+    let received: u64 = trace.workers.iter().map(|w| w.bytes_received).sum();
+    assert_eq!(sent, received);
+    assert_eq!(sent, trace.comm_bytes());
+    let planned: u64 = sharded.comm_edges().iter().map(|e| e.bytes()).sum();
+    assert_eq!(sent, planned, "measured traffic must equal the planned piece bytes");
+    for l in &trace.links {
+        assert_ne!(l.src, l.dst);
+        assert!(l.bytes > 0 && l.messages > 0);
+    }
+}
+
+#[test]
+fn buffer_reuse_off_still_matches_and_uses_more_memory() {
+    let m = mlp(&MlpConfig { batch: 8, dims: vec![16, 16], classes: 8, with_updates: false })
+        .unwrap();
+    let (sharded, shard_feeds, base) = shard(&m.graph, 2);
+    let with = run(&sharded, &shard_feeds).unwrap();
+    let without = run_with_options(
+        &sharded,
+        &shard_feeds,
+        &RunOptions { buffer_reuse: false, ..Default::default() },
+    )
+    .unwrap();
+    check_outputs(&m.graph, &sharded, &without.values, &base, &[m.loss], 1e-4);
+    let peak = |t: &tofu_runtime::RunOutput| {
+        t.trace.workers.iter().map(|w| w.pool_peak_bytes).max().unwrap()
+    };
+    assert!(
+        peak(&without) > peak(&with),
+        "disabling reuse must inflate the pool ({} vs {})",
+        peak(&without),
+        peak(&with)
+    );
+}
+
+#[test]
+fn missing_feed_is_reported() {
+    let m = mlp(&MlpConfig { batch: 4, dims: vec![8], classes: 4, with_updates: false }).unwrap();
+    let (sharded, shard_feeds, _) = shard(&m.graph, 2);
+    let partial: Vec<_> = shard_feeds.into_iter().skip(1).collect();
+    let err = run(&sharded, &partial).unwrap_err();
+    assert!(matches!(err, tofu_runtime::RuntimeError::MissingFeed(_)), "got {err}");
+}

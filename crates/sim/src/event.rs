@@ -60,6 +60,25 @@ pub fn simulate(
     machine: &Machine,
     free_transfers: bool,
 ) -> SimResult {
+    simulate_with_leaf_devices(g, devices, &[], machine, free_transfers)
+}
+
+/// [`simulate`] with explicit leaf-tensor placement.
+///
+/// `leaf_devices` is indexed by `TensorId`; a `Some(d)` entry pins that leaf
+/// to device `d` at time zero, overriding the first-consumer heuristic (which
+/// remains the fallback for out-of-range or `None` entries). Partitioned
+/// graphs pass `ShardedGraph::device_of_tensor` here so that a shard owned by
+/// one worker but first read through another worker's `multi_fetch` is not
+/// misplaced — misplacement turns the owner's local reads into phantom
+/// full-tensor transfers and inflates `comm_bytes`.
+pub fn simulate_with_leaf_devices(
+    g: &Graph,
+    devices: &impl DeviceMap,
+    leaf_devices: &[Option<usize>],
+    machine: &Machine,
+    free_transfers: bool,
+) -> SimResult {
     let n = g.num_nodes();
     let mut finish: Vec<f64> = vec![0.0; n];
     let mut device_avail: Vec<f64> = vec![0.0; machine.gpus.max(1)];
@@ -78,7 +97,8 @@ pub fn simulate(
         let dev = devices.device(id);
         for &t in &node.inputs {
             if g.producer(t).is_none() && tensor_ready[t.0].0 == usize::MAX {
-                tensor_ready[t.0] = (dev, 0.0);
+                let home = leaf_devices.get(t.0).copied().flatten().unwrap_or(dev);
+                tensor_ready[t.0] = (home, 0.0);
             }
         }
     }

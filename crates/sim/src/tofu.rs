@@ -5,7 +5,7 @@ use tofu_core::genplan::{generate, GenOptions};
 use tofu_core::recursive::PartitionPlan;
 use tofu_graph::Graph;
 
-use crate::event::simulate;
+use crate::event::simulate_with_leaf_devices;
 use crate::machine::Machine;
 use crate::memory::per_device_memory;
 use crate::{Outcome, Perf};
@@ -47,8 +47,20 @@ pub fn run_partitioned(
     opts: &TofuSimOptions,
 ) -> tofu_core::Result<PartitionedRun> {
     let sharded = generate(g, plan, &GenOptions { control_deps: opts.control_deps })?;
-    let sim = simulate(&sharded.graph, &sharded.device_of_node, machine, false);
-    let free = simulate(&sharded.graph, &sharded.device_of_node, machine, true);
+    let sim = simulate_with_leaf_devices(
+        &sharded.graph,
+        &sharded.device_of_node,
+        &sharded.device_of_tensor,
+        machine,
+        false,
+    );
+    let free = simulate_with_leaf_devices(
+        &sharded.graph,
+        &sharded.device_of_node,
+        &sharded.device_of_tensor,
+        machine,
+        true,
+    );
     let mems = per_device_memory(
         &sharded.graph,
         &sharded.device_of_node,

@@ -1,0 +1,103 @@
+//! Acceptance tests for the runtime-vs-simulator comparison: measured
+//! channel traffic must equal the simulator's comm-bytes prediction exactly,
+//! and each worker's measured footprint must land within 10% of
+//! `per_device_memory`.
+
+use tofu_core::{generate, partition, GenOptions, PartitionOptions, ShardedGraph};
+use tofu_graph::{Executor, Graph, TensorId, TensorKind};
+use tofu_models::{mlp, wresnet, MlpConfig, WResNetConfig};
+use tofu_runtime::run;
+use tofu_sim::{compare_trace, Machine};
+use tofu_tensor::Tensor;
+
+fn feeds(g: &Graph) -> Vec<(TensorId, Tensor)> {
+    let mut out = Vec::new();
+    for t in g.tensor_ids() {
+        let meta = g.tensor(t);
+        if meta.kind == TensorKind::Intermediate {
+            continue;
+        }
+        let v = if meta.name == "labels" {
+            let b = meta.shape.dim(0);
+            Tensor::from_vec(meta.shape.clone(), (0..b).map(|i| (i % 3) as f32).collect())
+                .unwrap()
+        } else {
+            // Variance-scaled init: uniform 0.5-scale weights explode through
+            // a 50-layer stack, and f32 gradients at magnitude 1e9 lose all
+            // relative precision to summation reordering.
+            let fan_in = (meta.shape.volume() / meta.shape.dim(0).max(1)).max(1);
+            let scale = (3.0f32 / fan_in as f32).sqrt().min(0.5);
+            Tensor::random(meta.shape.clone(), t.0 as u64 + 1, scale)
+        };
+        out.push((t, v));
+    }
+    out
+}
+
+fn shard(g: &Graph, workers: usize) -> (ShardedGraph, Vec<(TensorId, Tensor)>) {
+    let plan = partition(g, &PartitionOptions { workers, ..Default::default() }).unwrap();
+    let sharded = generate(g, &plan, &GenOptions::default()).unwrap();
+    assert!(sharded.exact);
+    let mut shard_feeds = Vec::new();
+    for (t, v) in feeds(g) {
+        shard_feeds.extend(sharded.scatter(t, &v).unwrap());
+    }
+    (sharded, shard_feeds)
+}
+
+fn assert_report(sharded: &ShardedGraph, shard_feeds: &[(TensorId, Tensor)], label: &str) {
+    let out = run(sharded, shard_feeds).unwrap();
+    let report = compare_trace(sharded, &Machine::p2_8xlarge(), &out.trace, true);
+    assert!(
+        report.comm_bytes_match(),
+        "{label}: measured {} B over channels, simulator predicted {} B",
+        report.measured_comm_bytes,
+        report.predicted_comm_bytes
+    );
+    assert!(
+        report.memory_within(0.10),
+        "{label}: a device's footprint strayed >10% from per_device_memory:\n{}",
+        report.summary()
+    );
+    assert_eq!(report.devices.len(), sharded.workers);
+    for d in &report.devices {
+        assert!(d.ops > 0, "{label}: device {} executed nothing", d.device);
+        assert!(d.predicted_memory_bytes > 0 && d.measured_memory_bytes > 0);
+    }
+    let s = report.summary();
+    assert!(s.contains("exact match"), "summary should flag the comm match:\n{s}");
+}
+
+#[test]
+fn mlp_trace_matches_sim_predictions() {
+    let m = mlp(&MlpConfig { batch: 8, dims: vec![16, 16], classes: 8, with_updates: true })
+        .unwrap();
+    for workers in [2usize, 4] {
+        let (sharded, shard_feeds) = shard(&m.graph, workers);
+        assert_report(&sharded, &shard_feeds, &format!("mlp w={workers}"));
+    }
+}
+
+#[test]
+fn wresnet_trace_matches_sim_predictions_and_executor() {
+    let cfg =
+        WResNetConfig { layers: 50, width: 1, batch: 4, image: 16, classes: 8, with_updates: true };
+    let m = wresnet(&cfg).unwrap();
+    let (sharded, shard_feeds) = shard(&m.graph, 2);
+
+    // Numeric ground truth: the 2-worker runtime must reproduce the
+    // single-device executor's loss and gradients.
+    let mut base = Executor::new();
+    for (t, v) in feeds(&m.graph) {
+        base.feed(t, v);
+    }
+    let base_vals = base.run(&m.graph).unwrap();
+    let out = run(&sharded, &shard_feeds).unwrap();
+    for &t in std::iter::once(&m.loss).chain(m.grads.iter().map(|(_, gw)| gw)) {
+        let expect = &base_vals[&t];
+        let got = sharded.gather(t, expect.shape(), &out.values).unwrap();
+        assert!(got.allclose(expect, 1e-3), "tensor {} diverged", m.graph.tensor(t).name);
+    }
+
+    assert_report(&sharded, &shard_feeds, "wresnet w=2");
+}

@@ -85,6 +85,9 @@ impl Idx {
 
     /// Divides the coordinate by an integer factor — models the *region*
     /// semantics of strided backward operators.
+    // Deliberately an inherent method, not `std::ops::Div`: the TDL grammar
+    // only allows division by integer literals, not by another `Idx`.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, k: i64) -> Idx {
         Idx(IndexExpr::Affine(self.affine().scale(1.0 / k as f64)))
     }

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# The repo's CI gate: lint with warnings-as-errors, then the full test suite.
+# Usage: scripts/check.sh  (optionally TOFU_SEED=n for a shifted random stream)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test --workspace -q

@@ -11,6 +11,7 @@
 //! | [`graph`] | `tofu-graph` | dataflow IR, operator registry, autodiff, memory planner |
 //! | [`core`] | `tofu-core` | coarsening, the recursive DP search, partitioned-graph generation, baseline partitioners (§5-§6) |
 //! | [`sim`] | `tofu-sim` | the 8-GPU discrete-event simulator and training baselines (§7) |
+//! | [`runtime`] | `tofu-runtime` | multi-worker threaded executor for partitioned graphs |
 //! | [`models`] | `tofu-models` | WResNet, multi-layer LSTM, MLP and CNN training graphs |
 //!
 //! # Quickstart
@@ -37,6 +38,7 @@
 pub use tofu_core as core;
 pub use tofu_graph as graph;
 pub use tofu_models as models;
+pub use tofu_runtime as runtime;
 pub use tofu_sim as sim;
 pub use tofu_tdl as tdl;
 pub use tofu_tensor as tensor;

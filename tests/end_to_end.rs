@@ -134,6 +134,101 @@ fn non_power_of_two_workers() {
     validate(&model, 3, 1e-3);
 }
 
+/// Scatter → threaded runtime → gather must reproduce the unpartitioned
+/// `Executor::run`, exercising the real channel interconnect rather than a
+/// second single-threaded executor.
+fn validate_runtime(model: &BuiltModel, workers: usize, tol: f32) {
+    let g = &model.graph;
+    let plan = partition(g, &PartitionOptions { workers, ..Default::default() })
+        .expect("partition succeeds");
+    let sharded = generate(g, &plan, &GenOptions::default()).expect("generation succeeds");
+    assert!(sharded.exact, "expected an exactly executable plan");
+
+    let mut base = Executor::new();
+    let mut shard_feeds = Vec::new();
+    for (t, v) in feeds(g) {
+        base.feed(t, v.clone());
+        shard_feeds.extend(sharded.scatter(t, &v).expect("scatter"));
+    }
+    let base_vals = base.run(g).expect("single-device run");
+    let out = tofu::runtime::run(&sharded, &shard_feeds).expect("runtime run");
+    assert_eq!(out.trace.workers.len(), workers);
+
+    let mut to_check: Vec<TensorId> = vec![model.loss];
+    to_check.extend(model.grads.iter().map(|&(_, gw)| gw));
+    for t in to_check {
+        let expect = &base_vals[&t];
+        let got = sharded.gather(t, expect.shape(), &out.values).expect("gather");
+        assert!(
+            got.allclose(expect, tol),
+            "tensor {} diverged between the executor and the {workers}-worker runtime",
+            g.tensor(t).name
+        );
+    }
+}
+
+#[test]
+fn runtime_matches_executor_on_mlp() {
+    let model = mlp(&MlpConfig {
+        batch: 16,
+        dims: vec![32, 64, 32],
+        classes: 8,
+        with_updates: true,
+    })
+    .unwrap();
+    for workers in [2, 4, 8] {
+        validate_runtime(&model, workers, 1e-3);
+    }
+}
+
+#[test]
+fn runtime_matches_executor_on_cnn() {
+    let model = small_cnn(&SmallCnnConfig {
+        batch: 8,
+        channels: 4,
+        image: 8,
+        conv_channels: 8,
+        conv_layers: 2,
+        classes: 4,
+    })
+    .unwrap();
+    for workers in [2, 4] {
+        validate_runtime(&model, workers, 1e-3);
+    }
+}
+
+mod runtime_roundtrip_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+        /// For arbitrary (power-of-two) MLP shapes, the 1- and 4-worker
+        /// runtimes both reproduce the unpartitioned executor.
+        #[test]
+        fn runtime_roundtrip_over_shapes(
+            batch_pow in 2u32..5,
+            hidden_pow in 3u32..6,
+            classes in prop::sample::select(vec![4usize, 8]),
+        ) {
+            let batch = 1usize << batch_pow;
+            let hidden = 1usize << hidden_pow;
+            prop_assume!(batch >= 4);
+            let model = mlp(&MlpConfig {
+                batch,
+                dims: vec![hidden, hidden],
+                classes,
+                with_updates: false,
+            })
+            .unwrap();
+            for workers in [1usize, 4] {
+                validate_runtime(&model, workers, 1e-4);
+            }
+        }
+    }
+}
+
 #[test]
 fn baseline_partitioners_are_also_transparent() {
     use tofu::core::baselines::{run, Algorithm};
@@ -146,7 +241,7 @@ fn baseline_partitioners_are_also_transparent() {
     .unwrap();
     let g = &model.graph;
     for alg in Algorithm::all() {
-        let plan = run(g, alg, 4).expect(alg.label());
+        let plan = run(g, alg, 4).unwrap_or_else(|e| panic!("{}: {e}", alg.label()));
         let sharded = generate(g, &plan, &GenOptions::default()).expect("generation");
         let mut base = Executor::new();
         let mut part = Executor::new();
