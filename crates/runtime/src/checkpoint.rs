@@ -1,0 +1,157 @@
+//! Checkpoint-restart recovery.
+//!
+//! A [`CheckpointPolicy`] makes every worker snapshot its live values at
+//! *barrier* positions derived from the **global** schedule: checkpoint `k`
+//! covers the first `k·every` nodes of the sharded graph's topological
+//! order, and each worker's local cut for `k` is the length of its schedule
+//! prefix inside that global prefix. Workers cross their cuts asynchronously;
+//! a checkpoint is *consistent* once every worker has recorded it.
+//!
+//! Consistency argument (see DESIGN.md "Failure model"): a worker's values
+//! map after its cut prefix is a pure function of the feeds, because worker
+//! schedules are subsequences of one topological order and kernels are
+//! deterministic. On restart from checkpoint `k`, channels are empty, so the
+//! only missing state is messages: every piece a not-yet-executed consumer
+//! needs is either produced *after* the sender's cut (re-sent naturally
+//! during replay) or *before* it (replayed from the snapshot as an "owed
+//! send" at resume startup). Pieces whose consumers already ran are not
+//! re-sent. Hence the resumed run receives exactly the healthy run's
+//! messages, and its output is bit-identical.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use tofu_core::ShardedGraph;
+use tofu_graph::TensorId;
+use tofu_tensor::Tensor;
+
+use crate::error::RunFailure;
+use crate::RunOutput;
+
+/// Snapshot cadence, in **global** schedule steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Snapshot after every `every` nodes of the global topological order.
+    pub every: usize,
+}
+
+/// Retry policy of [`run_with_recovery`](crate::run_with_recovery).
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryOptions {
+    /// Total attempts (first run included). At least 1.
+    pub max_attempts: usize,
+    /// Sleep before the first retry; doubles after each further failure.
+    pub backoff: Duration,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions { max_attempts: 3, backoff: Duration::from_millis(10) }
+    }
+}
+
+/// What a recovered run hands back: the (verified-resumable) output plus the
+/// failure history that led to it.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// The successful run's output.
+    pub output: RunOutput,
+    /// Attempts consumed, first run included.
+    pub attempts: usize,
+    /// The failure of every aborted attempt, in order.
+    pub failures: Vec<RunFailure>,
+    /// Per retry: the checkpoint it resumed from (`None` = clean restart).
+    pub resumed_from: Vec<Option<usize>>,
+}
+
+/// Per-worker cut positions of every checkpoint: `cuts[k - 1][w]` is the
+/// local schedule prefix worker `w` must complete for checkpoint `k`.
+pub(crate) fn checkpoint_cuts(sharded: &ShardedGraph, every: usize) -> Vec<Vec<usize>> {
+    let n = sharded.graph.num_nodes();
+    let k = sharded.workers;
+    // Global topological position of every node (node_ids is the global
+    // schedule order).
+    let mut global_pos = vec![0usize; n];
+    for (i, id) in sharded.graph.node_ids().enumerate() {
+        global_pos[id.0] = i;
+    }
+    let mut cuts = Vec::new();
+    let mut barrier = every;
+    while barrier < n {
+        let cut: Vec<usize> = (0..k)
+            .map(|w| {
+                sharded
+                    .worker_schedule(w)
+                    .iter()
+                    .filter(|id| global_pos[id.0] < barrier)
+                    .count()
+            })
+            .collect();
+        cuts.push(cut);
+        barrier += every;
+    }
+    cuts
+}
+
+/// A consistent checkpoint selected for resumption.
+#[derive(Debug)]
+pub(crate) struct ResumePoint {
+    /// 1-based checkpoint id.
+    pub ckpt: usize,
+    /// Local cut per worker.
+    pub cuts: Vec<usize>,
+    /// Snapshot values per worker.
+    pub values: Vec<BTreeMap<TensorId, Tensor>>,
+}
+
+/// Snapshots recorded so far, keyed by `(checkpoint, worker)`. Shared across
+/// the attempts of one `run_with_recovery` call.
+#[derive(Debug, Default)]
+pub(crate) struct CheckpointStore {
+    snaps: BTreeMap<(usize, usize), BTreeMap<TensorId, Tensor>>,
+}
+
+impl CheckpointStore {
+    pub(crate) fn record(&mut self, ckpt: usize, worker: usize, values: BTreeMap<TensorId, Tensor>) {
+        self.snaps.insert((ckpt, worker), values);
+    }
+
+    /// The highest checkpoint every one of `workers` workers has recorded.
+    pub(crate) fn latest_consistent(&self, workers: usize, max_ckpt: usize) -> Option<usize> {
+        (1..=max_ckpt)
+            .rev()
+            .find(|&k| (0..workers).all(|w| self.snaps.contains_key(&(k, w))))
+    }
+
+    /// Assembles the resume point for checkpoint `k` (which must be
+    /// consistent).
+    pub(crate) fn resume_point(
+        &self,
+        k: usize,
+        workers: usize,
+        cuts: &[Vec<usize>],
+    ) -> ResumePoint {
+        ResumePoint {
+            ckpt: k,
+            cuts: cuts[k - 1].clone(),
+            values: (0..workers).map(|w| self.snaps[&(k, w)].clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latest_consistent_requires_every_worker() {
+        let mut s = CheckpointStore::default();
+        assert_eq!(s.latest_consistent(2, 3), None);
+        s.record(1, 0, BTreeMap::new());
+        s.record(1, 1, BTreeMap::new());
+        s.record(2, 0, BTreeMap::new());
+        assert_eq!(s.latest_consistent(2, 3), Some(1), "checkpoint 2 misses worker 1");
+        s.record(2, 1, BTreeMap::new());
+        assert_eq!(s.latest_consistent(2, 3), Some(2));
+    }
+}

@@ -1,23 +1,81 @@
-//! Runtime error type.
+//! Runtime error type and the structured failure record of an aborted run.
+//!
+//! Every variant that can originate on a worker thread carries the worker id,
+//! so a multi-worker failure is attributable from the `Display` output alone.
+//! A run that aborts cooperatively returns [`RuntimeError::Failed`] wrapping a
+//! [`RunFailure`]: the first-failing worker, the node it was executing, the
+//! typed root cause, how fast every healthy peer observed the abort, and the
+//! partial [`RunTrace`](crate::RunTrace) preserved for post-mortem analysis.
 
 use std::fmt;
+use std::time::Duration;
 
 use tofu_core::CoreError;
-use tofu_graph::GraphError;
+use tofu_graph::{GraphError, NodeId};
+
+use crate::trace::RunTrace;
 
 /// Anything that can go wrong executing a sharded graph across workers.
 #[derive(Debug)]
 pub enum RuntimeError {
-    /// A kernel or graph lookup failed on some worker.
-    Exec(GraphError),
+    /// A kernel or graph lookup failed on a worker.
+    Exec {
+        /// Worker the kernel ran on.
+        worker: usize,
+        /// The underlying graph/kernel error.
+        source: GraphError,
+    },
     /// Scatter/gather bookkeeping failed.
     Core(CoreError),
     /// A leaf shard owned by a worker was not fed.
-    MissingFeed(String),
-    /// A cross-worker transfer failed (peer died or stalled).
-    Comm(String),
-    /// The planner-seeded buffer pool and the plan disagreed.
-    Pool(String),
+    MissingFeed {
+        /// Worker that owns the missing shard.
+        worker: usize,
+        /// Name of the unfed tensor.
+        tensor: String,
+    },
+    /// A cross-worker transfer failed: peer died, stalled, or the link
+    /// integrity checks (sequence number, checksum, expected piece) tripped.
+    Comm {
+        /// Worker that detected the violation.
+        worker: usize,
+        /// What exactly was violated.
+        detail: String,
+    },
+    /// The planner-seeded buffer pool and the plan disagreed, or a configured
+    /// byte budget was exceeded.
+    Pool {
+        /// Worker whose pool diverged.
+        worker: usize,
+        /// What diverged.
+        detail: String,
+    },
+    /// A worker thread panicked; the payload message is preserved.
+    WorkerPanic {
+        /// Worker that panicked.
+        worker: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// A worker stopped because a *peer* tripped the shared abort token.
+    Aborted {
+        /// Worker that observed the abort.
+        worker: usize,
+        /// Worker that tripped the token.
+        by: usize,
+    },
+    /// A fault injected by the configured [`FaultPlan`](crate::FaultPlan).
+    Injected {
+        /// Worker the fault was injected into.
+        worker: usize,
+        /// Which fault fired.
+        detail: String,
+    },
+    /// `RunOptions` (or the sharded graph itself) failed up-front validation.
+    InvalidOptions(String),
+    /// The run aborted; the boxed record names the first failure and keeps
+    /// the partial traces.
+    Failed(Box<RunFailure>),
     /// Internal invariant violation.
     Internal(String),
 }
@@ -25,11 +83,30 @@ pub enum RuntimeError {
 impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RuntimeError::Exec(e) => write!(f, "execution failed: {e}"),
+            RuntimeError::Exec { worker, source } => {
+                write!(f, "worker {worker}: execution failed: {source}")
+            }
             RuntimeError::Core(e) => write!(f, "partition bookkeeping failed: {e}"),
-            RuntimeError::MissingFeed(t) => write!(f, "leaf shard not fed: {t}"),
-            RuntimeError::Comm(m) => write!(f, "cross-worker transfer failed: {m}"),
-            RuntimeError::Pool(m) => write!(f, "buffer pool diverged from plan: {m}"),
+            RuntimeError::MissingFeed { worker, tensor } => {
+                write!(f, "worker {worker}: leaf shard not fed: {tensor}")
+            }
+            RuntimeError::Comm { worker, detail } => {
+                write!(f, "worker {worker}: cross-worker transfer failed: {detail}")
+            }
+            RuntimeError::Pool { worker, detail } => {
+                write!(f, "worker {worker}: buffer pool diverged from plan: {detail}")
+            }
+            RuntimeError::WorkerPanic { worker, message } => {
+                write!(f, "worker {worker}: panicked: {message}")
+            }
+            RuntimeError::Aborted { worker, by } => {
+                write!(f, "worker {worker}: aborted (worker {by} failed first)")
+            }
+            RuntimeError::Injected { worker, detail } => {
+                write!(f, "worker {worker}: injected fault: {detail}")
+            }
+            RuntimeError::InvalidOptions(m) => write!(f, "invalid run options: {m}"),
+            RuntimeError::Failed(failure) => failure.fmt(f),
             RuntimeError::Internal(m) => write!(f, "internal runtime error: {m}"),
         }
     }
@@ -38,21 +115,59 @@ impl fmt::Display for RuntimeError {
 impl std::error::Error for RuntimeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            RuntimeError::Exec(e) => Some(e),
+            RuntimeError::Exec { source, .. } => Some(source),
             RuntimeError::Core(e) => Some(e),
+            RuntimeError::Failed(failure) => Some(&*failure.cause),
             _ => None,
         }
-    }
-}
-
-impl From<GraphError> for RuntimeError {
-    fn from(e: GraphError) -> Self {
-        RuntimeError::Exec(e)
     }
 }
 
 impl From<CoreError> for RuntimeError {
     fn from(e: CoreError) -> Self {
         RuntimeError::Core(e)
+    }
+}
+
+/// Post-mortem record of an aborted multi-worker run.
+#[derive(Debug)]
+pub struct RunFailure {
+    /// The first worker that failed (tripped the shared abort token).
+    pub worker: usize,
+    /// The node that worker was executing when it failed, if any.
+    pub node: Option<NodeId>,
+    /// That node's position in the worker's serial schedule.
+    pub pos: Option<usize>,
+    /// The first failure's typed root cause (never `Aborted` or `Failed`).
+    pub cause: Box<RuntimeError>,
+    /// Per healthy worker: time from the token tripping to that worker
+    /// observing it and stopping. Workers already finished do not appear.
+    pub detection: Vec<(usize, Duration)>,
+    /// Partial traces of every worker that got far enough to produce one
+    /// (a panicking worker loses its trace to the unwind).
+    pub trace: RunTrace,
+}
+
+impl RunFailure {
+    /// The slowest abort observation among healthy workers, if any observed.
+    pub fn max_detection(&self) -> Option<Duration> {
+        self.detection.iter().map(|&(_, d)| d).max()
+    }
+}
+
+impl fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "run aborted: worker {} failed", self.worker)?;
+        if let Some(n) = self.node {
+            write!(f, " at node {}", n.0)?;
+        }
+        if let Some(p) = self.pos {
+            write!(f, " (schedule step {p})")?;
+        }
+        write!(f, ": {}", self.cause)?;
+        if let Some(d) = self.max_detection() {
+            write!(f, "; {} peer(s) aborted within {d:?}", self.detection.len())?;
+        }
+        Ok(())
     }
 }

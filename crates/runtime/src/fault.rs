@@ -1,0 +1,247 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] in [`RunOptions`](crate::RunOptions) names exactly which
+//! failures to inject and where: kill or panic a worker at a chosen schedule
+//! position, tamper with the n-th message on a chosen link (drop, duplicate,
+//! corrupt, delay), or force a buffer-pool over-budget event. Injection
+//! points are schedule positions and per-link message indices — both
+//! deterministic for a given sharded graph — so every run of a plan exercises
+//! the identical failure path.
+//!
+//! Each fault fires **once** per [`FaultState`], and `run_with_recovery`
+//! shares one state across retries: injected faults model *transient*
+//! failures, so the retry observes a healthy world and can validate the
+//! checkpoint-restart path.
+//!
+//! [`FaultRng`] is a small deterministic generator (SplitMix64) for deriving
+//! fault sites from a seed — used by the `fault_matrix` bench and tests to
+//! sweep schedule positions without hand-picking them.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// What to do to one targeted cross-worker message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageFault {
+    /// Swallow the message (the wire loses it).
+    Drop,
+    /// Deliver the message twice.
+    Duplicate,
+    /// Flip a payload bit after the checksum is computed.
+    Corrupt,
+    /// Hold the message back for the given time before sending.
+    Delay(Duration),
+}
+
+/// One injected failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Worker `worker` dies silently just before executing schedule
+    /// position `pos` (clamped to its last position).
+    Kill {
+        /// Victim worker.
+        worker: usize,
+        /// Local schedule position at which it dies.
+        pos: usize,
+    },
+    /// Worker `worker` panics just before executing schedule position `pos`.
+    Panic {
+        /// Victim worker.
+        worker: usize,
+        /// Local schedule position at which it panics.
+        pos: usize,
+    },
+    /// Tamper with the `index`-th message (0-based, in send order, startup
+    /// sends included) that `src` pushes to `dst`.
+    Message {
+        /// Sending worker.
+        src: usize,
+        /// Receiving worker.
+        dst: usize,
+        /// 0-based message index on the `src → dst` link.
+        index: u64,
+        /// What to do to it.
+        action: MessageFault,
+    },
+    /// Clamp worker `worker`'s buffer-pool budget below its current
+    /// occupancy just before schedule position `pos`, forcing the next
+    /// `apply` to fail with an over-budget pool error.
+    PoolOverBudget {
+        /// Victim worker.
+        worker: usize,
+        /// Local schedule position at which the budget clamps.
+        pos: usize,
+    },
+}
+
+/// The full set of faults to inject into one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Faults to inject; order is irrelevant.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no injection).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan with a single fault.
+    pub fn single(fault: Fault) -> FaultPlan {
+        FaultPlan { faults: vec![fault] }
+    }
+
+    /// Adds a fault, builder style.
+    pub fn with(mut self, fault: Fault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// True when nothing is injected.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Deterministic SplitMix64 stream for deriving fault sites from a seed.
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// A stream seeded by `seed`; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> FaultRng {
+        FaultRng { state: seed ^ 0x9e3779b97f4a7c15 }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value below `n` (`n` must be positive).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "FaultRng::below(0)");
+        self.next_u64() % n
+    }
+}
+
+/// A step fault that fired at a worker's schedule position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepFault {
+    Kill,
+    Panic,
+    PoolOverBudget,
+}
+
+/// Shared fire-once state of a plan. One `FaultState` spans every retry of a
+/// `run_with_recovery` call, so each fault is observed by exactly one
+/// attempt.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    faults: Vec<(Fault, AtomicBool)>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: &FaultPlan) -> FaultState {
+        FaultState {
+            faults: plan.faults.iter().map(|f| (f.clone(), AtomicBool::new(false))).collect(),
+        }
+    }
+
+    /// Marks fault `i` fired; true if this call fired it first.
+    fn fire(&self, i: usize) -> bool {
+        !self.faults[i].1.swap(true, Ordering::AcqRel)
+    }
+
+    /// The step faults (kill/panic/pool) firing for `worker` just before its
+    /// local schedule position `pos`. `last` is the worker's final position,
+    /// used to clamp out-of-range injection sites so "late" faults on short
+    /// schedules still fire.
+    pub(crate) fn step_faults(&self, worker: usize, pos: usize, last: usize) -> Vec<StepFault> {
+        let mut out = Vec::new();
+        for (i, (f, _)) in self.faults.iter().enumerate() {
+            let (w, p, kind) = match f {
+                Fault::Kill { worker, pos } => (*worker, *pos, StepFault::Kill),
+                Fault::Panic { worker, pos } => (*worker, *pos, StepFault::Panic),
+                Fault::PoolOverBudget { worker, pos } => {
+                    (*worker, *pos, StepFault::PoolOverBudget)
+                }
+                Fault::Message { .. } => continue,
+            };
+            if w == worker && p.min(last) == pos && self.fire(i) {
+                out.push(kind);
+            }
+        }
+        out
+    }
+
+    /// The message fault (if any) targeting the `index`-th message that
+    /// `src` pushes to `dst`.
+    pub(crate) fn message_action(
+        &self,
+        src: usize,
+        dst: usize,
+        index: u64,
+    ) -> Option<MessageFault> {
+        for (i, (f, _)) in self.faults.iter().enumerate() {
+            if let Fault::Message { src: s, dst: d, index: n, action } = f {
+                if *s == src && *d == dst && *n == index && self.fire(i) {
+                    return Some(*action);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_faults_fire_once() {
+        let st = FaultState::new(&FaultPlan::single(Fault::Kill { worker: 1, pos: 3 }));
+        assert!(st.step_faults(0, 3, 10).is_empty(), "wrong worker");
+        assert!(st.step_faults(1, 2, 10).is_empty(), "wrong position");
+        assert_eq!(st.step_faults(1, 3, 10), vec![StepFault::Kill]);
+        assert!(st.step_faults(1, 3, 10).is_empty(), "faults are one-shot");
+    }
+
+    #[test]
+    fn out_of_range_position_clamps_to_last() {
+        let st = FaultState::new(&FaultPlan::single(Fault::Panic { worker: 0, pos: 99 }));
+        assert!(st.step_faults(0, 4, 5).is_empty());
+        assert_eq!(st.step_faults(0, 5, 5), vec![StepFault::Panic]);
+    }
+
+    #[test]
+    fn message_action_matches_link_and_index() {
+        let st = FaultState::new(&FaultPlan::single(Fault::Message {
+            src: 0,
+            dst: 2,
+            index: 1,
+            action: MessageFault::Drop,
+        }));
+        assert_eq!(st.message_action(0, 2, 0), None);
+        assert_eq!(st.message_action(1, 2, 1), None);
+        assert_eq!(st.message_action(0, 2, 1), Some(MessageFault::Drop));
+        assert_eq!(st.message_action(0, 2, 1), None, "message faults are one-shot");
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = FaultRng::new(7);
+        let mut b = FaultRng::new(7);
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert!(FaultRng::new(1).below(10) < 10);
+    }
+}

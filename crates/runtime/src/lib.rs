@@ -24,11 +24,43 @@
 //! The run records a [`RunTrace`] — per-op wall-clock events, per-link
 //! bytes, per-worker pool peaks — for side-by-side comparison with the
 //! simulator's predictions.
+//!
+//! # Fault tolerance
+//!
+//! The runtime is built to *fail fast and recover* (DESIGN.md "Failure
+//! model"):
+//!
+//! - **Cooperative abort.** Every worker shares an [`AbortToken`]; the first
+//!   failure (kernel error, integrity violation, panic, injected fault)
+//!   trips it, and every other worker observes the trip between schedule
+//!   steps and inside its receive loop (at [`RunOptions::abort_poll`]
+//!   granularity), so a dead peer stops the run in milliseconds instead of
+//!   stalling healthy workers for the full `recv_timeout`. The run returns
+//!   [`RuntimeError::Failed`] wrapping a [`RunFailure`] that names the
+//!   first-failing worker and node and preserves the partial traces.
+//! - **Message integrity.** Every [`Msg`] carries the sending worker, a
+//!   per-link sequence number and a payload checksum; the receiver checks
+//!   all three plus the expected piece (consumer node, input index, block
+//!   shape) before stashing, so dropped, duplicated, reordered, misrouted or
+//!   corrupted pieces surface as typed [`RuntimeError::Comm`] errors instead
+//!   of wrong tensors.
+//! - **Fault injection.** A [`FaultPlan`] in [`RunOptions`] deterministically
+//!   kills or panics a worker at a schedule position, tampers with a chosen
+//!   message, or forces a pool over-budget event — so every failure path
+//!   above is testable.
+//! - **Checkpoint-restart.** A [`CheckpointPolicy`] snapshots worker values
+//!   at global-schedule barriers and [`run_with_recovery`] retries a faulted
+//!   run with exponential backoff, resuming from the last consistent
+//!   checkpoint and replaying owed sends; recovered output is bit-identical
+//!   to an undisturbed run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod abort;
+mod checkpoint;
 mod error;
+mod fault;
 mod pool;
 mod trace;
 
@@ -39,29 +71,53 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use tofu_core::{fetch_pieces, CommEdge, FetchPiece, ShardedGraph};
 use tofu_graph::{execute_node, plan_buffers, BufferPlan, NodeId, TensorId, TensorKind};
-use tofu_tensor::{Shape, Tensor};
+use tofu_tensor::Tensor;
 
-pub use error::RuntimeError;
+pub use abort::{AbortCause, AbortToken};
+pub use checkpoint::{CheckpointPolicy, RecoveryOptions, RecoveryReport};
+pub use error::{RunFailure, RuntimeError};
+pub use fault::{Fault, FaultPlan, FaultRng, MessageFault};
 pub use pool::BufferPool;
 pub use trace::{LinkStat, OpEvent, RunTrace, WorkerTrace};
+
+use checkpoint::{checkpoint_cuts, CheckpointStore, ResumePoint};
+use fault::{FaultState, StepFault};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, RuntimeError>;
 
 /// Knobs of a run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunOptions {
     /// Replay the planner with cross-op buffer reuse (the Fig. 7 control
     /// dependencies make this safe; turning it off models the ablation).
     pub buffer_reuse: bool,
     /// How long a worker waits on a remote piece before declaring the run
-    /// stalled (guards against a dead peer; never hit on healthy runs).
+    /// stalled (guards against a dropped piece with no later traffic on the
+    /// link; never hit on healthy runs).
     pub recv_timeout: Duration,
+    /// Granularity at which blocked workers poll the shared abort token;
+    /// bounds how stale a worker's view of a peer failure can be.
+    pub abort_poll: Duration,
+    /// Faults to inject (empty by default).
+    pub faults: FaultPlan,
+    /// Snapshot cadence for checkpoint-restart (`None` = no snapshots).
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Optional per-worker cap on resident pool bytes; exceeding it fails
+    /// the run with a typed over-budget pool error.
+    pub pool_budget: Option<u64>,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { buffer_reuse: true, recv_timeout: Duration::from_secs(60) }
+        RunOptions {
+            buffer_reuse: true,
+            recv_timeout: Duration::from_secs(60),
+            abort_poll: Duration::from_millis(5),
+            faults: FaultPlan::none(),
+            checkpoint: None,
+            pool_budget: None,
+        }
     }
 }
 
@@ -77,10 +133,14 @@ pub struct RunOutput {
 }
 
 /// One cross-worker message: the extracted piece input `input_index` of
-/// `consumer` is waiting for.
+/// `consumer` is waiting for, stamped with the integrity metadata the
+/// receiver verifies (sender, per-link sequence number, payload checksum).
 struct Msg {
+    src: usize,
+    seq: u64,
     consumer: NodeId,
     input_index: usize,
+    checksum: u64,
     piece: Tensor,
 }
 
@@ -88,9 +148,79 @@ struct Msg {
 /// for every other worker (`None` at its own slot).
 type Ports = (Receiver<Msg>, Vec<Option<Sender<Msg>>>);
 
-/// What one worker thread hands back: its trace, the values it produced, and
-/// per-destination (bytes, messages) send tallies.
-type WorkerOutput = (WorkerTrace, BTreeMap<TensorId, Tensor>, Vec<(u64, u64)>);
+/// What one worker thread hands back, success or not.
+struct WorkerOutcome {
+    /// The (possibly partial) trace; `None` when a panic unwound the worker
+    /// before one could be assembled.
+    trace: Option<WorkerTrace>,
+    values: BTreeMap<TensorId, Tensor>,
+    /// Per destination: (bytes, messages) pushed.
+    sent: Vec<(u64, u64)>,
+    error: Option<RuntimeError>,
+    /// Time from the abort token tripping to this worker observing it.
+    observed: Option<Duration>,
+}
+
+/// FNV-1a over the payload's f32 bit patterns; cheap and deterministic.
+fn payload_checksum(data: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for v in data {
+        h ^= v.to_bits() as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Up-front validation of the run configuration, so misconfiguration fails
+/// with a clear [`RuntimeError::InvalidOptions`] before any thread spawns.
+fn validate(sharded: &ShardedGraph, opts: &RunOptions) -> Result<()> {
+    let k = sharded.workers;
+    let invalid = |m: String| Err(RuntimeError::InvalidOptions(m));
+    if k == 0 {
+        return invalid("sharded graph declares zero workers".into());
+    }
+    if opts.recv_timeout.is_zero() {
+        return invalid("recv_timeout must be positive (a zero timeout stalls instantly)".into());
+    }
+    if opts.abort_poll.is_zero() {
+        return invalid("abort_poll must be positive".into());
+    }
+    if let Some(cp) = opts.checkpoint {
+        if cp.every == 0 {
+            return invalid("checkpoint interval must be positive".into());
+        }
+    }
+    for f in &opts.faults.faults {
+        match *f {
+            Fault::Kill { worker, .. }
+            | Fault::Panic { worker, .. }
+            | Fault::PoolOverBudget { worker, .. } => {
+                if worker >= k {
+                    return invalid(format!("fault targets worker {worker} of {k}"));
+                }
+            }
+            Fault::Message { src, dst, .. } => {
+                if src >= k || dst >= k {
+                    return invalid(format!("message fault targets link {src} -> {dst} of {k}"));
+                }
+                if src == dst {
+                    return invalid(format!("message fault targets self-link {src} -> {dst}"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
 
 /// Executes `sharded` across one thread per worker with default options.
 /// `feeds` carries values for the sharded graph's leaf tensors (typically
@@ -105,18 +235,126 @@ pub fn run_with_options(
     feeds: &[(TensorId, Tensor)],
     opts: &RunOptions,
 ) -> Result<RunOutput> {
+    validate(sharded, opts)?;
+    let faults = FaultState::new(&opts.faults);
+    let store = Mutex::new(CheckpointStore::default());
+    run_attempt(sharded, feeds, opts, &faults, &store, None)
+}
+
+/// [`run_with_options`] plus retry: a faulted run is re-attempted with
+/// exponential backoff, resuming from the last *consistent* checkpoint when
+/// `opts.checkpoint` is set (and from scratch otherwise). Injected faults
+/// fire once across all attempts — they model transient failures — so the
+/// retry observes a healthy world. The recovered output is bit-identical to
+/// an undisturbed run (see DESIGN.md "Failure model" for the argument).
+pub fn run_with_recovery(
+    sharded: &ShardedGraph,
+    feeds: &[(TensorId, Tensor)],
+    opts: &RunOptions,
+    recovery: &RecoveryOptions,
+) -> Result<RecoveryReport> {
+    validate(sharded, opts)?;
+    if recovery.max_attempts == 0 {
+        return Err(RuntimeError::InvalidOptions("max_attempts must be at least 1".into()));
+    }
+    let faults = FaultState::new(&opts.faults);
+    let store = Mutex::new(CheckpointStore::default());
+    let cuts = match opts.checkpoint {
+        Some(cp) => checkpoint_cuts(sharded, cp.every),
+        None => Vec::new(),
+    };
+    let mut failures = Vec::new();
+    let mut resumed_from = Vec::new();
+    let mut backoff = recovery.backoff;
+    for attempt in 1..=recovery.max_attempts {
+        let resume: Option<ResumePoint> = if attempt == 1 {
+            None
+        } else {
+            let s = store.lock();
+            let point = s
+                .latest_consistent(sharded.workers, cuts.len())
+                .map(|ckpt| s.resume_point(ckpt, sharded.workers, &cuts));
+            resumed_from.push(point.as_ref().map(|p| p.ckpt));
+            point
+        };
+        match run_attempt(sharded, feeds, opts, &faults, &store, resume.as_ref()) {
+            Ok(output) => {
+                return Ok(RecoveryReport { output, attempts: attempt, failures, resumed_from })
+            }
+            Err(RuntimeError::Failed(f)) => {
+                failures.push(*f);
+                if attempt < recovery.max_attempts && !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+            }
+            // Configuration errors are not retryable.
+            Err(e) => return Err(e),
+        }
+    }
+    let last = failures.pop().expect("every exhausted attempt recorded a failure");
+    Err(RuntimeError::Failed(Box::new(last)))
+}
+
+/// One execution attempt: spawns the workers, collects their outcomes, and
+/// on any failure assembles the [`RunFailure`] post-mortem.
+fn run_attempt(
+    sharded: &ShardedGraph,
+    feeds: &[(TensorId, Tensor)],
+    opts: &RunOptions,
+    faults: &FaultState,
+    store: &Mutex<CheckpointStore>,
+    resume: Option<&ResumePoint>,
+) -> Result<RunOutput> {
     let k = sharded.workers;
     let edges = sharded.comm_edges();
 
+    // Local schedule position of every node within its own worker.
+    let mut local_pos = vec![0usize; sharded.graph.num_nodes()];
+    for w in 0..k {
+        for (i, id) in sharded.worker_schedule(w).iter().enumerate() {
+            local_pos[id.0] = i;
+        }
+    }
+
+    // Checkpoint barriers: per worker, which checkpoint ids to record at
+    // which local schedule position.
+    let cuts: Vec<Vec<usize>> = match opts.checkpoint {
+        Some(cp) => checkpoint_cuts(sharded, cp.every),
+        None => Vec::new(),
+    };
+    let mut ckpts_at: Vec<BTreeMap<usize, Vec<usize>>> = vec![BTreeMap::new(); k];
+    for (ki, cut) in cuts.iter().enumerate() {
+        for (w, map) in ckpts_at.iter_mut().enumerate() {
+            map.entry(cut[w]).or_default().push(ki + 1);
+        }
+    }
+
     // Producer-side send lists: leaf shards go out at startup (their owner
     // has them before any node runs); computed tensors go out right after
-    // their producing node executes.
+    // their producing node executes. On resume, pieces whose consumer
+    // already ran before the checkpoint are skipped, and pieces produced
+    // before the sender's cut are *owed* — replayed from the snapshot at
+    // startup.
     let mut startup_sends: Vec<Vec<&CommEdge>> = vec![Vec::new(); k];
     let mut node_sends: BTreeMap<NodeId, Vec<&CommEdge>> = BTreeMap::new();
     for e in &edges {
-        match sharded.graph.producer(e.tensor) {
-            Some(p) => node_sends.entry(p).or_default().push(e),
-            None => startup_sends[e.src].push(e),
+        if let Some(r) = resume {
+            if local_pos[e.consumer.0] < r.cuts[e.dst] {
+                continue; // consumer ran before the checkpoint; piece not needed
+            }
+            match sharded.graph.producer(e.tensor) {
+                Some(p) if local_pos[p.0] >= r.cuts[e.src] => {
+                    node_sends.entry(p).or_default().push(e)
+                }
+                // Leaf shard, or produced before the sender's cut: owed.
+                _ => startup_sends[e.src].push(e),
+            }
+        } else {
+            match sharded.graph.producer(e.tensor) {
+                Some(p) => node_sends.entry(p).or_default().push(e),
+                None => startup_sends[e.src].push(e),
+            }
         }
     }
 
@@ -140,8 +378,8 @@ pub fn run_with_options(
         .collect();
     drop(txs);
 
-    type WorkerResult = Result<WorkerOutput>;
-    let results: Mutex<Vec<Option<WorkerResult>>> = Mutex::new((0..k).map(|_| None).collect());
+    let token = AbortToken::new();
+    let results: Mutex<Vec<Option<WorkerOutcome>>> = Mutex::new((0..k).map(|_| None).collect());
     let epoch = Instant::now();
 
     std::thread::scope(|scope| {
@@ -149,36 +387,148 @@ pub fn run_with_options(
             let startup = &startup_sends[w];
             let node_sends = &node_sends;
             let results = &results;
+            let token = token.clone();
+            let ckpts_at = &ckpts_at[w];
+            let store = opts.checkpoint.map(|_| store);
+            let resume_data = resume.map(|r| (r.cuts[w], &r.values[w]));
             scope.spawn(move || {
-                let res = Worker::new(sharded, w, feeds, rx, out, epoch, opts)
-                    .and_then(|mut worker| worker.run(startup, node_sends));
+                let outcome = run_worker(
+                    sharded, w, feeds, rx, out, epoch, opts, faults, &token, ckpts_at, store,
+                    resume_data, startup, node_sends,
+                );
                 if let Some(slot) = results.lock().get_mut(w) {
-                    *slot = Some(res);
+                    *slot = Some(outcome);
                 }
             });
         }
     });
 
     let wall = epoch.elapsed();
-    let mut workers = Vec::with_capacity(k);
+    let mut workers = Vec::new();
     let mut values = BTreeMap::new();
-    let mut sent: Vec<Vec<(u64, u64)>> = Vec::with_capacity(k);
-    for slot in results.into_inner() {
-        let (trace, vals, per_dst) =
-            slot.ok_or_else(|| RuntimeError::Internal("worker vanished".into()))??;
-        workers.push(trace);
-        values.extend(vals);
-        sent.push(per_dst);
+    let mut sent_all: Vec<(usize, Vec<(u64, u64)>)> = Vec::new();
+    let mut detection: Vec<(usize, Duration)> = Vec::new();
+    let mut errors: Vec<(usize, RuntimeError)> = Vec::new();
+    for (w, slot) in results.into_inner().into_iter().enumerate() {
+        let Some(o) = slot else {
+            errors.push((w, RuntimeError::Internal(format!("worker {w} vanished"))));
+            continue;
+        };
+        if let Some(t) = o.trace {
+            workers.push(t);
+        }
+        values.extend(o.values);
+        if !o.sent.is_empty() {
+            sent_all.push((w, o.sent));
+        }
+        if let Some(d) = o.observed {
+            detection.push((w, d));
+        }
+        if let Some(e) = o.error {
+            errors.push((w, e));
+        }
     }
     let mut links = Vec::new();
-    for (src, per_dst) in sent.iter().enumerate() {
+    for (src, per_dst) in &sent_all {
         for (dst, &(bytes, messages)) in per_dst.iter().enumerate() {
             if bytes > 0 || messages > 0 {
-                links.push(LinkStat { src, dst, bytes, messages });
+                links.push(LinkStat { src: *src, dst, bytes, messages });
             }
         }
     }
-    Ok(RunOutput { values, trace: RunTrace { workers, links, wall } })
+    let trace = RunTrace { workers, links, wall };
+
+    let cause = token.cause();
+    if cause.is_none() && errors.is_empty() {
+        return Ok(RunOutput { values, trace });
+    }
+    // The token's cause identifies the *first* failure; that worker's own
+    // typed error is the root cause. Workers that stopped because of the
+    // abort hold secondary `Aborted` errors.
+    let (primary, node, pos, summary) = match &cause {
+        Some(c) => (c.worker, c.node, c.pos, c.summary.clone()),
+        None => (errors[0].0, None, None, errors[0].1.to_string()),
+    };
+    let root = errors
+        .iter()
+        .position(|(w, e)| *w == primary && !matches!(e, RuntimeError::Aborted { .. }))
+        .map(|i| errors.swap_remove(i).1)
+        .unwrap_or(RuntimeError::Internal(summary));
+    Err(RuntimeError::Failed(Box::new(RunFailure {
+        worker: primary,
+        node,
+        pos,
+        cause: Box::new(root),
+        detection,
+        trace,
+    })))
+}
+
+/// Runs one worker to completion, converting every exit path — success,
+/// typed error, panic — into a [`WorkerOutcome`] and tripping the shared
+/// abort token on first failure.
+#[allow(clippy::too_many_arguments)]
+fn run_worker<'a>(
+    sharded: &'a ShardedGraph,
+    w: usize,
+    feeds: &[(TensorId, Tensor)],
+    rx: Receiver<Msg>,
+    txs: Vec<Option<Sender<Msg>>>,
+    epoch: Instant,
+    opts: &RunOptions,
+    faults: &'a FaultState,
+    token: &AbortToken,
+    ckpts_at: &'a BTreeMap<usize, Vec<usize>>,
+    store: Option<&'a Mutex<CheckpointStore>>,
+    resume: Option<(usize, &'a BTreeMap<TensorId, Tensor>)>,
+    startup: &[&CommEdge],
+    node_sends: &BTreeMap<NodeId, Vec<&CommEdge>>,
+) -> WorkerOutcome {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut worker = match Worker::new(
+            sharded, w, feeds, rx, txs, epoch, opts, faults, token, ckpts_at, store, resume,
+        ) {
+            Ok(worker) => worker,
+            Err(e) => {
+                token.trip(AbortCause {
+                    worker: w,
+                    node: None,
+                    pos: None,
+                    summary: e.to_string(),
+                    at: Instant::now(),
+                });
+                return WorkerOutcome {
+                    trace: None,
+                    values: BTreeMap::new(),
+                    sent: Vec::new(),
+                    error: Some(e),
+                    observed: None,
+                };
+            }
+        };
+        let err = worker.run_inner(startup, node_sends).err();
+        worker.finish(err)
+    }));
+    match result {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let message = panic_message(payload);
+            token.trip(AbortCause {
+                worker: w,
+                node: None,
+                pos: None,
+                summary: format!("panic: {message}"),
+                at: Instant::now(),
+            });
+            WorkerOutcome {
+                trace: None,
+                values: BTreeMap::new(),
+                sent: Vec::new(),
+                error: Some(RuntimeError::WorkerPanic { worker: w, message }),
+                observed: None,
+            }
+        }
+    }
 }
 
 /// One worker's execution state.
@@ -195,15 +545,34 @@ struct Worker<'a> {
     txs: Vec<Option<Sender<Msg>>>,
     /// Per destination: (bytes, messages) pushed.
     sent: Vec<(u64, u64)>,
+    /// Per destination: next sequence number to stamp.
+    next_seq: Vec<u64>,
+    /// Per source: sequence number the next arrival must carry.
+    expect_seq: Vec<u64>,
     bytes_received: u64,
+    persistent_bytes: u64,
     pool: BufferPool,
     ops: Vec<OpEvent>,
     busy: Duration,
     epoch: Instant,
     recv_timeout: Duration,
+    abort_poll: Duration,
+    token: AbortToken,
+    faults: &'a FaultState,
+    ckpts_at: &'a BTreeMap<usize, Vec<usize>>,
+    store: Option<&'a Mutex<CheckpointStore>>,
+    /// Schedule position execution starts at (non-zero on resume).
+    start_pos: usize,
+    /// Position / node currently executing, for failure attribution.
+    cur_pos: Option<usize>,
+    cur_node: Option<NodeId>,
+    /// Latency from abort trip to this worker observing it.
+    observed: Option<Duration>,
+    completed: bool,
 }
 
 impl<'a> Worker<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         sharded: &'a ShardedGraph,
         w: usize,
@@ -212,32 +581,47 @@ impl<'a> Worker<'a> {
         txs: Vec<Option<Sender<Msg>>>,
         epoch: Instant,
         opts: &RunOptions,
+        faults: &'a FaultState,
+        token: &AbortToken,
+        ckpts_at: &'a BTreeMap<usize, Vec<usize>>,
+        store: Option<&'a Mutex<CheckpointStore>>,
+        resume: Option<(usize, &'a BTreeMap<TensorId, Tensor>)>,
     ) -> Result<Worker<'a>> {
         let schedule = sharded.worker_schedule(w);
         let plan = plan_buffers(&sharded.graph, &schedule, opts.buffer_reuse);
-        let mut values = BTreeMap::new();
-        for (t, v) in feeds {
-            if sharded.device_of_tensor.get(t.0).copied().flatten() != Some(w) {
-                continue;
+        let (start_pos, values) = match resume {
+            // The snapshot already holds the feeds plus everything the
+            // prefix computed; re-feeding would be redundant.
+            Some((cut, snap)) => (cut, snap.clone()),
+            None => {
+                let mut values = BTreeMap::new();
+                for (t, v) in feeds {
+                    if sharded.device_of_tensor.get(t.0).copied().flatten() != Some(w) {
+                        continue;
+                    }
+                    let meta = sharded.graph.tensor(*t);
+                    if meta.kind == TensorKind::Intermediate {
+                        return Err(RuntimeError::Internal(format!(
+                            "worker {w}: fed tensor {:?} is not a leaf",
+                            meta.name
+                        )));
+                    }
+                    if v.shape() != &meta.shape {
+                        return Err(RuntimeError::Internal(format!(
+                            "worker {w}: fed shape {} for shard {:?} declared {}",
+                            v.shape(),
+                            meta.name,
+                            meta.shape
+                        )));
+                    }
+                    values.insert(*t, v.clone());
+                }
+                (0, values)
             }
-            let meta = sharded.graph.tensor(*t);
-            if meta.kind == TensorKind::Intermediate {
-                return Err(RuntimeError::Internal(format!(
-                    "fed tensor {:?} is not a leaf",
-                    meta.name
-                )));
-            }
-            if v.shape() != &meta.shape {
-                return Err(RuntimeError::Internal(format!(
-                    "fed shape {} for shard {:?} declared {}",
-                    v.shape(),
-                    meta.name,
-                    meta.shape
-                )));
-            }
-            values.insert(*t, v.clone());
-        }
+        };
         let k = txs.len();
+        let mut pool = BufferPool::new(w);
+        pool.set_budget(opts.pool_budget);
         Ok(Worker {
             sharded,
             w,
@@ -248,36 +632,143 @@ impl<'a> Worker<'a> {
             rx,
             txs,
             sent: vec![(0, 0); k],
+            next_seq: vec![0; k],
+            expect_seq: vec![0; k],
             bytes_received: 0,
-            pool: BufferPool::new(),
+            persistent_bytes: 0,
+            pool,
             ops: Vec::new(),
             busy: Duration::ZERO,
             epoch,
             recv_timeout: opts.recv_timeout,
+            abort_poll: opts.abort_poll,
+            token: token.clone(),
+            faults,
+            ckpts_at,
+            store,
+            start_pos,
+            cur_pos: None,
+            cur_node: None,
+            observed: None,
+            completed: false,
         })
     }
 
-    fn run(
+    /// Converts the finished (or failed) worker into its outcome, tripping
+    /// the abort token if this worker failed first.
+    fn finish(mut self, err: Option<RuntimeError>) -> WorkerOutcome {
+        if let Some(e) = &err {
+            // A worker that stopped *because of* the abort is not a new
+            // failure; everything else races to trip (first wins).
+            if !matches!(e, RuntimeError::Aborted { .. }) {
+                self.token.trip(AbortCause {
+                    worker: self.w,
+                    node: self.cur_node,
+                    pos: self.cur_pos,
+                    summary: e.to_string(),
+                    at: Instant::now(),
+                });
+            }
+        }
+        let trace = WorkerTrace {
+            device: self.w,
+            ops: std::mem::take(&mut self.ops),
+            busy: self.busy,
+            pool_peak_bytes: self.pool.peak_bytes(),
+            persistent_bytes: self.persistent_bytes,
+            bytes_sent: self.sent.iter().map(|&(b, _)| b).sum(),
+            bytes_received: self.bytes_received,
+            completed: self.completed,
+            resumed_from: if self.start_pos > 0 { Some(self.start_pos) } else { None },
+        };
+        WorkerOutcome {
+            trace: Some(trace),
+            values: std::mem::take(&mut self.values),
+            sent: std::mem::take(&mut self.sent),
+            error: err,
+            observed: self.observed,
+        }
+    }
+
+    /// Observes the shared abort token; errors with `Aborted` once tripped.
+    fn check_abort(&mut self) -> Result<()> {
+        if self.token.is_tripped() {
+            let cause = self.token.cause().expect("tripped token carries a cause");
+            if self.observed.is_none() {
+                self.observed = Some(cause.at.elapsed());
+            }
+            return Err(RuntimeError::Aborted { worker: self.w, by: cause.worker });
+        }
+        Ok(())
+    }
+
+    /// Records every checkpoint whose local cut is `pos` (positions
+    /// `[0, pos)` are done).
+    fn take_checkpoints(&self, pos: usize) {
+        if let (Some(store), Some(ks)) = (self.store, self.ckpts_at.get(&pos)) {
+            let mut s = store.lock();
+            for &k in ks {
+                s.record(k, self.w, self.values.clone());
+            }
+        }
+    }
+
+    fn run_inner(
         &mut self,
         startup: &[&CommEdge],
         node_sends: &BTreeMap<NodeId, Vec<&CommEdge>>,
-    ) -> Result<WorkerOutput> {
+    ) -> Result<()> {
+        // On resume, bring the pool to its pre-failure state by replaying
+        // the plan's prefix (output sizes are static graph metadata).
+        for pos in 0..self.start_pos {
+            let out = self.sharded.graph.node(self.schedule[pos]).output;
+            let bytes = self.sharded.graph.tensor(out).shape.bytes();
+            self.pool.apply(self.plan.actions[pos], bytes)?;
+        }
+
         // Resident leaf bytes, measured from the actual fed shards this
         // worker's non-fetch nodes consume.
         let mut persistent_bytes = 0u64;
         for t in &self.plan.persistent {
-            let v = self.values.get(t).ok_or_else(|| {
-                RuntimeError::MissingFeed(self.sharded.graph.tensor(*t).name.clone())
+            let v = self.values.get(t).ok_or_else(|| RuntimeError::MissingFeed {
+                worker: self.w,
+                tensor: self.sharded.graph.tensor(*t).name.clone(),
             })?;
             persistent_bytes += v.shape().bytes();
         }
+        self.persistent_bytes = persistent_bytes;
 
-        // Owned leaf shards other devices fetch go out before any compute.
+        // Owned leaf shards other devices fetch go out before any compute;
+        // on resume this list also carries the owed snapshot sends.
         for e in startup {
             self.send_edge(e)?;
         }
 
-        for (pos, &id) in self.schedule.clone().iter().enumerate() {
+        let last = self.schedule.len().saturating_sub(1);
+        for (pos, &id) in self.schedule.clone().iter().enumerate().skip(self.start_pos) {
+            self.check_abort()?;
+            self.cur_pos = Some(pos);
+            self.cur_node = Some(id);
+            self.take_checkpoints(pos);
+            for f in self.faults.step_faults(self.w, pos, last) {
+                match f {
+                    StepFault::Kill => {
+                        return Err(RuntimeError::Injected {
+                            worker: self.w,
+                            detail: format!("killed at schedule step {pos} (node {})", id.0),
+                        })
+                    }
+                    StepFault::Panic => {
+                        panic!("injected panic on worker {} at schedule step {pos}", self.w)
+                    }
+                    StepFault::PoolOverBudget => {
+                        // Clamp below current occupancy: the next apply is
+                        // guaranteed to observe an over-budget pool.
+                        let clamp = self.pool.current_bytes().saturating_sub(1);
+                        self.pool.set_budget(Some(clamp));
+                    }
+                }
+            }
             let node = self.sharded.graph.node(id);
             let start = self.epoch.elapsed();
             let out = if node.op == "multi_fetch" {
@@ -287,12 +778,14 @@ impl<'a> Worker<'a> {
                     .inputs
                     .iter()
                     .map(|t| {
-                        self.values.get(t).ok_or_else(|| {
-                            RuntimeError::MissingFeed(self.sharded.graph.tensor(*t).name.clone())
+                        self.values.get(t).ok_or_else(|| RuntimeError::MissingFeed {
+                            worker: self.w,
+                            tensor: self.sharded.graph.tensor(*t).name.clone(),
                         })
                     })
                     .collect::<Result<_>>()?;
-                execute_node(&self.sharded.graph, id, &inputs)?
+                execute_node(&self.sharded.graph, id, &inputs)
+                    .map_err(|source| RuntimeError::Exec { worker: self.w, source })?
             };
             self.pool.apply(self.plan.actions[pos], out.shape().bytes())?;
             let end = self.epoch.elapsed();
@@ -305,34 +798,79 @@ impl<'a> Worker<'a> {
                 }
             }
         }
+        self.cur_pos = None;
+        self.cur_node = None;
+        self.take_checkpoints(self.schedule.len());
 
+        // End-of-run integrity: every piece addressed to this worker must
+        // have been consumed — a leftover means a duplicated or misrouted
+        // message survived to the end.
+        self.drain_check()?;
         self.pool.verify_against(&self.plan)?;
-        let trace = WorkerTrace {
-            device: self.w,
-            ops: std::mem::take(&mut self.ops),
-            busy: self.busy,
-            pool_peak_bytes: self.pool.peak_bytes(),
-            persistent_bytes,
-            bytes_sent: self.sent.iter().map(|&(b, _)| b).sum(),
-            bytes_received: self.bytes_received,
-        };
-        Ok((trace, std::mem::take(&mut self.values), std::mem::take(&mut self.sent)))
+        self.completed = true;
+        Ok(())
     }
 
-    /// Pushes the piece of `e.tensor` that `e.consumer` needs.
+    /// Pushes the piece of `e.tensor` that `e.consumer` needs, applying any
+    /// injected message fault targeting this link position.
     fn send_edge(&mut self, e: &CommEdge) -> Result<()> {
         let src = self.values.get(&e.tensor).ok_or_else(|| {
-            RuntimeError::Internal(format!("comm edge reads unevaluated tensor {:?}", e.tensor))
+            RuntimeError::Internal(format!(
+                "worker {}: comm edge reads unevaluated tensor {:?}",
+                self.w, e.tensor
+            ))
         })?;
-        let piece = extract_piece(src, &e.piece)?;
+        let mut piece = extract_piece(src, &e.piece)?;
         let bytes = piece.shape().bytes();
+        // The checksum covers the *intended* payload; corruption injected
+        // below is therefore detectable at the receiver.
+        let checksum = payload_checksum(piece.data());
+        let index = self.sent[e.dst].1;
+        let seq = self.next_seq[e.dst];
+        self.next_seq[e.dst] += 1;
+        self.sent[e.dst].0 += bytes;
+        self.sent[e.dst].1 += 1;
+        let action = self.faults.message_action(self.w, e.dst, index);
+        match action {
+            // Lost on the wire: the sequence number is consumed, so the next
+            // message on this link exposes the gap.
+            Some(MessageFault::Drop) => return Ok(()),
+            Some(MessageFault::Delay(d)) => std::thread::sleep(d),
+            Some(MessageFault::Corrupt) => {
+                let data = piece.data_mut();
+                if let Some(v) = data.first_mut() {
+                    *v = f32::from_bits(v.to_bits() ^ 0x0040_0000);
+                }
+            }
+            Some(MessageFault::Duplicate) | None => {}
+        }
         let tx = self.txs[e.dst].as_ref().ok_or_else(|| {
             RuntimeError::Internal("comm edge addressed to the sending worker".into())
         })?;
-        tx.send(Msg { consumer: e.consumer, input_index: e.input_index, piece })
-            .map_err(|_| RuntimeError::Comm(format!("worker {} hung up", e.dst)))?;
-        self.sent[e.dst].0 += bytes;
-        self.sent[e.dst].1 += 1;
+        let hung_up = |_| RuntimeError::Comm {
+            worker: self.w,
+            detail: format!("worker {} hung up", e.dst),
+        };
+        if action == Some(MessageFault::Duplicate) {
+            tx.send(Msg {
+                src: self.w,
+                seq,
+                consumer: e.consumer,
+                input_index: e.input_index,
+                checksum,
+                piece: piece.clone(),
+            })
+            .map_err(hung_up)?;
+        }
+        tx.send(Msg {
+            src: self.w,
+            seq,
+            consumer: e.consumer,
+            input_index: e.input_index,
+            checksum,
+            piece,
+        })
+        .map_err(hung_up)?;
         Ok(())
     }
 
@@ -350,7 +888,10 @@ impl<'a> Worker<'a> {
             let p = &pieces[i];
             if self.sharded.device_of_tensor[t.0] == Some(self.w) {
                 let src = self.values.get(&t).ok_or_else(|| {
-                    RuntimeError::Internal(format!("fetch reads unevaluated local {t:?}"))
+                    RuntimeError::Internal(format!(
+                        "worker {}: fetch reads unevaluated local {t:?}",
+                        self.w
+                    ))
                 })?;
                 copy_block(&mut out, src, &p.src_begin, &p.dst_begin, &p.len);
             } else {
@@ -365,28 +906,135 @@ impl<'a> Worker<'a> {
         Ok(out)
     }
 
+    /// Validates an arriving message (link sequence, payload checksum,
+    /// expected piece) and stashes it.
+    fn accept(&mut self, msg: Msg) -> Result<()> {
+        let comm = |detail: String| RuntimeError::Comm { worker: self.w, detail };
+        let expected = self.expect_seq[msg.src];
+        if msg.seq != expected {
+            return Err(comm(format!(
+                "link {} -> {}: message carries seq {} but {} was expected ({})",
+                msg.src,
+                self.w,
+                msg.seq,
+                expected,
+                if msg.seq < expected {
+                    "a piece was duplicated or reordered"
+                } else {
+                    "a piece was dropped"
+                }
+            )));
+        }
+        self.expect_seq[msg.src] = expected + 1;
+        if payload_checksum(msg.piece.data()) != msg.checksum {
+            return Err(comm(format!(
+                "link {} -> {}: piece for node {} input {} failed its checksum \
+                 (payload corrupted in transit)",
+                msg.src, self.w, msg.consumer.0, msg.input_index
+            )));
+        }
+        // Expected-piece check: the addressed consumer must be one of this
+        // worker's fetch nodes, the input index in range, and the payload
+        // exactly the block shape the generator planned.
+        if self.sharded.device_of(msg.consumer) != self.w {
+            return Err(comm(format!(
+                "link {} -> {}: piece addressed to node {} which lives on worker {}",
+                msg.src,
+                self.w,
+                msg.consumer.0,
+                self.sharded.device_of(msg.consumer)
+            )));
+        }
+        let pieces = fetch_pieces(&self.sharded.graph, msg.consumer).ok_or_else(|| {
+            comm(format!(
+                "link {} -> {}: piece addressed to non-fetch node {}",
+                msg.src, self.w, msg.consumer.0
+            ))
+        })?;
+        let expect = pieces.get(msg.input_index).ok_or_else(|| {
+            comm(format!(
+                "link {} -> {}: input index {} out of range for node {}",
+                msg.src, self.w, msg.input_index, msg.consumer.0
+            ))
+        })?;
+        let want: Vec<usize> = expect.len.iter().map(|&l| l as usize).collect();
+        if msg.piece.shape().dims() != want.as_slice() {
+            return Err(comm(format!(
+                "link {} -> {}: piece for node {} input {} has shape {} but block {:?} \
+                 was expected",
+                msg.src,
+                self.w,
+                msg.consumer.0,
+                msg.input_index,
+                msg.piece.shape(),
+                want
+            )));
+        }
+        if self.pending.insert((msg.consumer.0, msg.input_index), msg.piece).is_some() {
+            return Err(comm(format!(
+                "link {} -> {}: second piece for node {} input {} (duplicate)",
+                msg.src, self.w, msg.consumer.0, msg.input_index
+            )));
+        }
+        Ok(())
+    }
+
     /// The piece for `(consumer, input_index)`, from the stash or the wire.
+    /// Polls the abort token at `abort_poll` granularity while waiting, so a
+    /// peer failure is observed in milliseconds rather than `recv_timeout`.
     fn recv_piece(&mut self, consumer: NodeId, input_index: usize) -> Result<Tensor> {
+        let deadline = Instant::now() + self.recv_timeout;
         loop {
             if let Some(v) = self.pending.remove(&(consumer.0, input_index)) {
                 return Ok(v);
             }
-            let msg = self.rx.recv_timeout(self.recv_timeout).map_err(|e| match e {
-                RecvTimeoutError::Timeout => RuntimeError::Comm(format!(
-                    "worker {} stalled waiting for node {consumer:?}",
-                    self.w
-                )),
-                RecvTimeoutError::Disconnected => {
-                    RuntimeError::Comm(format!("worker {}: every peer hung up", self.w))
+            self.check_abort()?;
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RuntimeError::Comm {
+                    worker: self.w,
+                    detail: format!(
+                        "stalled {:?} waiting for node {} input {input_index}",
+                        self.recv_timeout, consumer.0
+                    ),
+                });
+            }
+            match self.rx.recv_timeout(self.abort_poll.min(deadline - now)) {
+                Ok(msg) => self.accept(msg)?,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.check_abort()?;
+                    return Err(RuntimeError::Comm {
+                        worker: self.w,
+                        detail: "every peer hung up".into(),
+                    });
                 }
-            })?;
-            self.pending.insert((msg.consumer.0, msg.input_index), msg.piece);
+            }
         }
+    }
+
+    /// End-of-run check: the receive port and the stash must be empty.
+    fn drain_check(&mut self) -> Result<()> {
+        while let Ok(msg) = self.rx.try_recv() {
+            // A late arrival still goes through the integrity checks — a
+            // duplicate trips the sequence check right here.
+            self.accept(msg)?;
+        }
+        if let Some((&(node, input), _)) = self.pending.iter().next() {
+            return Err(RuntimeError::Comm {
+                worker: self.w,
+                detail: format!(
+                    "piece for node {node} input {input} was never consumed \
+                     (duplicated or misrouted message)"
+                ),
+            });
+        }
+        Ok(())
     }
 }
 
 /// Slices the block `[src_begin, src_begin + len)` out of `src`.
-fn extract_piece(src: &Tensor, p: &FetchPiece) -> Result<Tensor> {
+pub fn extract_piece(src: &Tensor, p: &FetchPiece) -> Result<Tensor> {
     let mut out = src.clone();
     for (d, (&b, &l)) in p.src_begin.iter().zip(&p.len).enumerate() {
         out = out
@@ -397,14 +1045,46 @@ fn extract_piece(src: &Tensor, p: &FetchPiece) -> Result<Tensor> {
 }
 
 /// Copies the `len`-sized block at `src_begin` of `src` to `dst_begin` of
-/// `dst`.
-fn copy_block(dst: &mut Tensor, src: &Tensor, src_begin: &[i64], dst_begin: &[i64], len: &[i64]) {
-    let lens: Vec<usize> = len.iter().map(|&l| l as usize).collect();
-    for idx in Shape::new(lens).indices() {
-        let s: Vec<usize> =
-            idx.iter().zip(src_begin).map(|(&o, &b)| o + b as usize).collect();
-        let d: Vec<usize> =
-            idx.iter().zip(dst_begin).map(|(&o, &b)| o + b as usize).collect();
-        dst.set(&d, src.at(&s));
+/// `dst`. Both tensors are dense row-major, so the block's innermost
+/// dimension is contiguous in both and is moved with one slice copy per row
+/// (this is the hot path of every `multi_fetch` assembly).
+///
+/// The block must lie within both tensors' bounds; offsets and extents are
+/// element counts per dimension, matching [`FetchPiece`]'s encoding.
+pub fn copy_block(dst: &mut Tensor, src: &Tensor, src_begin: &[i64], dst_begin: &[i64], len: &[i64]) {
+    let rank = len.len();
+    if rank == 0 {
+        dst.data_mut()[0] = src.data()[0];
+        return;
+    }
+    if len.iter().any(|&l| l <= 0) {
+        return;
+    }
+    let row = len[rank - 1] as usize;
+    let src_strides = src.shape().strides();
+    let dst_strides = dst.shape().strides();
+    let mut src_off: usize =
+        src_begin.iter().zip(&src_strides).map(|(&b, &s)| b as usize * s).sum();
+    let mut dst_off: usize =
+        dst_begin.iter().zip(&dst_strides).map(|(&b, &s)| b as usize * s).sum();
+    let mut idx = vec![0usize; rank - 1];
+    'rows: loop {
+        dst.data_mut()[dst_off..dst_off + row]
+            .copy_from_slice(&src.data()[src_off..src_off + row]);
+        // Odometer over the outer dimensions.
+        let mut d = rank - 1;
+        while d > 0 {
+            d -= 1;
+            idx[d] += 1;
+            src_off += src_strides[d];
+            dst_off += dst_strides[d];
+            if idx[d] < len[d] as usize {
+                continue 'rows;
+            }
+            idx[d] = 0;
+            src_off -= src_strides[d] * len[d] as usize;
+            dst_off -= dst_strides[d] * len[d] as usize;
+        }
+        break;
     }
 }

@@ -6,6 +6,11 @@
 //! therefore the *measured* transient footprint of the worker, which the
 //! tests hold against `tofu-sim`'s independent `per_device_memory`
 //! prediction.
+//!
+//! An optional byte **budget** models a device memory cap: any `apply` that
+//! finds (or leaves) the pool above the budget fails with a typed over-budget
+//! pool error. The fault injector clamps the budget below the current
+//! occupancy to force this path deterministically.
 
 use tofu_graph::{BufferPlan, SlotAction};
 
@@ -15,25 +20,55 @@ use crate::Result;
 /// Real backing storage for one worker's transient tensors.
 #[derive(Debug, Default)]
 pub struct BufferPool {
+    worker: usize,
     slots: Vec<Vec<u8>>,
     current: u64,
     peak: u64,
+    budget: Option<u64>,
 }
 
 impl BufferPool {
-    /// An empty pool; arenas appear as the plan's actions are applied.
-    pub fn new() -> BufferPool {
-        BufferPool::default()
+    /// An empty pool owned by `worker`; arenas appear as the plan's actions
+    /// are applied.
+    pub fn new(worker: usize) -> BufferPool {
+        BufferPool { worker, ..BufferPool::default() }
+    }
+
+    /// Caps resident arena bytes; `None` removes the cap.
+    pub fn set_budget(&mut self, bytes: Option<u64>) {
+        self.budget = bytes;
+    }
+
+    /// The configured byte cap, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    fn err(&self, detail: String) -> RuntimeError {
+        RuntimeError::Pool { worker: self.worker, detail }
+    }
+
+    fn check_budget(&self) -> Result<()> {
+        if let Some(b) = self.budget {
+            if self.current > b {
+                return Err(self.err(format!(
+                    "over budget: {} B resident exceeds the {} B cap",
+                    self.current, b
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Applies the placement action of one schedule position. `need` is the
     /// byte size of the node's output tensor.
     pub fn apply(&mut self, action: SlotAction, need: u64) -> Result<()> {
+        self.check_budget()?;
         match action {
             SlotAction::InPlace { slot } => {
                 let have = self.slot_len(slot)?;
                 if have < need {
-                    return Err(RuntimeError::Pool(format!(
+                    return Err(self.err(format!(
                         "in-place takeover of slot {slot} ({have} B) needs {need} B"
                     )));
                 }
@@ -46,7 +81,7 @@ impl BufferPool {
                     self.peak = self.peak.max(self.current);
                 }
                 if self.slot_len(slot)? < need {
-                    return Err(RuntimeError::Pool(format!(
+                    return Err(self.err(format!(
                         "slot {slot} holds {} B after growth but {need} B are needed",
                         self.slots[slot].len()
                     )));
@@ -54,7 +89,7 @@ impl BufferPool {
             }
             SlotAction::Alloc { slot } => {
                 if slot != self.slots.len() {
-                    return Err(RuntimeError::Pool(format!(
+                    return Err(self.err(format!(
                         "plan allocates slot {slot} but pool holds {}",
                         self.slots.len()
                     )));
@@ -64,14 +99,14 @@ impl BufferPool {
                 self.peak = self.peak.max(self.current);
             }
         }
-        Ok(())
+        self.check_budget()
     }
 
     fn slot_len(&self, slot: usize) -> Result<u64> {
         self.slots
             .get(slot)
             .map(|s| s.len() as u64)
-            .ok_or_else(|| RuntimeError::Pool(format!("plan references unallocated slot {slot}")))
+            .ok_or_else(|| self.err(format!("plan references unallocated slot {slot}")))
     }
 
     /// High-water mark of resident arena bytes.
@@ -99,10 +134,10 @@ impl BufferPool {
                 .zip(&plan.slot_bytes)
                 .any(|(s, &b)| s.len() as u64 != b)
         {
-            return Err(RuntimeError::Pool("pool arenas diverged from the plan".into()));
+            return Err(self.err("pool arenas diverged from the plan".into()));
         }
         if self.peak != plan.mem.peak_transient_bytes {
-            return Err(RuntimeError::Pool(format!(
+            return Err(self.err(format!(
                 "pool peak {} B but the plan predicted {} B",
                 self.peak, plan.mem.peak_transient_bytes
             )));
@@ -117,7 +152,7 @@ mod tests {
 
     #[test]
     fn replays_alloc_reuse_grow() {
-        let mut p = BufferPool::new();
+        let mut p = BufferPool::new(0);
         p.apply(SlotAction::Alloc { slot: 0 }, 100).unwrap();
         p.apply(SlotAction::Alloc { slot: 1 }, 50).unwrap();
         p.apply(SlotAction::InPlace { slot: 0 }, 100).unwrap();
@@ -129,10 +164,31 @@ mod tests {
 
     #[test]
     fn rejects_inconsistent_plans() {
-        let mut p = BufferPool::new();
+        let mut p = BufferPool::new(0);
         assert!(p.apply(SlotAction::InPlace { slot: 0 }, 1).is_err());
         assert!(p.apply(SlotAction::Alloc { slot: 3 }, 1).is_err());
         p.apply(SlotAction::Alloc { slot: 0 }, 10).unwrap();
         assert!(p.apply(SlotAction::InPlace { slot: 0 }, 11).is_err());
+    }
+
+    #[test]
+    fn budget_trips_typed_over_budget_error() {
+        let mut p = BufferPool::new(7);
+        p.set_budget(Some(120));
+        p.apply(SlotAction::Alloc { slot: 0 }, 100).unwrap();
+        let err = p.apply(SlotAction::Alloc { slot: 1 }, 50).unwrap_err();
+        match err {
+            RuntimeError::Pool { worker, detail } => {
+                assert_eq!(worker, 7);
+                assert!(detail.contains("over budget"), "got: {detail}");
+            }
+            other => panic!("expected Pool error, got {other}"),
+        }
+        // Clamping below current occupancy fails the very next apply, even a
+        // growth-free one — the fault injector relies on this.
+        let mut q = BufferPool::new(1);
+        q.apply(SlotAction::Alloc { slot: 0 }, 100).unwrap();
+        q.set_budget(Some(99));
+        assert!(q.apply(SlotAction::InPlace { slot: 0 }, 100).is_err());
     }
 }

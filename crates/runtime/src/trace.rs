@@ -36,6 +36,12 @@ pub struct WorkerTrace {
     pub bytes_sent: u64,
     /// Bytes this worker received from other devices.
     pub bytes_received: u64,
+    /// False when the worker stopped early (its own failure or a peer's
+    /// abort); `ops` then holds only the prefix it completed.
+    pub completed: bool,
+    /// Set when the worker resumed from a checkpoint: the local schedule
+    /// position execution restarted at (`ops` covers positions from here).
+    pub resumed_from: Option<usize>,
 }
 
 impl WorkerTrace {
@@ -80,6 +86,12 @@ impl RunTrace {
         self.workers.iter().map(|w| w.ops.len()).sum()
     }
 
+    /// True when the trace is a post-mortem: a worker's trace is missing
+    /// (panic) or marked incomplete (abort).
+    pub fn is_partial(&self) -> bool {
+        self.workers.iter().any(|w| !w.completed)
+    }
+
     /// Largest per-worker peak footprint.
     pub fn max_device_memory_bytes(&self) -> u64 {
         self.workers.iter().map(|w| w.peak_memory_bytes()).max().unwrap_or(0)
@@ -100,14 +112,15 @@ impl RunTrace {
         for w in &self.workers {
             let _ = writeln!(
                 s,
-                "  worker {}: {} ops, busy {:?}, pool peak {} B, persistent {} B, sent {} B, recv {} B",
+                "  worker {}: {} ops, busy {:?}, pool peak {} B, persistent {} B, sent {} B, recv {} B{}",
                 w.device,
                 w.ops.len(),
                 w.busy,
                 w.pool_peak_bytes,
                 w.persistent_bytes,
                 w.bytes_sent,
-                w.bytes_received
+                w.bytes_received,
+                if w.completed { "" } else { " [ABORTED]" }
             );
         }
         for l in &self.links {

@@ -1,0 +1,92 @@
+//! Property tests for the block-copy primitives behind `multi_fetch`
+//! assembly: extracting a piece and copying it into a destination block must
+//! round-trip exactly, over random shapes, offsets and extents — and must
+//! never touch destination elements outside the block.
+
+use proptest::prelude::*;
+use tofu_core::FetchPiece;
+use tofu_runtime::{copy_block, extract_piece, FaultRng};
+use tofu_tensor::{Shape, Tensor};
+
+/// Numbers every element so any misplaced copy is visible.
+fn sequential(shape: Shape) -> Tensor {
+    let n = shape.volume();
+    Tensor::from_vec(shape, (0..n).map(|i| i as f32 + 1.0).collect()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// extract_piece followed by copy_block places exactly the source block
+    /// at the destination offset, and copy_block straight from the source
+    /// agrees with it.
+    #[test]
+    fn block_copy_round_trips(
+        src_dims in prop::collection::vec(1usize..6, 1..4),
+        seed in 0u64..1_000_000_000,
+    ) {
+        let mut rng = FaultRng::new(seed);
+        let rank = src_dims.len();
+        // A block inside the source, and a destination with per-dimension
+        // slack so the block lands at a random interior offset.
+        let len: Vec<i64> =
+            src_dims.iter().map(|&d| 1 + rng.below(d as u64) as i64).collect();
+        let src_begin: Vec<i64> = src_dims
+            .iter()
+            .zip(&len)
+            .map(|(&d, &l)| rng.below(d as u64 - l as u64 + 1) as i64)
+            .collect();
+        let dst_dims: Vec<usize> =
+            len.iter().map(|&l| l as usize + rng.below(4) as usize).collect();
+        let dst_begin: Vec<i64> = dst_dims
+            .iter()
+            .zip(&len)
+            .map(|(&d, &l)| rng.below(d as u64 - l as u64 + 1) as i64)
+            .collect();
+
+        let src = sequential(Shape::new(src_dims.clone()));
+        let piece = FetchPiece {
+            src_begin: src_begin.clone(),
+            dst_begin: dst_begin.clone(),
+            len: len.clone(),
+        };
+
+        // Path 1: extract then copy (what a remote fetch does).
+        let extracted = extract_piece(&src, &piece).unwrap();
+        let len_usize: Vec<usize> = len.iter().map(|&l| l as usize).collect();
+        prop_assert_eq!(extracted.shape().dims(), len_usize.as_slice());
+        let mut via_extract = Tensor::zeros(Shape::new(dst_dims.clone()));
+        let zeros = vec![0i64; rank];
+        copy_block(&mut via_extract, &extracted, &zeros, &dst_begin, &len);
+
+        // Path 2: copy straight out of the source (what a local fetch does).
+        let mut direct = Tensor::zeros(Shape::new(dst_dims.clone()));
+        copy_block(&mut direct, &src, &src_begin, &dst_begin, &len);
+
+        for idx in Shape::new(dst_dims.clone()).indices() {
+            let inside = idx.iter().enumerate().all(|(d, &i)| {
+                i >= dst_begin[d] as usize && i < dst_begin[d] as usize + len[d] as usize
+            });
+            let want = if inside {
+                let src_idx: Vec<usize> = idx
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &i)| i - dst_begin[d] as usize + src_begin[d] as usize)
+                    .collect();
+                src.at(&src_idx)
+            } else {
+                0.0
+            };
+            prop_assert_eq!(
+                direct.at(&idx), want,
+                "direct copy wrong at {:?} (block {:?}+{:?} from {:?})",
+                idx, dst_begin, len, src_begin
+            );
+            prop_assert_eq!(
+                via_extract.at(&idx), want,
+                "extract+copy wrong at {:?}",
+                idx
+            );
+        }
+    }
+}

@@ -155,5 +155,17 @@ fn missing_feed_is_reported() {
     let (sharded, shard_feeds, _) = shard(&m.graph, 2);
     let partial: Vec<_> = shard_feeds.into_iter().skip(1).collect();
     let err = run(&sharded, &partial).unwrap_err();
-    assert!(matches!(err, tofu_runtime::RuntimeError::MissingFeed(_)), "got {err}");
+    // A failed run reports a post-mortem naming the worker whose feed was
+    // missing; the root cause is the typed MissingFeed error.
+    match err {
+        tofu_runtime::RuntimeError::Failed(failure) => {
+            assert!(
+                matches!(*failure.cause, tofu_runtime::RuntimeError::MissingFeed { .. }),
+                "got {}",
+                failure.cause
+            );
+            assert!(failure.trace.is_partial());
+        }
+        other => panic!("expected Failed post-mortem, got {other}"),
+    }
 }

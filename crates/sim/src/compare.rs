@@ -39,6 +39,9 @@ pub struct DeviceReport {
     pub measured_busy: Duration,
     /// Nodes executed.
     pub ops: usize,
+    /// False when the worker stopped early (abort post-mortem trace); the
+    /// measured columns then cover only the executed prefix.
+    pub completed: bool,
 }
 
 impl DeviceReport {
@@ -68,6 +71,13 @@ pub struct TraceReport {
 }
 
 impl TraceReport {
+    /// True when the measured trace is an abort post-mortem: some worker
+    /// stopped early, so the exact-match columns (comm bytes, memory) only
+    /// reflect the executed prefix and are not expected to line up.
+    pub fn is_partial(&self) -> bool {
+        self.devices.iter().any(|d| !d.completed)
+    }
+
     /// True when measured traffic equals the simulator's count exactly.
     pub fn comm_bytes_match(&self) -> bool {
         self.predicted_comm_bytes == self.measured_comm_bytes as f64
@@ -94,19 +104,26 @@ impl TraceReport {
             "comm:     simulated {} B | measured {} B | {}",
             self.predicted_comm_bytes as u64,
             self.measured_comm_bytes,
-            if self.comm_bytes_match() { "exact match" } else { "MISMATCH" }
+            if self.comm_bytes_match() {
+                "exact match"
+            } else if self.is_partial() {
+                "partial trace (not comparable)"
+            } else {
+                "MISMATCH"
+            }
         );
         for d in &self.devices {
             let _ = writeln!(
                 s,
-                "device {}: memory predicted {} B, measured {} B ({:+.2}%) | busy sim {:.3} ms, measured {:?} | {} ops",
+                "device {}: memory predicted {} B, measured {} B ({:+.2}%) | busy sim {:.3} ms, measured {:?} | {} ops{}",
                 d.device,
                 d.predicted_memory_bytes,
                 d.measured_memory_bytes,
                 d.memory_error() * 1e2,
                 d.predicted_busy_seconds * 1e3,
                 d.measured_busy,
-                d.ops
+                d.ops,
+                if d.completed { "" } else { " [ABORTED]" }
             );
         }
         s
@@ -146,6 +163,7 @@ pub fn compare_trace(
             predicted_busy_seconds: sim.compute_busy.get(w.device).copied().unwrap_or(0.0),
             measured_busy: w.busy,
             ops: w.ops.len(),
+            completed: w.completed,
         })
         .collect();
     TraceReport {

@@ -6,7 +6,7 @@
 use tofu_core::{generate, partition, GenOptions, PartitionOptions, ShardedGraph};
 use tofu_graph::{Executor, Graph, TensorId, TensorKind};
 use tofu_models::{mlp, wresnet, MlpConfig, WResNetConfig};
-use tofu_runtime::run;
+use tofu_runtime::{run, run_with_options, Fault, FaultPlan, RunOptions, RuntimeError};
 use tofu_sim::{compare_trace, Machine};
 use tofu_tensor::Tensor;
 
@@ -66,6 +66,31 @@ fn assert_report(sharded: &ShardedGraph, shard_feeds: &[(TensorId, Tensor)], lab
     }
     let s = report.summary();
     assert!(s.contains("exact match"), "summary should flag the comm match:\n{s}");
+}
+
+#[test]
+fn partial_trace_from_aborted_run_is_reportable() {
+    let m = mlp(&MlpConfig { batch: 8, dims: vec![16, 16], classes: 8, with_updates: true })
+        .unwrap();
+    let (sharded, shard_feeds) = shard(&m.graph, 4);
+    let mid = sharded.worker_schedule(1).len() / 2;
+    let opts = RunOptions {
+        faults: FaultPlan::single(Fault::Kill { worker: 1, pos: mid }),
+        ..Default::default()
+    };
+    let failure = match run_with_options(&sharded, &shard_feeds, &opts) {
+        Err(RuntimeError::Failed(f)) => *f,
+        other => panic!("expected a failed run, got {other:?}"),
+    };
+    // The post-mortem's partial trace still lines up against the simulator:
+    // the report renders, flags itself partial, and does not pretend the
+    // exact-match columns hold.
+    let report = compare_trace(&sharded, &Machine::p2_8xlarge(), &failure.trace, true);
+    assert!(report.is_partial(), "aborted run must yield a partial report");
+    assert!(report.devices.iter().any(|d| !d.completed));
+    let s = report.summary();
+    assert!(s.contains("[ABORTED]"), "summary must mark aborted devices:\n{s}");
+    assert!(!s.contains("MISMATCH"), "partial traces are not comm-compared:\n{s}");
 }
 
 #[test]

@@ -6,4 +6,10 @@ cd "$(dirname "$0")/.."
 
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
+# The fault suite must abort runs in milliseconds; a hang here means the
+# fail-fast path regressed, so cap it hard rather than stalling CI.
+timeout 300 cargo test -q -p tofu-runtime --test faults
 cargo test --workspace -q
+# Record the fault-matrix detection latencies and recovery outcomes
+# (exits non-zero unless every injected fault recovers bit-identically).
+cargo run --release -q -p tofu-bench --bin fault_matrix
