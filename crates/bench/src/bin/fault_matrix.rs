@@ -15,33 +15,15 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+use tofu_bench::{bench_report, feeds, write_report, Json};
 use tofu_core::{generate, partition, GenOptions, PartitionOptions, ShardedGraph};
-use tofu_graph::{Graph, TensorId, TensorKind};
+use tofu_graph::TensorId;
 use tofu_models::{mlp, MlpConfig};
 use tofu_runtime::{
     run_with_options, run_with_recovery, CheckpointPolicy, Fault, FaultPlan, MessageFault,
     RecoveryOptions, RunOptions, RuntimeError,
 };
 use tofu_tensor::Tensor;
-
-fn feeds(g: &Graph) -> Vec<(TensorId, Tensor)> {
-    let mut out = Vec::new();
-    for t in g.tensor_ids() {
-        let meta = g.tensor(t);
-        if meta.kind == TensorKind::Intermediate {
-            continue;
-        }
-        let v = if meta.name == "labels" {
-            let b = meta.shape.dim(0);
-            Tensor::from_vec(meta.shape.clone(), (0..b).map(|i| (i % 3) as f32).collect())
-                .unwrap()
-        } else {
-            Tensor::random(meta.shape.clone(), t.0 as u64 + 1, 0.5)
-        };
-        out.push((t, v));
-    }
-    out
-}
 
 fn bit_identical(a: &BTreeMap<TensorId, Tensor>, b: &BTreeMap<TensorId, Tensor>) -> bool {
     a.len() == b.len()
@@ -179,35 +161,33 @@ fn main() {
         rows.push(row);
     }
 
-    let mut json = String::from("{\n");
-    json.push_str("  \"bench\": \"fault_matrix\",\n");
-    json.push_str(&format!("  \"workers\": {workers},\n"));
-    json.push_str(&format!("  \"nodes\": {},\n", sharded.graph.num_nodes()));
-    json.push_str(&format!("  \"checkpoint_every\": {every},\n"));
-    json.push_str("  \"results\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"fault\": \"{}\", \"cause\": \"{}\", \"blamed_worker\": {}, \
-             \"detection_max_us\": {}, \"detection_peers\": {}, \"abort_wall_us\": {}, \
-             \"recovered_exact\": {}, \"recovery_attempts\": {}}}{}\n",
-            r.fault,
-            r.cause,
-            r.blamed_worker,
-            r.detection_max_us,
-            r.detection_peers,
-            r.abort_wall_us,
-            r.recovered_exact,
-            r.recovery_attempts,
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
-    let all_recovered = rows.iter().all(|r| r.recovered_exact);
-    println!(
-        "\nwrote BENCH_faults.json ({} rows, all recovered bit-identical: {all_recovered})",
-        rows.len()
+    let results = rows
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("fault", Json::from(r.fault.as_str())),
+                ("cause", Json::from(r.cause)),
+                ("blamed_worker", Json::from(r.blamed_worker)),
+                ("detection_max_us", Json::from(r.detection_max_us as f64)),
+                ("detection_peers", Json::from(r.detection_peers)),
+                ("abort_wall_us", Json::from(r.abort_wall_us as f64)),
+                ("recovered_exact", Json::Bool(r.recovered_exact)),
+                ("recovery_attempts", Json::from(r.recovery_attempts)),
+            ])
+        })
+        .collect();
+    let doc = bench_report(
+        "fault_matrix",
+        vec![
+            ("workers", Json::from(workers)),
+            ("nodes", Json::from(sharded.graph.num_nodes())),
+            ("checkpoint_every", Json::from(every)),
+        ],
+        results,
     );
+    write_report("BENCH_faults.json", &doc);
+    let all_recovered = rows.iter().all(|r| r.recovered_exact);
+    println!("({} rows, all recovered bit-identical: {all_recovered})", rows.len());
     if !all_recovered {
         std::process::exit(1);
     }

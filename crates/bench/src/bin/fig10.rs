@@ -2,6 +2,7 @@
 //! split into computation and communication, for RNN-4-8K (batch 512) and
 //! WResNet-152-10 (batch 8) on 8 simulated GPUs.
 
+use tofu_bench::{bench_report, paper_json, write_report, Json};
 use tofu_core::baselines::{run, Algorithm};
 use tofu_models::{rnn, wresnet, RnnConfig, WResNetConfig};
 use tofu_sim::{run_partitioned, Machine, Outcome, TofuSimOptions};
@@ -31,6 +32,7 @@ fn main() {
     })
     .expect("wresnet builds");
 
+    let mut results: Vec<Json> = Vec::new();
     for (name, model, batch, paper) in [
         ("RNN-4-8K (batch 512)", &rnn_model, 512usize, &PAPER_RNN),
         ("WResNet-152-10 (batch 8)", &wres_model, 8, &PAPER_WRESNET),
@@ -42,6 +44,11 @@ fn main() {
         );
         println!("{}", "-".repeat(58));
         for (ai, alg) in Algorithm::all().into_iter().enumerate() {
+            let mut row = vec![
+                ("workload", Json::from(name)),
+                ("algorithm", Json::from(alg.label())),
+                ("paper_seconds", paper_json(paper[ai])),
+            ];
             let line = match run(&model.graph, alg, machine.gpus) {
                 Ok(plan) => {
                     match run_partitioned(
@@ -52,34 +59,50 @@ fn main() {
                         &TofuSimOptions::default(),
                     ) {
                         Ok(result) => match result.outcome {
-                            Outcome::Ran(p) => format!(
-                                "{:<14} {:>10.2} {:>9.0}% {:>8} {:>10.2}",
-                                alg.label(),
-                                p.iter_seconds,
-                                p.comm_fraction * 100.0,
-                                paper[ai]
-                                    .map(|v| format!("{v:.1}"))
-                                    .unwrap_or_else(|| "OOM".into()),
-                                result.comm_bytes / 1e9,
-                            ),
-                            Outcome::Oom { peak_gb } => format!(
-                                "{:<14} {:>10} {:>10} {:>8} (needs {peak_gb:.1} GB/GPU)",
-                                alg.label(),
-                                "OOM",
-                                "-",
-                                paper[ai]
-                                    .map(|v| format!("{v:.1}"))
-                                    .unwrap_or_else(|| "OOM".into()),
-                            ),
+                            Outcome::Ran(p) => {
+                                row.push(("iter_seconds", Json::from(p.iter_seconds)));
+                                row.push(("comm_fraction", Json::from(p.comm_fraction)));
+                                row.push(("comm_gb", Json::from(result.comm_bytes / 1e9)));
+                                format!(
+                                    "{:<14} {:>10.2} {:>9.0}% {:>8} {:>10.2}",
+                                    alg.label(),
+                                    p.iter_seconds,
+                                    p.comm_fraction * 100.0,
+                                    paper[ai]
+                                        .map(|v| format!("{v:.1}"))
+                                        .unwrap_or_else(|| "OOM".into()),
+                                    result.comm_bytes / 1e9,
+                                )
+                            }
+                            Outcome::Oom { peak_gb } => {
+                                row.push(("oom_peak_gb", Json::from(peak_gb)));
+                                format!(
+                                    "{:<14} {:>10} {:>10} {:>8} (needs {peak_gb:.1} GB/GPU)",
+                                    alg.label(),
+                                    "OOM",
+                                    "-",
+                                    paper[ai]
+                                        .map(|v| format!("{v:.1}"))
+                                        .unwrap_or_else(|| "OOM".into()),
+                                )
+                            }
                         },
-                        Err(e) => format!("{:<14} generation failed: {e}", alg.label()),
+                        Err(e) => {
+                            row.push(("error", Json::from(format!("generation failed: {e}"))));
+                            format!("{:<14} generation failed: {e}", alg.label())
+                        }
                     }
                 }
-                Err(e) => format!("{:<14} search failed: {e}", alg.label()),
+                Err(e) => {
+                    row.push(("error", Json::from(format!("search failed: {e}"))));
+                    format!("{:<14} search failed: {e}", alg.label())
+                }
             };
             println!("{line}");
+            results.push(Json::obj(row));
         }
     }
+    write_report("BENCH_fig10.json", &bench_report("fig10", vec![], results));
     println!(
         "\nShape checks: Tofu has the lowest per-batch time on both workloads;\n\
          AllRow-Greedy and ICML18 should OOM (or come closest to it) on\n\

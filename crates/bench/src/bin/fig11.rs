@@ -8,6 +8,7 @@
 //! weights (lower layers: big activations, small weights) to activations
 //! (higher layers).
 
+use tofu_bench::{bench_report, write_report, Json};
 use tofu_core::recursive::{partition, PartitionOptions, PartitionPlan};
 use tofu_graph::Graph;
 use tofu_models::{wresnet, WResNetConfig};
@@ -58,6 +59,7 @@ fn main() {
     let mut batch_split_layers = 0usize;
     let mut channel_split_layers = 0usize;
     let mut total = 0usize;
+    let mut results: Vec<Json> = Vec::new();
     for id in g.node_ids() {
         let node = g.node(id);
         if node.op != "conv2d" || node.tags.is_backward {
@@ -74,6 +76,11 @@ fn main() {
         if dt.contains("c/") || wt.contains("co/") || wt.contains("ci/") {
             channel_split_layers += 1;
         }
+        results.push(Json::obj(vec![
+            ("layer", Json::from(node.name.as_str())),
+            ("weight_tiling", Json::from(wt.as_str())),
+            ("data_tiling", Json::from(dt.as_str())),
+        ]));
         // Print the stem, the first block of each stage, and the last block
         // (the figure's "xN" compression of repeated blocks).
         let stage = node
@@ -110,5 +117,22 @@ fn main() {
     println!(
         "  - total communication per iteration: {:.2} GB across 8 workers",
         plan.total_comm_bytes() / 1e9
+    );
+    write_report(
+        "BENCH_fig11.json",
+        &bench_report(
+            "fig11",
+            vec![
+                ("conv_layers", Json::from(total)),
+                ("batch_split_layers", Json::from(batch_split_layers)),
+                ("channel_split_layers", Json::from(channel_split_layers)),
+                ("total_comm_gb", Json::from(plan.total_comm_bytes() / 1e9)),
+                (
+                    "step_comm_gb",
+                    Json::Arr(plan.step_costs().iter().map(|&c| Json::from(c / 1e9)).collect()),
+                ),
+            ],
+            results,
+        ),
     );
 }

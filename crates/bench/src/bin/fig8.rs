@@ -3,7 +3,10 @@
 //! numbers beside each bar. "OOM" marks configurations that exceed the
 //! 12 GB device memory, as in the paper.
 
-use tofu_bench::{batch_candidates, fmt_outcome, fmt_paper, rule, wresnet_builder};
+use tofu_bench::{
+    batch_candidates, bench_report, fmt_outcome, fmt_paper, outcome_json, paper_json, rule,
+    write_report, wresnet_builder, Json,
+};
 use tofu_core::baselines::Algorithm;
 use tofu_sim::{ideal, small_batch, swap, Machine};
 
@@ -51,6 +54,7 @@ fn main() {
     let wres_candidates: Vec<usize> =
         candidates.iter().copied().filter(|&b| b <= 128).collect();
 
+    let mut results: Vec<Json> = Vec::new();
     for (layers, paper) in depths {
         println!("\nFig. 8: Wide ResNet-{layers} throughput (samples/sec), ours | paper");
         println!(
@@ -81,8 +85,24 @@ fn main() {
                 fmt_outcome(&tofu_out),
                 fmt_paper(paper[wi][3]),
             );
+            results.push(Json::obj(vec![
+                ("layers", Json::from(*layers)),
+                ("width", Json::from(width)),
+                ("ideal", outcome_json(&ideal_out)),
+                ("small_batch", outcome_json(&sb_out)),
+                ("swap", outcome_json(&swap_out)),
+                ("tofu", outcome_json(&tofu_out)),
+                (
+                    "paper",
+                    Json::Arr(paper[wi].iter().map(|&v| paper_json(v)).collect()),
+                ),
+            ]));
         }
     }
+    write_report(
+        "BENCH_fig8.json",
+        &bench_report("fig8", vec![("quick", Json::Bool(quick))], results),
+    );
     println!(
         "\nShape checks: Tofu should be within 60-98% of Ideal, beat Swap everywhere,\n\
          and lose only to SmallBatch on WResNet-50-4/101-4 (convolutions stay\n\

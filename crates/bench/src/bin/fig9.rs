@@ -2,7 +2,10 @@
 //! Ideal, SmallBatch, Swapping, Op-Placement and Tofu, with the paper's
 //! numbers beside each bar.
 
-use tofu_bench::{batch_candidates, fmt_outcome, fmt_paper, rule, rnn_builder};
+use tofu_bench::{
+    batch_candidates, bench_report, fmt_outcome, fmt_paper, outcome_json, paper_json,
+    rnn_builder, rule, write_report, Json,
+};
 use tofu_core::baselines::Algorithm;
 use tofu_sim::{ideal, op_placement, small_batch, swap, Machine};
 
@@ -44,6 +47,7 @@ fn main() {
     let layer_rows: &[(usize, Row)] = if quick { &PAPER[..1] } else { &PAPER };
     let candidates = batch_candidates();
 
+    let mut results: Vec<Json> = Vec::new();
     for (layers, paper) in layer_rows {
         println!("\nFig. 9: {layers}-layer RNN throughput (samples/sec), ours | paper");
         println!(
@@ -86,8 +90,25 @@ fn main() {
                 fmt_outcome(&tofu_out),
                 fmt_paper(paper[hi][4]),
             );
+            results.push(Json::obj(vec![
+                ("layers", Json::from(*layers)),
+                ("hidden", Json::from(hidden)),
+                ("ideal", outcome_json(&ideal_out)),
+                ("small_batch", outcome_json(&sb_out)),
+                ("swap", outcome_json(&swap_out)),
+                ("op_placement", outcome_json(&op_out)),
+                ("tofu", outcome_json(&tofu_out)),
+                (
+                    "paper",
+                    Json::Arr(paper[hi].iter().map(|&v| paper_json(v)).collect()),
+                ),
+            ]));
         }
     }
+    write_report(
+        "BENCH_fig9.json",
+        &bench_report("fig9", vec![("quick", Json::Bool(quick))], results),
+    );
     println!(
         "\nShape checks: Tofu wins every configuration (matmuls starve at small\n\
          batches, so SmallBatch never beats it here); Swap collapses as weights\n\

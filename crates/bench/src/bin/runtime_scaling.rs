@@ -10,36 +10,15 @@
 
 use std::time::Instant;
 
+use tofu_bench::{bench_report, feeds, write_report, Json};
 use tofu_core::{generate, partition, GenOptions, PartitionOptions, ShardedGraph};
-use tofu_graph::{Graph, TensorId, TensorKind};
+use tofu_graph::Graph;
 use tofu_models::{mlp, wresnet, MlpConfig, WResNetConfig};
 use tofu_runtime::run;
-use tofu_tensor::Tensor;
 
 const WORKERS: [usize; 4] = [1, 2, 4, 8];
 const WARMUP: usize = 1;
 const ITERS: usize = 5;
-
-fn feeds(g: &Graph) -> Vec<(TensorId, Tensor)> {
-    let mut out = Vec::new();
-    for t in g.tensor_ids() {
-        let meta = g.tensor(t);
-        if meta.kind == TensorKind::Intermediate {
-            continue;
-        }
-        let v = if meta.name == "labels" {
-            let b = meta.shape.dim(0);
-            Tensor::from_vec(meta.shape.clone(), (0..b).map(|i| (i % 3) as f32).collect())
-                .unwrap()
-        } else {
-            let fan_in = (meta.shape.volume() / meta.shape.dim(0).max(1)).max(1);
-            let scale = (3.0f32 / fan_in as f32).sqrt().min(0.5);
-            Tensor::random(meta.shape.clone(), t.0 as u64 + 1, scale)
-        };
-        out.push((t, v));
-    }
-    out
-}
 
 struct Row {
     model: &'static str,
@@ -128,26 +107,29 @@ fn main() {
         }
     }
 
-    let mut json = String::from("{\n");
-    json.push_str("  \"bench\": \"runtime_scaling\",\n");
-    json.push_str(&format!("  \"host_cpus\": {cpus},\n"));
-    json.push_str(&format!("  \"warmup\": {WARMUP},\n  \"iters\": {ITERS},\n"));
-    json.push_str("  \"results\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"model\": \"{}\", \"workers\": {}, \"seconds_per_iter\": {:.6}, \
-             \"samples_per_sec\": {:.2}, \"comm_bytes\": {}, \"nodes\": {}, \"exact\": {}}}{}\n",
-            r.model,
-            r.workers,
-            r.seconds_per_iter,
-            r.samples_per_sec,
-            r.comm_bytes,
-            r.nodes,
-            r.exact,
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
-    println!("\nwrote BENCH_runtime.json ({} rows, host_cpus={cpus})", rows.len());
+    let results = rows
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("model", Json::from(r.model)),
+                ("workers", Json::from(r.workers)),
+                ("seconds_per_iter", Json::from(r.seconds_per_iter)),
+                ("samples_per_sec", Json::from(r.samples_per_sec)),
+                ("comm_bytes", Json::from(r.comm_bytes)),
+                ("nodes", Json::from(r.nodes)),
+                ("exact", Json::Bool(r.exact)),
+            ])
+        })
+        .collect();
+    let doc = bench_report(
+        "runtime_scaling",
+        vec![
+            ("host_cpus", Json::from(cpus)),
+            ("warmup", Json::from(WARMUP)),
+            ("iters", Json::from(ITERS)),
+        ],
+        results,
+    );
+    write_report("BENCH_runtime.json", &doc);
+    println!("({} rows, host_cpus={cpus})", rows.len());
 }

@@ -12,9 +12,12 @@
 
 use tofu_core::baselines::Algorithm;
 use tofu_core::recursive::PartitionOptions;
-use tofu_graph::Graph;
+use tofu_graph::{Graph, TensorId, TensorKind};
 use tofu_models::{rnn, wresnet, RnnConfig, WResNetConfig};
 use tofu_sim::{Machine, Outcome, TofuSimOptions};
+use tofu_tensor::Tensor;
+
+pub use tofu_obs::json::Json;
 
 /// Formats an [`Outcome`] the way the paper's figures label bars.
 pub fn fmt_outcome(o: &Outcome) -> String {
@@ -101,6 +104,71 @@ pub fn default_opts(workers: usize) -> PartitionOptions {
     PartitionOptions { workers, ..Default::default() }
 }
 
+/// Deterministic input/weight feeds for running a graph on the real runtime:
+/// small random weights (fan-in scaled) and cyclic integer labels.
+pub fn feeds(g: &Graph) -> Vec<(TensorId, Tensor)> {
+    let mut out = Vec::new();
+    for t in g.tensor_ids() {
+        let meta = g.tensor(t);
+        if meta.kind == TensorKind::Intermediate {
+            continue;
+        }
+        let v = if meta.name == "labels" {
+            let b = meta.shape.dim(0);
+            Tensor::from_vec(meta.shape.clone(), (0..b).map(|i| (i % 3) as f32).collect())
+                .unwrap()
+        } else {
+            let fan_in = (meta.shape.volume() / meta.shape.dim(0).max(1)).max(1);
+            let scale = (3.0f32 / fan_in as f32).sqrt().min(0.5);
+            Tensor::random(meta.shape.clone(), t.0 as u64 + 1, scale)
+        };
+        out.push((t, v));
+    }
+    out
+}
+
+/// Builds the standard bench-report envelope every `BENCH_*.json` file uses:
+/// a `bench` name, caller-specific metadata fields, and a `results` array.
+pub fn bench_report(bench: &str, fields: Vec<(&str, Json)>, results: Vec<Json>) -> Json {
+    let mut pairs = vec![("bench", Json::from(bench))];
+    pairs.extend(fields);
+    pairs.push(("results", Json::Arr(results)));
+    Json::obj(pairs)
+}
+
+/// Writes a report pretty-printed to `path` and announces it on stdout.
+///
+/// All bench binaries funnel their JSON output through this so the on-disk
+/// format (and its escaping rules) lives in exactly one place.
+pub fn write_report(path: &str, doc: &Json) {
+    std::fs::write(path, doc.to_json_pretty() + "\n")
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("\nwrote {path}");
+}
+
+/// A paper reference number as JSON: the value, or `null` for OOM.
+pub fn paper_json(v: Option<f64>) -> Json {
+    v.map(Json::from).unwrap_or(Json::Null)
+}
+
+/// An [`Outcome`] as a JSON fragment: throughput + peak memory, or an OOM
+/// marker with the peak that broke the budget.
+pub fn outcome_json(o: &Outcome) -> Json {
+    match o {
+        Outcome::Ran(p) => Json::obj(vec![
+            ("ran", Json::Bool(true)),
+            ("throughput", Json::from(p.throughput)),
+            ("iter_seconds", Json::from(p.iter_seconds)),
+            ("batch", Json::from(p.batch)),
+            ("peak_gb", Json::from(p.peak_gb)),
+            ("comm_fraction", Json::from(p.comm_fraction)),
+        ]),
+        Outcome::Oom { peak_gb } => {
+            Json::obj(vec![("ran", Json::Bool(false)), ("peak_gb", Json::from(*peak_gb))])
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +193,33 @@ mod tests {
         assert!(wresnet_builder(50, 4)(2).is_some());
         assert!(rnn_builder(2, 64)(4).is_some());
         assert!(wresnet_builder(42, 4)(2).is_none());
+    }
+
+    #[test]
+    fn bench_report_round_trips() {
+        let doc = bench_report(
+            "unit",
+            vec![("workers", Json::from(4u64))],
+            vec![Json::obj(vec![("ok", Json::Bool(true))])],
+        );
+        let back = tofu_obs::json::parse(&doc.to_json_pretty()).unwrap();
+        assert_eq!(back.get("bench").and_then(Json::as_str), Some("unit"));
+        assert_eq!(back.get("workers").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(back.get("results").and_then(Json::as_array).map(|a| a.len()), Some(1));
+    }
+
+    #[test]
+    fn outcome_json_tags_oom() {
+        let perf = tofu_sim::Perf {
+            iter_seconds: 1.0,
+            throughput: 42.0,
+            batch: 8,
+            peak_gb: 1.0,
+            comm_fraction: 0.25,
+        };
+        assert_eq!(outcome_json(&Outcome::Ran(perf)).get("ran").and_then(Json::as_bool), Some(true));
+        let oom = outcome_json(&Outcome::Oom { peak_gb: 13.0 });
+        assert_eq!(oom.get("ran").and_then(Json::as_bool), Some(false));
+        assert_eq!(oom.get("peak_gb").and_then(Json::as_f64), Some(13.0));
     }
 }

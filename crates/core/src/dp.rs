@@ -19,6 +19,7 @@
 use std::collections::BTreeMap;
 
 use tofu_graph::{Graph, NodeId, TensorId};
+use tofu_obs::{Collector, Track};
 use tofu_tensor::Shape;
 
 use crate::coarsen::CoarseGraph;
@@ -248,6 +249,23 @@ pub fn search(
     extra: &ExtraInputs,
     opts: &DpOptions,
 ) -> Result<StepPlan> {
+    search_with_obs(g, view, cg, extra, opts, None)
+}
+
+/// [`search`] that additionally reports its statistics into `obs`: running
+/// totals `dp/strategies_enumerated`, `dp/strategies_feasible`,
+/// `dp/states_explored` and `dp/frontier_width_max`, plus per-cut
+/// `dp/frontier states` and `dp/frontier width` counter samples on
+/// [`Track::search`] (frontier width = bundles crossing the cut, the
+/// quantity §5 argues stays tiny on chain-like coarsened graphs).
+pub fn search_with_obs(
+    g: &Graph,
+    view: &ShapeView,
+    cg: &CoarseGraph,
+    extra: &ExtraInputs,
+    opts: &DpOptions,
+    obs: Option<&Collector>,
+) -> Result<StepPlan> {
     if opts.ways < 2 {
         return Err(CoreError::BadWorkerCount(opts.ways));
     }
@@ -266,7 +284,11 @@ pub fn search(
             Vec::new()
         } else {
             let out_shape = view.shape(g.node(rep).output).clone();
-            let feasible: Vec<NodeStrategy> = node_strategies(g, rep, view)?
+            let enumerated = node_strategies(g, rep, view)?;
+            if let Some(c) = obs {
+                c.add_total("dp/strategies_enumerated", enumerated.len() as f64);
+            }
+            let feasible: Vec<NodeStrategy> = enumerated
                 .into_iter()
                 .filter(|s| strategy_feasible(s, &out_shape, opts.ways))
                 .collect();
@@ -278,7 +300,11 @@ pub fn search(
             // The ICML18 baseline lacks output-reduction as an *option*; an
             // operator whose only strategies are reductions (e.g. the scalar
             // loss) is still computed, just not partitioned differently.
-            if filtered.is_empty() { feasible } else { filtered }
+            let kept = if filtered.is_empty() { feasible } else { filtered };
+            if let Some(c) = obs {
+                c.add_total("dp/strategies_feasible", kept.len() as f64);
+            }
+            kept
         };
         let mut touched: Vec<usize> = Vec::new();
         for &m in members {
@@ -459,6 +485,14 @@ pub fn search(
             ranked.truncate(opts.beam);
             next = ranked.into_iter().collect();
             trace.retain(|k, _| next.contains_key(k));
+        }
+        if let Some(c) = obs {
+            let ts = c.now_us();
+            c.add_total("dp/states_explored", (states.len() * combos.len()) as f64);
+            let width = next.keys().map(|k| k.len()).max().unwrap_or(0) as f64;
+            c.counter(Track::search(), "dp/frontier states", ts, next.len() as f64);
+            c.counter(Track::search(), "dp/frontier width", ts, width);
+            c.max_total("dp/frontier_width_max", width);
         }
         states = next;
         traces.push(trace);

@@ -54,7 +54,7 @@ pub use coarsen::{coarsen, CoarseGraph};
 pub use dp::{DpOptions, ExtraInputs, NodeChoice, StepPlan};
 pub use error::CoreError;
 pub use genplan::{fetch_pieces, generate, CommEdge, FetchPiece, GenOptions, ShardedGraph};
-pub use recursive::{factorize, partition, PartitionOptions, PartitionPlan};
+pub use recursive::{factorize, partition, partition_with_obs, PartitionOptions, PartitionPlan};
 pub use spec::{ConcreteOut, ConcreteReq, TensorSpec};
 pub use strategies::{node_strategies, NodeStrategy, ShapeView};
 

@@ -15,10 +15,11 @@
 //! links.
 
 use tofu_graph::{Graph, TensorId};
+use tofu_obs::{Collector, Track};
 use tofu_tensor::Shape;
 
 use crate::coarsen::{coarsen, CoarseGraph};
-use crate::dp::{search, DpOptions, ExtraInputs, NodeChoice, StepPlan};
+use crate::dp::{search_with_obs, DpOptions, ExtraInputs, NodeChoice, StepPlan};
 use crate::error::CoreError;
 use crate::spec::{ConcreteOut, ConcreteReq, TensorSpec};
 use crate::strategies::ShapeView;
@@ -167,10 +168,27 @@ pub fn factorize(workers: usize) -> Result<Vec<usize>> {
 /// assert_eq!(plan.steps.len(), 2);
 /// ```
 pub fn partition(g: &Graph, opts: &PartitionOptions) -> Result<PartitionPlan> {
+    partition_with_obs(g, opts, None)
+}
+
+/// [`partition`] that reports search statistics into `obs`: coarsening
+/// totals (`coarsen/groups`, `coarsen/classes`, `coarsen/nodes`), one span
+/// per recursion step on [`Track::search`], per-step `dp/step_comm_bytes`
+/// counters, and everything [`search_with_obs`] records.
+pub fn partition_with_obs(
+    g: &Graph,
+    opts: &PartitionOptions,
+    obs: Option<&Collector>,
+) -> Result<PartitionPlan> {
     let started = std::time::Instant::now();
     let factors = factorize(opts.workers)?;
     let cg = coarsen(g);
-    partition_with_coarse(g, &cg, &factors, opts, started)
+    if let Some(c) = obs {
+        c.add_total("coarsen/nodes", g.num_nodes() as f64);
+        c.add_total("coarsen/groups", cg.groups.len() as f64);
+        c.add_total("coarsen/classes", cg.class_nodes.iter().filter(|m| !m.is_empty()).count() as f64);
+    }
+    partition_with_coarse_obs(g, &cg, &factors, opts, started, obs)
 }
 
 /// Like [`partition`] but with a caller-provided coarsened graph and factor
@@ -182,13 +200,26 @@ pub fn partition_with_coarse(
     opts: &PartitionOptions,
     started: std::time::Instant,
 ) -> Result<PartitionPlan> {
+    partition_with_coarse_obs(g, cg, factors, opts, started, None)
+}
+
+/// [`partition_with_coarse`] with an optional statistics sink (see
+/// [`partition_with_obs`]).
+pub fn partition_with_coarse_obs(
+    g: &Graph,
+    cg: &CoarseGraph,
+    factors: &[usize],
+    opts: &PartitionOptions,
+    started: std::time::Instant,
+    obs: Option<&Collector>,
+) -> Result<PartitionPlan> {
     let mut view = ShapeView::from_graph(g);
     let mut extra = ExtraInputs::new();
     let mut steps: Vec<StepRecord> = Vec::with_capacity(factors.len());
     let mut tiling: Vec<Vec<Option<usize>>> = vec![Vec::new(); g.num_tensors()];
     let mut groups_before = 1usize;
 
-    for &ways in factors {
+    for (step, &ways) in factors.iter().enumerate() {
         let dp_opts = DpOptions {
             ways,
             allow_reduce: opts.allow_reduce,
@@ -196,7 +227,19 @@ pub fn partition_with_coarse(
             internal_bound: opts.internal_bound,
             beam: opts.beam,
         };
-        let plan = search(g, &view, cg, &extra, &dp_opts)?;
+        let step_start = obs.map(|c| c.now_us());
+        let plan = search_with_obs(g, &view, cg, &extra, &dp_opts, obs)?;
+        if let Some(c) = obs {
+            let end = c.now_us();
+            let name = format!("step {step}: {ways}-way dp over {} groups", cg.groups.len());
+            c.complete(Track::search(), "search", &name, step_start.unwrap_or(end), end);
+            c.counter(
+                Track::search(),
+                "dp/step_comm_bytes",
+                end,
+                plan.comm_bytes * groups_before as f64,
+            );
+        }
 
         // Record tiling for original tensors.
         for t in g.tensor_ids() {

@@ -80,9 +80,9 @@ pub struct BufferPlan {
     /// Per schedule position: how that node's output is placed.
     pub actions: Vec<SlotAction>,
     /// Per schedule position: locally-produced tensors whose liveness ends
-    /// right after the node at that position runs. (The greedy scan itself
-    /// returns a dying slot to the free pool one step later when the death
-    /// coincides with an in-place takeover; this list is exact.)
+    /// right after the node at that position runs. The greedy scan frees
+    /// slots at exactly these positions, including deaths that coincide with
+    /// an in-place takeover.
     pub dead_after: Vec<Vec<TensorId>>,
     /// Inputs/weights resident on this device for the whole run (consumed by
     /// a non-fetch node of the schedule).
@@ -192,9 +192,8 @@ pub fn plan_buffers(g: &Graph, schedule: &[NodeId], reuse: bool) -> BufferPlan {
     let mut free: Vec<usize> = Vec::new(); // free slot ids
     let mut live: Vec<(TensorId, usize, usize)> = Vec::new(); // (tensor, slot, last use)
     let mut actions: Vec<SlotAction> = Vec::with_capacity(schedule.len());
-    // Exact death positions, straight from the liveness map (the scan below
-    // frees a slot one step late when a death coincides with an in-place
-    // takeover — harmless for the peak, wrong for a runtime's bookkeeping).
+    // Exact death positions, straight from the liveness map; the release
+    // phase below frees slots at exactly these steps.
     let mut dead_after: Vec<Vec<TensorId>> = vec![Vec::new(); schedule.len()];
     for &t in produced.keys() {
         if let Some(&last) = last_use.get(&t) {
@@ -228,59 +227,64 @@ pub fn plan_buffers(g: &Graph, schedule: &[NodeId], reuse: bool) -> BufferPlan {
             let last = last_use.get(&out).copied().unwrap_or(usize::MAX);
             live.push((out, slot, last));
             actions.push(SlotAction::InPlace { slot });
-            continue;
-        }
-        // Reuse a free buffer when one exists. MXNet's planner assigns
-        // buffers offline with full liveness knowledge, so it can resize
-        // assignments freely; model that by growing an undersized free
-        // buffer instead of allocating a disjoint one (the pool's high-water
-        // mark then tracks the true live-byte peak, not fragmentation).
-        let pick = if reuse {
-            // Prefer an exact/over-sized fit, else the largest free buffer.
-            free.iter()
-                .enumerate()
-                .filter(|&(_, &s)| slot_bytes[s] >= need)
-                .min_by_key(|&(_, &s)| slot_bytes[s])
-                .map(|(i, _)| i)
-                .or_else(|| {
-                    free.iter()
-                        .enumerate()
-                        .max_by_key(|&(_, &s)| slot_bytes[s])
-                        .map(|(i, _)| i)
-                })
         } else {
-            None
-        };
-        let slot = match pick {
-            Some(i) => {
-                let slot = free.swap_remove(i);
-                let size = slot_bytes[slot];
-                let grown_by = need.saturating_sub(size);
-                if grown_by > 0 {
-                    current += grown_by;
-                    peak = peak.max(current);
-                    slot_bytes[slot] = need;
+            // Reuse a free buffer when one exists. MXNet's planner assigns
+            // buffers offline with full liveness knowledge, so it can resize
+            // assignments freely; model that by growing an undersized free
+            // buffer instead of allocating a disjoint one (the pool's
+            // high-water mark then tracks the true live-byte peak, not
+            // fragmentation).
+            let pick = if reuse {
+                // Prefer an exact/over-sized fit, else the largest free buffer.
+                free.iter()
+                    .enumerate()
+                    .filter(|&(_, &s)| slot_bytes[s] >= need)
+                    .min_by_key(|&(_, &s)| slot_bytes[s])
+                    .map(|(i, _)| i)
+                    .or_else(|| {
+                        free.iter()
+                            .enumerate()
+                            .max_by_key(|&(_, &s)| slot_bytes[s])
+                            .map(|(i, _)| i)
+                    })
+            } else {
+                None
+            };
+            let slot = match pick {
+                Some(i) => {
+                    let slot = free.swap_remove(i);
+                    let size = slot_bytes[slot];
+                    let grown_by = need.saturating_sub(size);
+                    if grown_by > 0 {
+                        current += grown_by;
+                        peak = peak.max(current);
+                        slot_bytes[slot] = need;
+                    }
+                    actions.push(SlotAction::Reuse { slot, grown_by });
+                    slot
                 }
-                actions.push(SlotAction::Reuse { slot, grown_by });
-                slot
-            }
-            None => {
-                let slot = slot_bytes.len();
-                slot_bytes.push(need);
-                allocated += 1;
-                current += need;
-                peak = peak.max(current);
-                actions.push(SlotAction::Alloc { slot });
-                slot
-            }
-        };
-        let last = last_use.get(&out).copied().unwrap_or(usize::MAX);
-        live.push((out, slot, last));
+                None => {
+                    let slot = slot_bytes.len();
+                    slot_bytes.push(need);
+                    allocated += 1;
+                    current += need;
+                    peak = peak.max(current);
+                    actions.push(SlotAction::Alloc { slot });
+                    slot
+                }
+            };
+            let last = last_use.get(&out).copied().unwrap_or(usize::MAX);
+            live.push((out, slot, last));
+        }
 
-        // Release buffers whose last consumer just ran. Without reuse the
-        // planner cannot reclaim them at all — this models the missing
-        // control dependencies of Fig. 7, where ops of the partitioned graph
-        // have no ordering that would make reclamation safe.
+        // Release buffers whose last consumer just ran — at every position,
+        // including in-place takeovers, so a tensor dying alongside a
+        // takeover frees its slot at the exact step `dead_after` records
+        // (skipping this at in-place positions freed those slots one step
+        // late and inflated the next allocation). Without reuse the planner
+        // cannot reclaim at all — this models the missing control
+        // dependencies of Fig. 7, where ops of the partitioned graph have no
+        // ordering that would make reclamation safe.
         if reuse {
             let mut i = 0;
             while i < live.len() {
@@ -411,6 +415,31 @@ mod tests {
         let last = schedule.len() - 1;
         assert!(bp.dead_after[last].contains(&a));
         assert!(bp.dead_after[last].contains(&b));
+    }
+
+    #[test]
+    fn death_coinciding_with_inplace_takeover_frees_at_exact_step() {
+        // x -> a (relu), x -> b (tanh), c = add(a, b): c takes over a's slot
+        // in place while b dies at the same step. d = relu(x) right after
+        // must be able to reuse b's slot — freeing it one step late forced a
+        // third allocation here.
+        let mut g = Graph::new();
+        let x = g.add_input("x", Shape::new(vec![256]));
+        let a = g.add_op("relu", "a", &[x], Attrs::new()).unwrap();
+        let b = g.add_op("tanh", "b", &[x], Attrs::new()).unwrap();
+        let _c = g.add_op("add", "c", &[a, b], Attrs::new()).unwrap();
+        let _d = g.add_op("relu", "d", &[x], Attrs::new()).unwrap();
+        let schedule: Vec<NodeId> = g.node_ids().collect();
+        let bp = plan_buffers(&g, &schedule, true);
+        // dead_after is exact at the in-place position: both a (taken over)
+        // and b (released) die when c runs (position 2).
+        assert!(bp.dead_after[2].contains(&a));
+        assert!(bp.dead_after[2].contains(&b));
+        assert!(matches!(bp.actions[2], SlotAction::InPlace { .. }));
+        // d reuses b's freed slot instead of allocating a third buffer.
+        assert!(matches!(bp.actions[3], SlotAction::Reuse { grown_by: 0, .. }), "{:?}", bp.actions[3]);
+        assert_eq!(bp.mem.buffers_allocated, 2);
+        assert_eq!(bp.mem.peak_transient_bytes, 2 * 1024);
     }
 
     #[test]

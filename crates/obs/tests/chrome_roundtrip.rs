@@ -1,0 +1,113 @@
+//! Round-trip test for the Chrome-trace exporter: a trace emitted through
+//! the `Collector`, serialized with `chrome_trace_json`, must parse back
+//! with the zero-dependency JSON parser and reproduce event counts, span
+//! nesting and per-device timestamp order.
+
+use tofu_obs::chrome::chrome_trace_json;
+use tofu_obs::json::{parse, Json};
+use tofu_obs::{Collector, Track, PID_RUNTIME_BASE, PID_SIM_BASE};
+
+/// Emits a small but representative trace: nested runtime spans on two
+/// devices, a sim span, a search counter and a control instant.
+fn sample_collector() -> Collector {
+    let c = Collector::new();
+    // Device 0: outer span enclosing an inner one (proper nesting), then a
+    // later sibling — timestamps strictly ordered within the lane.
+    c.complete(Track::runtime(0), "op", "fc0", 100.0, 400.0);
+    c.complete(Track::runtime(0), "wait", "recv fc0[1]", 150.0, 250.0);
+    c.complete(Track::runtime(0), "op", "fc1", 500.0, 700.0);
+    // Device 1 runs the mirror shard.
+    c.complete(Track::runtime(1), "op", "fc0", 110.0, 390.0);
+    c.complete(Track::runtime(1), "op", "fc1", 480.0, 650.0);
+    // Predicted lane for device 0, same span names as the measured lane.
+    c.complete(Track::sim(0), "op", "fc0", 0.0, 300.0);
+    c.complete(Track::sim(0), "op", "fc1", 300.0, 480.0);
+    c.counter(Track::search(), "dp/frontier states", 10.0, 4.0);
+    c.instant(Track::control(), "recovery", "attempt 0");
+    c
+}
+
+fn events(doc: &Json) -> &[Json] {
+    doc.get("traceEvents").and_then(Json::as_array).expect("traceEvents array")
+}
+
+fn pid_of(e: &Json) -> u32 {
+    e.get("pid").and_then(Json::as_f64).expect("pid") as u32
+}
+
+#[test]
+fn event_count_survives_round_trip() {
+    let c = sample_collector();
+    let emitted = c.len();
+    let doc = parse(&chrome_trace_json(&c.events())).expect("exporter output parses");
+    let evs = events(&doc);
+    // 5 distinct pids (search, control, runtime 0/1, sim 0), each with two
+    // metadata records (process_name + process_sort_index).
+    let metadata = evs.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("M")).count();
+    assert_eq!(metadata, 10);
+    assert_eq!(evs.len(), emitted + metadata);
+}
+
+#[test]
+fn nesting_is_preserved() {
+    let c = sample_collector();
+    let doc = parse(&chrome_trace_json(&c.events())).expect("parses");
+    let dev0: Vec<&Json> = events(&doc)
+        .iter()
+        .filter(|e| {
+            pid_of(e) == PID_RUNTIME_BASE && e.get("ph").and_then(Json::as_str) == Some("X")
+        })
+        .collect();
+    assert_eq!(dev0.len(), 3);
+    let span = |e: &Json| -> (f64, f64) {
+        let ts = e.get("ts").and_then(Json::as_f64).unwrap();
+        (ts, ts + e.get("dur").and_then(Json::as_f64).unwrap())
+    };
+    let (outer_s, outer_e) = span(dev0[0]);
+    let (inner_s, inner_e) = span(dev0[1]);
+    assert!(outer_s <= inner_s && inner_e <= outer_e, "recv span must nest inside its op span");
+    let (next_s, _) = span(dev0[2]);
+    assert!(next_s >= outer_e, "sibling span must start after the previous one ends");
+}
+
+#[test]
+fn timestamps_stay_monotone_per_device() {
+    let c = sample_collector();
+    let doc = parse(&chrome_trace_json(&c.events())).expect("parses");
+    for pid in [PID_RUNTIME_BASE, PID_RUNTIME_BASE + 1, PID_SIM_BASE] {
+        let ts: Vec<f64> = events(&doc)
+            .iter()
+            .filter(|e| {
+                pid_of(e) == pid && e.get("ph").and_then(Json::as_str) == Some("X")
+            })
+            .map(|e| e.get("ts").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert!(!ts.is_empty(), "pid {pid} lost its spans");
+        assert!(
+            ts.windows(2).all(|w| w[0] <= w[1]),
+            "pid {pid} timestamps out of order: {ts:?}"
+        );
+    }
+}
+
+#[test]
+fn counters_and_instants_survive() {
+    let c = sample_collector();
+    let doc = parse(&chrome_trace_json(&c.events())).expect("parses");
+    let evs = events(&doc);
+    let counter = evs
+        .iter()
+        .find(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+        .expect("counter event");
+    assert_eq!(counter.get("name").and_then(Json::as_str), Some("dp/frontier states"));
+    assert_eq!(
+        counter.get("args").and_then(|a| a.get("value")).and_then(Json::as_f64),
+        Some(4.0)
+    );
+    let instant = evs
+        .iter()
+        .find(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+        .expect("instant event");
+    assert_eq!(instant.get("name").and_then(Json::as_str), Some("attempt 0"));
+    assert_eq!(instant.get("s").and_then(Json::as_str), Some("t"));
+}

@@ -71,6 +71,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use tofu_core::{fetch_pieces, CommEdge, FetchPiece, ShardedGraph};
 use tofu_graph::{execute_node, plan_buffers, BufferPlan, NodeId, TensorId, TensorKind};
+use tofu_obs::{Collector, SpanBuffer, Track};
 use tofu_tensor::Tensor;
 
 pub use abort::{AbortCause, AbortToken};
@@ -106,6 +107,13 @@ pub struct RunOptions {
     /// Optional per-worker cap on resident pool bytes; exceeding it fails
     /// the run with a typed over-budget pool error.
     pub pool_budget: Option<u64>,
+    /// Optional trace sink. When set, every worker emits per-op spans (with
+    /// recv-waits nested inside fetch spans), cumulative per-link byte
+    /// counters, a pool-occupancy timeline and abort/checkpoint markers onto
+    /// its `Track::runtime(device)` lane; attempts and recovery land on
+    /// `Track::control()`. `None` (the default) costs one discriminant check
+    /// per site — no clock reads, no allocation.
+    pub collector: Option<Collector>,
 }
 
 impl Default for RunOptions {
@@ -117,6 +125,7 @@ impl Default for RunOptions {
             faults: FaultPlan::none(),
             checkpoint: None,
             pool_budget: None,
+            collector: None,
         }
     }
 }
@@ -277,6 +286,14 @@ pub fn run_with_recovery(
             resumed_from.push(point.as_ref().map(|p| p.ckpt));
             point
         };
+        if let Some(c) = &opts.collector {
+            let name = match (attempt, &resume) {
+                (1, _) => format!("attempt {attempt}"),
+                (_, Some(p)) => format!("attempt {attempt}: resume from checkpoint {}", p.ckpt),
+                (_, None) => format!("attempt {attempt}: restart from scratch"),
+            };
+            c.instant(Track::control(), "recovery", &name);
+        }
         match run_attempt(sharded, feeds, opts, &faults, &store, resume.as_ref()) {
             Ok(output) => {
                 return Ok(RecoveryReport { output, attempts: attempt, failures, resumed_from })
@@ -381,6 +398,10 @@ fn run_attempt(
     let token = AbortToken::new();
     let results: Mutex<Vec<Option<WorkerOutcome>>> = Mutex::new((0..k).map(|_| None).collect());
     let epoch = Instant::now();
+    // The collector's clock at this run's epoch: workers translate their
+    // epoch-relative `Duration`s into collector microseconds by adding this
+    // offset, so traces of successive attempts share one timeline.
+    let obs_epoch_us = opts.collector.as_ref().map(|c| c.now_us()).unwrap_or(0.0);
 
     std::thread::scope(|scope| {
         for (w, (rx, out)) in ports.into_iter().enumerate() {
@@ -393,8 +414,8 @@ fn run_attempt(
             let resume_data = resume.map(|r| (r.cuts[w], &r.values[w]));
             scope.spawn(move || {
                 let outcome = run_worker(
-                    sharded, w, feeds, rx, out, epoch, opts, faults, &token, ckpts_at, store,
-                    resume_data, startup, node_sends,
+                    sharded, w, feeds, rx, out, epoch, obs_epoch_us, opts, faults, &token,
+                    ckpts_at, store, resume_data, startup, node_sends,
                 );
                 if let Some(slot) = results.lock().get_mut(w) {
                     *slot = Some(outcome);
@@ -404,6 +425,15 @@ fn run_attempt(
     });
 
     let wall = epoch.elapsed();
+    if let Some(c) = &opts.collector {
+        c.complete(
+            Track::control(),
+            "run",
+            "attempt",
+            obs_epoch_us,
+            obs_epoch_us + wall.as_secs_f64() * 1e6,
+        );
+    }
     let mut workers = Vec::new();
     let mut values = BTreeMap::new();
     let mut sent_all: Vec<(usize, Vec<(u64, u64)>)> = Vec::new();
@@ -475,6 +505,7 @@ fn run_worker<'a>(
     rx: Receiver<Msg>,
     txs: Vec<Option<Sender<Msg>>>,
     epoch: Instant,
+    obs_epoch_us: f64,
     opts: &RunOptions,
     faults: &'a FaultState,
     token: &AbortToken,
@@ -486,7 +517,8 @@ fn run_worker<'a>(
 ) -> WorkerOutcome {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut worker = match Worker::new(
-            sharded, w, feeds, rx, txs, epoch, opts, faults, token, ckpts_at, store, resume,
+            sharded, w, feeds, rx, txs, epoch, obs_epoch_us, opts, faults, token, ckpts_at,
+            store, resume,
         ) {
             Ok(worker) => worker,
             Err(e) => {
@@ -555,6 +587,11 @@ struct Worker<'a> {
     ops: Vec<OpEvent>,
     busy: Duration,
     epoch: Instant,
+    /// Trace buffer on this worker's runtime lane; events accumulate locally
+    /// and reach the shared collector in one batch at [`Worker::finish`].
+    obs: Option<SpanBuffer>,
+    /// Collector microseconds at `epoch` (see `run_attempt`).
+    obs_epoch_us: f64,
     recv_timeout: Duration,
     abort_poll: Duration,
     token: AbortToken,
@@ -580,6 +617,7 @@ impl<'a> Worker<'a> {
         rx: Receiver<Msg>,
         txs: Vec<Option<Sender<Msg>>>,
         epoch: Instant,
+        obs_epoch_us: f64,
         opts: &RunOptions,
         faults: &'a FaultState,
         token: &AbortToken,
@@ -640,6 +678,8 @@ impl<'a> Worker<'a> {
             ops: Vec::new(),
             busy: Duration::ZERO,
             epoch,
+            obs: opts.collector.as_ref().map(|c| c.buffer(Track::runtime(w))),
+            obs_epoch_us,
             recv_timeout: opts.recv_timeout,
             abort_poll: opts.abort_poll,
             token: token.clone(),
@@ -654,10 +694,20 @@ impl<'a> Worker<'a> {
         })
     }
 
+    /// Collector microseconds for an epoch-relative duration.
+    fn obs_ts(&self, since_epoch: Duration) -> f64 {
+        self.obs_epoch_us + since_epoch.as_secs_f64() * 1e6
+    }
+
     /// Converts the finished (or failed) worker into its outcome, tripping
     /// the abort token if this worker failed first.
     fn finish(mut self, err: Option<RuntimeError>) -> WorkerOutcome {
         if let Some(e) = &err {
+            if !matches!(e, RuntimeError::Aborted { .. }) {
+                if let Some(buf) = self.obs.as_mut() {
+                    buf.instant("abort", &format!("worker {} failed: {e}", self.w));
+                }
+            }
             // A worker that stopped *because of* the abort is not a new
             // failure; everything else races to trip (first wins).
             if !matches!(e, RuntimeError::Aborted { .. }) {
@@ -669,6 +719,11 @@ impl<'a> Worker<'a> {
                     at: Instant::now(),
                 });
             }
+        }
+        // One batched hand-off of everything this worker buffered (flush on
+        // drop would also cover it; doing it here keeps the timing visible).
+        if let Some(buf) = self.obs.as_mut() {
+            buf.flush();
         }
         let trace = WorkerTrace {
             device: self.w,
@@ -696,6 +751,9 @@ impl<'a> Worker<'a> {
             let cause = self.token.cause().expect("tripped token carries a cause");
             if self.observed.is_none() {
                 self.observed = Some(cause.at.elapsed());
+                if let Some(buf) = self.obs.as_mut() {
+                    buf.instant("abort", &format!("abort observed (worker {} failed)", cause.worker));
+                }
             }
             return Err(RuntimeError::Aborted { worker: self.w, by: cause.worker });
         }
@@ -704,11 +762,18 @@ impl<'a> Worker<'a> {
 
     /// Records every checkpoint whose local cut is `pos` (positions
     /// `[0, pos)` are done).
-    fn take_checkpoints(&self, pos: usize) {
+    fn take_checkpoints(&mut self, pos: usize) {
         if let (Some(store), Some(ks)) = (self.store, self.ckpts_at.get(&pos)) {
-            let mut s = store.lock();
+            {
+                let mut s = store.lock();
+                for &k in ks {
+                    s.record(k, self.w, self.values.clone());
+                }
+            }
             for &k in ks {
-                s.record(k, self.w, self.values.clone());
+                if let Some(buf) = self.obs.as_mut() {
+                    buf.instant("ckpt", &format!("checkpoint {k}"));
+                }
             }
         }
     }
@@ -745,7 +810,11 @@ impl<'a> Worker<'a> {
         }
 
         let last = self.schedule.len().saturating_sub(1);
-        for (pos, &id) in self.schedule.clone().iter().enumerate().skip(self.start_pos) {
+        // Index-based walk: `NodeId` is `Copy`, so reading one id per step
+        // borrows `self.schedule` only momentarily and the `&mut self` calls
+        // below don't force a clone of the whole schedule.
+        for pos in self.start_pos..self.schedule.len() {
+            let id = self.schedule[pos];
             self.check_abort()?;
             self.cur_pos = Some(pos);
             self.cur_node = Some(id);
@@ -791,6 +860,15 @@ impl<'a> Worker<'a> {
             let end = self.epoch.elapsed();
             self.busy += end - start;
             self.ops.push(OpEvent { node: id, start, end });
+            if self.obs.is_some() {
+                let (s_us, e_us) = (self.obs_ts(start), self.obs_ts(end));
+                let cat = if node.op == "multi_fetch" { "fetch" } else { "op" };
+                let pool_now = self.pool.current_bytes() as f64;
+                if let Some(buf) = self.obs.as_mut() {
+                    buf.complete(cat, &node.name, s_us, e_us);
+                    buf.counter("pool bytes", e_us, pool_now);
+                }
+            }
             self.values.insert(node.output, out);
             if let Some(list) = node_sends.get(&id) {
                 for e in list {
@@ -830,6 +908,14 @@ impl<'a> Worker<'a> {
         self.next_seq[e.dst] += 1;
         self.sent[e.dst].0 += bytes;
         self.sent[e.dst].1 += 1;
+        if self.obs.is_some() {
+            let ts = self.obs_ts(self.epoch.elapsed());
+            let total = self.sent[e.dst].0 as f64;
+            let name = format!("link {}->{} bytes", self.w, e.dst);
+            if let Some(buf) = self.obs.as_mut() {
+                buf.counter(&name, ts, total);
+            }
+        }
         let action = self.faults.message_action(self.w, e.dst, index);
         match action {
             // Lost on the wire: the sequence number is consumed, so the next
@@ -895,7 +981,17 @@ impl<'a> Worker<'a> {
                 })?;
                 copy_block(&mut out, src, &p.src_begin, &p.dst_begin, &p.len);
             } else {
+                // Time the blocking receive separately so a trace splits a
+                // fetch node's span into recv-wait vs assembly.
+                let wait_start = self.obs.as_ref().map(|_| self.epoch.elapsed());
                 let piece = self.recv_piece(id, i)?;
+                if let Some(ws) = wait_start {
+                    let (s_us, e_us) = (self.obs_ts(ws), self.obs_ts(self.epoch.elapsed()));
+                    let name = format!("recv {}[{i}]", self.sharded.graph.node(id).name);
+                    if let Some(buf) = self.obs.as_mut() {
+                        buf.complete("wait", &name, s_us, e_us);
+                    }
+                }
                 self.bytes_received += piece.shape().bytes();
                 // The producer already extracted the block: source offsets
                 // are zero in the received piece's coordinates.

@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 
 use tofu_graph::{Graph, NodeId};
+use tofu_obs::{Collector, Track};
 
 use crate::compute::node_seconds;
 use crate::machine::Machine;
@@ -79,7 +80,26 @@ pub fn simulate_with_leaf_devices(
     machine: &Machine,
     free_transfers: bool,
 ) -> SimResult {
+    simulate_traced(g, devices, leaf_devices, machine, free_transfers, None)
+}
+
+/// [`simulate_with_leaf_devices`] that additionally emits the predicted
+/// timeline into `obs`: per-node spans on `Track::sim(device)` (named by node
+/// name, mirroring what the runtime records on `Track::runtime(device)` so
+/// the two overlay in one trace), per-transfer spans on the sender's
+/// `Track::sim_link` lane, and cumulative `link s->d bytes` counters.
+/// Simulated seconds map to trace microseconds (1 s = 1e6 µs).
+pub fn simulate_traced(
+    g: &Graph,
+    devices: &impl DeviceMap,
+    leaf_devices: &[Option<usize>],
+    machine: &Machine,
+    free_transfers: bool,
+    obs: Option<&Collector>,
+) -> SimResult {
     let n = g.num_nodes();
+    // Cumulative bytes per directed link, sampled into counters.
+    let mut link_sent: BTreeMap<(usize, usize), f64> = BTreeMap::new();
     let mut finish: Vec<f64> = vec![0.0; n];
     let mut device_avail: Vec<f64> = vec![0.0; machine.gpus.max(1)];
     let mut link_avail: BTreeMap<(usize, usize), f64> = BTreeMap::new();
@@ -131,6 +151,19 @@ pub fn simulate_with_leaf_devices(
                     comm_bytes += bytes;
                     comm_seconds += dur;
                     arrive = start + dur;
+                    if let Some(c) = obs {
+                        let total = link_sent.entry((src, dev)).or_insert(0.0);
+                        *total += bytes;
+                        let lane = Track::sim_link(src);
+                        c.complete(
+                            lane,
+                            "comm",
+                            &format!("xfer {}", g.tensor(t).name),
+                            start * 1e6,
+                            arrive * 1e6,
+                        );
+                        c.counter(lane, &format!("link {src}->{dev} bytes"), arrive * 1e6, *total);
+                    }
                 }
             } else if src != dev {
                 comm_bytes += match &piece_bytes {
@@ -147,6 +180,10 @@ pub fn simulate_with_leaf_devices(
         device_avail[dev] = end;
         compute_busy[dev] += dur;
         tensor_ready[node.output.0] = (dev, end);
+        if let Some(c) = obs {
+            let cat = if node.op == "multi_fetch" { "fetch" } else { "op" };
+            c.complete(Track::sim(dev), cat, &node.name, ready * 1e6, end * 1e6);
+        }
     }
 
     SimResult {

@@ -43,17 +43,16 @@ fn matmul_impl(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Result<Tensor> {
         )));
     }
     let mut out = vec![0.0f32; m * n];
-    let (ar, ac) = (a.shape().dim(0), a.shape().dim(1));
-    let (br, bc) = (b.shape().dim(0), b.shape().dim(1));
-    let _ = (ar, br);
+    let ac = a.shape().dim(1);
+    let bc = b.shape().dim(1);
     let ad = a.data();
     let bd = b.data();
+    // No zero-skip here: kernel time must depend only on shapes, not data,
+    // so per-op trace spans stay comparable (zero-heavy gradients would
+    // otherwise run artificially fast).
     for i in 0..m {
         for p in 0..k1 {
             let av = if ta { ad[p * ac + i] } else { ad[i * ac + p] };
-            if av == 0.0 {
-                continue;
-            }
             let row = &mut out[i * n..(i + 1) * n];
             if tb {
                 for (j, r) in row.iter_mut().enumerate() {

@@ -13,3 +13,17 @@ cargo test --workspace -q
 # Record the fault-matrix detection latencies and recovery outcomes
 # (exits non-zero unless every injected fault recovers bit-identically).
 cargo run --release -q -p tofu-bench --bin fault_matrix
+# Emit a unified Chrome trace for a 2-worker MLP; trace_dump re-parses its
+# own output and exits non-zero unless the JSON is valid, non-empty, and has
+# a measured + predicted lane per device (plus the DP-search counters).
+cargo run --release -q -p tofu-bench --bin trace_dump -- --model mlp --workers 2
+python3 - <<'EOF'
+import json
+d = json.load(open("TRACE_mlp.json"))
+evs = d["traceEvents"]
+assert evs, "TRACE_mlp.json has no events"
+pids = {e["pid"] for e in evs}
+for pid in (1, 100, 101, 200, 201):
+    assert pid in pids, f"TRACE_mlp.json missing lane pid={pid}"
+print(f"TRACE_mlp.json ok: {len(evs)} events, lanes {sorted(pids)}")
+EOF
