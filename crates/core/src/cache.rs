@@ -1,0 +1,270 @@
+//! Memoization shared across DP invocations.
+//!
+//! Three caches make the search layer fast without changing its answers:
+//!
+//! 1. a **strategy-enumeration cache** keyed by (op kind, attrs, shape
+//!    signature) — the thousands of structurally identical nodes in
+//!    WResNet/MLP enumerate their partition-n-reduce strategies once;
+//! 2. a **step-plan cache** keyed by a structural fingerprint of the whole
+//!    DP input (graph, shape view, coarsening, extra inputs, options) — a
+//!    repeated basic step (e.g. the first 2-way cut shared by every
+//!    power-of-two worker count in a sweep) is searched once;
+//! 3. the per-class cost memo inside `dp.rs` (always on; it lives there
+//!    because its keys are frontier-local).
+//!
+//! All keys are *exact*: two entries collide only when the DP inputs are
+//! byte-for-byte equivalent for the search, so cache hits are provably
+//! answer-preserving. The differential harness in `crates/core/tests`
+//! enforces this against the unoptimized reference search.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use tofu_graph::Graph;
+
+use crate::coarsen::CoarseGraph;
+use crate::dp::{DpOptions, ExtraInputs, StepPlan};
+use crate::strategies::{NodeStrategy, ShapeView};
+
+/// A fast multiply-xor hasher for the DP's integer keys (packed spec
+/// fingerprints). Not DoS-resistant — keys are internal, never
+/// attacker-controlled — but several times faster than SipHash on the
+/// millions of lookups a WResNet search performs.
+#[derive(Default)]
+pub struct FastHasher(u64);
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FastHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.0 = (self.0 ^ u64::from_le_bytes(buf)).wrapping_mul(SEED).rotate_left(5);
+        }
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.0 = (self.0 ^ i).wrapping_mul(SEED).rotate_left(5);
+    }
+
+    fn write_u128(&mut self, i: u128) {
+        self.write_u64(i as u64);
+        self.write_u64((i >> 64) as u64);
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A `HashMap` using [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// 128-bit FNV-1a, used for structural fingerprints where a collision would
+/// silently return a wrong plan (so 64 bits would be uncomfortable).
+#[derive(Clone, Copy)]
+pub(crate) struct Fnv(u128);
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb0142_62b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000_000000000000013b;
+
+impl Fnv {
+    pub(crate) fn new() -> Fnv {
+        Fnv(FNV_OFFSET)
+    }
+
+    pub(crate) fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ u128::from(b)).wrapping_mul(FNV_PRIME);
+    }
+
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.byte(b);
+        }
+    }
+
+    pub(crate) fn num(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    pub(crate) fn finish(self) -> u128 {
+        self.0
+    }
+}
+
+/// Cache hit/miss tallies, exposed for tests and the bench harness (the same
+/// numbers flow into `tofu-obs` totals when a collector is attached).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Strategy-enumeration cache hits.
+    pub strategy_hits: u64,
+    /// Strategy-enumeration cache misses.
+    pub strategy_misses: u64,
+    /// Step-plan cache hits.
+    pub plan_hits: u64,
+    /// Step-plan cache misses.
+    pub plan_misses: u64,
+}
+
+/// Memoization state threaded through one or more searches.
+///
+/// A fresh instance is created per [`crate::partition`] call; callers that
+/// run many related searches (worker-count sweeps, baseline comparisons)
+/// can share one instance via [`crate::recursive::partition_cached`] to
+/// also reuse plans across calls.
+#[derive(Default)]
+pub struct SearchCaches {
+    strategies: HashMap<String, Vec<NodeStrategy>>,
+    plans: FastMap<u128, StepPlan>,
+    stats: CacheStats,
+}
+
+impl SearchCaches {
+    /// An empty cache.
+    pub fn new() -> SearchCaches {
+        SearchCaches::default()
+    }
+
+    /// Current hit/miss tallies.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up enumerated strategies by signature, recording the hit.
+    pub(crate) fn strategies_get(&mut self, sig: &str) -> Option<Vec<NodeStrategy>> {
+        match self.strategies.get(sig) {
+            Some(v) => {
+                self.stats.strategy_hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.stats.strategy_misses += 1;
+                None
+            }
+        }
+    }
+
+    pub(crate) fn strategies_put(&mut self, sig: String, v: Vec<NodeStrategy>) {
+        self.strategies.insert(sig, v);
+    }
+
+    /// Looks up a finished step plan by fingerprint, recording the hit.
+    pub(crate) fn plan_get(&mut self, key: u128) -> Option<StepPlan> {
+        match self.plans.get(&key) {
+            Some(p) => {
+                self.stats.plan_hits += 1;
+                Some(p.clone())
+            }
+            None => {
+                self.stats.plan_misses += 1;
+                None
+            }
+        }
+    }
+
+    pub(crate) fn plan_put(&mut self, key: u128, plan: StepPlan) {
+        self.plans.insert(key, plan);
+    }
+}
+
+/// Structural fingerprint of one DP invocation: everything `search` reads.
+///
+/// Node *names* are deliberately excluded so isomorphic subgraphs that
+/// differ only in labels share an entry; everything that feeds the cost
+/// model — op kinds, canonical attrs, per-tensor shapes under the view, the
+/// coarsened group/class structure, extra fetch buffers, and every search
+/// option — is folded in.
+pub(crate) fn step_fingerprint(
+    g: &Graph,
+    view: &ShapeView,
+    cg: &CoarseGraph,
+    extra: &ExtraInputs,
+    opts: &DpOptions,
+) -> u128 {
+    let mut h = Fnv::new();
+    h.num(opts.ways as u64);
+    h.byte(u8::from(opts.allow_reduce));
+    h.num(opts.state_bound as u64);
+    h.num(opts.internal_bound as u64);
+    h.num(opts.beam as u64);
+    h.byte(u8::from(opts.tuning.dominance));
+    // Shapes under the view (covers graph tensors and extra buffers).
+    h.num(view.len() as u64);
+    for t in 0..view.len() {
+        let dims = view.shape(tofu_graph::TensorId(t)).dims();
+        h.num(dims.len() as u64);
+        for &d in dims {
+            h.num(d as u64);
+        }
+    }
+    // Graph structure: ops, canonical attrs, wiring.
+    h.num(g.num_nodes() as u64);
+    for id in g.node_ids() {
+        let n = g.node(id);
+        h.bytes(n.op.as_bytes());
+        h.byte(0);
+        h.bytes(n.attrs.to_string().as_bytes());
+        h.byte(0);
+        h.num(n.inputs.len() as u64);
+        for &t in &n.inputs {
+            h.num(t.0 as u64);
+        }
+        h.num(n.output.0 as u64);
+    }
+    // Coarsening (groups and classes drive the DP's shape).
+    for &gi in &cg.group_of {
+        h.num(gi as u64);
+    }
+    for &ci in &cg.class_of {
+        h.num(ci as u64);
+    }
+    for &e in &cg.class_is_ewise {
+        h.byte(u8::from(e));
+    }
+    // Extra fetch buffers.
+    h.num(extra.len() as u64);
+    for (node, for_input, tensor) in extra.entries() {
+        h.num(node.0 as u64);
+        h.num(for_input as u64);
+        h.num(tensor.0 as u64);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_hasher_spreads_small_keys() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..1000 {
+            let mut h = FastHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 1000);
+    }
+
+    #[test]
+    fn fnv_distinguishes_order() {
+        let mut a = Fnv::new();
+        a.num(1);
+        a.num(2);
+        let mut b = Fnv::new();
+        b.num(2);
+        b.num(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn stats_start_zeroed() {
+        let c = SearchCaches::new();
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+}

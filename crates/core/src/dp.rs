@@ -15,6 +15,18 @@
 //! once every touched bundle's spec is fixed, each class independently picks
 //! its cheapest strategy, so the brute force ranges only over the group's
 //! internal bundles (weights, weight gradients, temporaries).
+//!
+//! Two engines implement the same recurrence:
+//!
+//! * [`unoptimized_search`] — the straightforward seed implementation, kept
+//!   alive as the differential-testing reference (select it with
+//!   [`SearchTuning::reference`]);
+//! * the default optimized engine — packed integer memo keys, per-combo
+//!   precomputation, dominated-state pruning and strategy/plan caches (see
+//!   DESIGN.md "Search performance" for the soundness argument).
+//!
+//! The `crates/core/tests` differential harness asserts that both return
+//! bit-identical total costs on randomized graphs.
 
 use std::collections::BTreeMap;
 
@@ -22,13 +34,16 @@ use tofu_graph::{Graph, NodeId, TensorId};
 use tofu_obs::{Collector, Track};
 use tofu_tensor::Shape;
 
+use crate::cache::{step_fingerprint, FastMap, SearchCaches};
 use crate::coarsen::CoarseGraph;
 use crate::error::CoreError;
 use crate::spec::{
     input_fetch_bytes, legal_specs, output_bytes, respec_bytes, ConcreteOut, ConcreteReq,
     TensorSpec,
 };
-use crate::strategies::{node_strategies, strategy_feasible, NodeStrategy, ShapeView};
+use crate::strategies::{
+    node_strategies, strategy_feasible, strategy_signature, NodeStrategy, ShapeView,
+};
 use crate::Result;
 
 /// Extra leaf inputs attached to nodes by earlier recursion steps (the
@@ -63,6 +78,11 @@ impl ExtraInputs {
         self.entries.iter().map(|&(_, _, t)| t)
     }
 
+    /// All `(node, for_input, tensor)` entries in registration order.
+    pub fn entries(&self) -> impl Iterator<Item = (NodeId, usize, TensorId)> + '_ {
+        self.entries.iter().copied()
+    }
+
     /// Number of registered buffers.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -71,6 +91,43 @@ impl ExtraInputs {
     /// True when no buffers are registered.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+}
+
+/// Which search engine and which of its optimizations to use.
+///
+/// The default enables everything; [`SearchTuning::reference`] selects the
+/// unoptimized seed implementation that the differential test harness
+/// compares against. Every flag is answer-preserving: any combination
+/// returns a plan with a bit-identical total cost (enforced by
+/// `crates/core/tests/differential.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchTuning {
+    /// Run the unoptimized reference engine instead of the optimized one.
+    pub reference: bool,
+    /// Memoize strategy enumeration by (op, attrs, shapes) signature.
+    pub strategy_cache: bool,
+    /// Prune dominated DP states (see DESIGN.md "Search performance").
+    pub dominance: bool,
+    /// Reuse finished step plans keyed by a structural fingerprint.
+    pub plan_cache: bool,
+}
+
+impl Default for SearchTuning {
+    fn default() -> Self {
+        SearchTuning { reference: false, strategy_cache: true, dominance: true, plan_cache: true }
+    }
+}
+
+impl SearchTuning {
+    /// The unoptimized reference engine (differential-testing baseline).
+    pub fn reference() -> SearchTuning {
+        SearchTuning {
+            reference: true,
+            strategy_cache: false,
+            dominance: false,
+            plan_cache: false,
+        }
     }
 }
 
@@ -92,11 +149,20 @@ pub struct DpOptions {
     /// preserves optimality on chain-shaped coarsened graphs and is a
     /// high-quality approximation elsewhere.
     pub beam: usize,
+    /// Engine selection and optimization flags.
+    pub tuning: SearchTuning,
 }
 
 impl Default for DpOptions {
     fn default() -> Self {
-        DpOptions { ways: 2, allow_reduce: true, state_bound: 200_000, internal_bound: 1024, beam: 512 }
+        DpOptions {
+            ways: 2,
+            allow_reduce: true,
+            state_bound: 200_000,
+            internal_bound: 1024,
+            beam: 512,
+            tuning: SearchTuning::default(),
+        }
     }
 }
 
@@ -241,37 +307,20 @@ struct ClassInfo {
     touched: Vec<usize>,
 }
 
-/// Runs the DP for one basic step, returning the optimal [`StepPlan`].
-pub fn search(
+/// Preprocesses every strategy class: enumerates (optionally through the
+/// strategy cache), filters for feasibility, and records touched bundles.
+/// Shared by both search engines so they see byte-identical strategy lists.
+#[allow(clippy::too_many_arguments)]
+fn build_classes(
     g: &Graph,
     view: &ShapeView,
     cg: &CoarseGraph,
     extra: &ExtraInputs,
+    bundles: &Bundles,
     opts: &DpOptions,
-) -> Result<StepPlan> {
-    search_with_obs(g, view, cg, extra, opts, None)
-}
-
-/// [`search`] that additionally reports its statistics into `obs`: running
-/// totals `dp/strategies_enumerated`, `dp/strategies_feasible`,
-/// `dp/states_explored` and `dp/frontier_width_max`, plus per-cut
-/// `dp/frontier states` and `dp/frontier width` counter samples on
-/// [`Track::search`] (frontier width = bundles crossing the cut, the
-/// quantity §5 argues stays tiny on chain-like coarsened graphs).
-pub fn search_with_obs(
-    g: &Graph,
-    view: &ShapeView,
-    cg: &CoarseGraph,
-    extra: &ExtraInputs,
-    opts: &DpOptions,
+    mut caches: Option<&mut SearchCaches>,
     obs: Option<&Collector>,
-) -> Result<StepPlan> {
-    if opts.ways < 2 {
-        return Err(CoreError::BadWorkerCount(opts.ways));
-    }
-    let bundles = build_bundles(g, view, cg, extra, opts.ways);
-
-    // Preprocess classes.
+) -> Result<Vec<Option<ClassInfo>>> {
     let mut classes: Vec<Option<ClassInfo>> = Vec::with_capacity(cg.class_nodes.len());
     for (ci, members) in cg.class_nodes.iter().enumerate() {
         if members.is_empty() {
@@ -284,7 +333,28 @@ pub fn search_with_obs(
             Vec::new()
         } else {
             let out_shape = view.shape(g.node(rep).output).clone();
-            let enumerated = node_strategies(g, rep, view)?;
+            let enumerated = match caches.as_deref_mut().filter(|_| opts.tuning.strategy_cache) {
+                Some(cache) => {
+                    let sig = strategy_signature(g, rep, view);
+                    match cache.strategies_get(&sig) {
+                        Some(hit) => {
+                            if let Some(c) = obs {
+                                c.add_total("cache/strategy_hit", 1.0);
+                            }
+                            hit
+                        }
+                        None => {
+                            if let Some(c) = obs {
+                                c.add_total("cache/strategy_miss", 1.0);
+                            }
+                            let fresh = node_strategies(g, rep, view)?;
+                            cache.strategies_put(sig, fresh.clone());
+                            fresh
+                        }
+                    }
+                }
+                None => node_strategies(g, rep, view)?,
+            };
             if let Some(c) = obs {
                 c.add_total("dp/strategies_enumerated", enumerated.len() as f64);
             }
@@ -328,6 +398,62 @@ pub fn search_with_obs(
             touched,
         }));
     }
+    Ok(classes)
+}
+
+/// Runs the DP for one basic step, returning the optimal [`StepPlan`].
+pub fn search(
+    g: &Graph,
+    view: &ShapeView,
+    cg: &CoarseGraph,
+    extra: &ExtraInputs,
+    opts: &DpOptions,
+) -> Result<StepPlan> {
+    search_with_obs(g, view, cg, extra, opts, None)
+}
+
+/// [`search`] that additionally reports its statistics into `obs`: running
+/// totals `dp/strategies_enumerated`, `dp/strategies_feasible`,
+/// `dp/states_explored`, `dp/frontier_width_max`, the pruning totals
+/// `dp/prune_dominated` and `dp/prune_beam`, cache totals
+/// `cache/{strategy,plan}_{hit,miss}`, plus per-cut `dp/frontier states` and
+/// `dp/frontier width` counter samples on [`Track::search`] (frontier width
+/// = bundles crossing the cut, the quantity §5 argues stays tiny on
+/// chain-like coarsened graphs).
+pub fn search_with_obs(
+    g: &Graph,
+    view: &ShapeView,
+    cg: &CoarseGraph,
+    extra: &ExtraInputs,
+    opts: &DpOptions,
+    obs: Option<&Collector>,
+) -> Result<StepPlan> {
+    if opts.tuning.reference {
+        unoptimized_search(g, view, cg, extra, opts, obs)
+    } else {
+        let mut caches = SearchCaches::new();
+        search_with_caches(g, view, cg, extra, opts, &mut caches, obs)
+    }
+}
+
+/// The unoptimized seed implementation of the DP, kept alive as the
+/// differential-testing reference. Explores the full `states × combos`
+/// product at every cut with no dominance pruning, `Vec`-keyed memo maps
+/// and no cross-invocation caching. Selected by [`SearchTuning::reference`]
+/// (through [`search_with_obs`]) or called directly by tests.
+pub fn unoptimized_search(
+    g: &Graph,
+    view: &ShapeView,
+    cg: &CoarseGraph,
+    extra: &ExtraInputs,
+    opts: &DpOptions,
+    obs: Option<&Collector>,
+) -> Result<StepPlan> {
+    if opts.ways < 2 {
+        return Err(CoreError::BadWorkerCount(opts.ways));
+    }
+    let bundles = build_bundles(g, view, cg, extra, opts.ways);
+    let classes = build_classes(g, view, cg, extra, &bundles, opts, None, obs)?;
 
     // Class-cost memoization: specs of a class's touched bundles fully
     // determine its cost, so (class, spec-key) results are cached across the
@@ -336,15 +462,8 @@ pub fn search_with_obs(
         std::collections::HashMap<(usize, Vec<u8>), Option<(f64, Option<usize>)>>;
     let mut cost_cache: ClassCostCache = ClassCostCache::new();
     const REP: u8 = u8::MAX;
-    fn enc(s: TensorSpec) -> u8 {
-        match s {
-            TensorSpec::Split(d) => d as u8,
-            TensorSpec::Replicated => u8::MAX,
-        }
-    }
-    fn dec(v: u8) -> TensorSpec {
-        if v == u8::MAX { TensorSpec::Replicated } else { TensorSpec::Split(v as usize) }
-    }
+    let enc = TensorSpec::enc;
+    let dec = TensorSpec::dec;
 
     // DP over groups.
     let mut states: BTreeMap<StateKey, (f64, usize)> = BTreeMap::new();
@@ -542,6 +661,683 @@ pub fn search_with_obs(
     }
 
     Ok(StepPlan { ways: opts.ways, tensor_spec, node_choice, comm_bytes: total_cost })
+}
+
+// ---------------------------------------------------------------------------
+// Optimized engine
+// ---------------------------------------------------------------------------
+
+/// 4-bit spec encoding used by packed memo keys: `Split(d)` → `d` (rank must
+/// be ≤ 14), `Replicated` → 15. Input is the canonical byte encoding.
+#[inline]
+fn enc4(byte: u8) -> u64 {
+    if byte == u8::MAX {
+        15
+    } else {
+        u64::from(byte)
+    }
+}
+
+#[inline]
+fn dec4(field: u64) -> TensorSpec {
+    if field == 15 {
+        TensorSpec::Replicated
+    } else {
+        TensorSpec::Split(field as usize)
+    }
+}
+
+/// Per-class cost memo: packed `u64` keys (4 bits per touched bundle) when
+/// the class is small enough, byte-vector keys otherwise.
+enum ClassMemo {
+    Packed(FastMap<u64, Option<f64>>),
+    Wide(std::collections::HashMap<Vec<u8>, Option<f64>>),
+}
+
+/// Deduplication key of one DP state: packed `u128` (4 bits per crossing
+/// bundle) when the frontier is narrow, the raw byte key otherwise.
+#[derive(PartialEq, Eq, Hash)]
+enum StateFp {
+    Packed(u128),
+    Wide(Box<[u8]>),
+}
+
+/// One DP state in the optimized engine. `specs` holds the canonical byte
+/// encoding of each crossing bundle's spec, aligned with the cut's sorted
+/// crossing-bundle list.
+#[derive(Clone)]
+struct Cand {
+    specs: Box<[u8]>,
+    cost: f64,
+    prev: u32,
+    combo: u32,
+}
+
+/// Per-cut record kept for plan reconstruction.
+struct CutRecord {
+    combos: Vec<Vec<(usize, TensorSpec)>>,
+    kept: Vec<Cand>,
+}
+
+/// Per-(cut, class) field layout: where each touched bundle's spec comes
+/// from — the combo (fresh) or the predecessor state (carried).
+struct CutClass {
+    ci: usize,
+    packed: bool,
+    /// (field index in `touched`, index into the cut's fresh list).
+    fresh_fields: Vec<(usize, usize)>,
+    /// (field index in `touched`, position in the previous cut's crossing
+    /// list).
+    carried_fields: Vec<(usize, usize)>,
+}
+
+/// Per-(combo, class) precomputed value.
+enum ComboVal {
+    /// Fresh-only class, already evaluated: add this cost.
+    Cost(f64),
+    /// Fresh-only class with no feasible strategy under this combo.
+    Infeasible,
+    /// Packed partial key from the fresh fields; carried fields come from
+    /// the state.
+    PackedPart(u64),
+    /// Wide template with fresh fields filled; carried fields come from the
+    /// state.
+    WidePart(Vec<u8>),
+}
+
+/// Upper bounds on how much each bundle's spec can still contribute to the
+/// cost *after* each cut — the dominance-pruning certificate (see DESIGN.md
+/// "Search performance"). `after(b, gi)` bounds, for every completion, the
+/// total of all cost terms at groups > `gi` that depend on bundle `b`'s
+/// spec.
+struct DomBounds {
+    /// Flattened `[bundle][group]` suffix sums, `groups + 1` entries per
+    /// bundle (the last is 0).
+    after: Vec<f64>,
+    groups: usize,
+}
+
+impl DomBounds {
+    #[inline]
+    fn after(&self, b: usize, gi: usize) -> f64 {
+        self.after[b * (self.groups + 1) + gi + 1]
+    }
+}
+
+/// Safety inflation applied to every dominance bound: the soundness argument
+/// holds in exact arithmetic; a relative margin of 1e-6 absorbs any f64
+/// rounding discrepancy (costs are sums of at most ~1e6 terms, each with
+/// relative error ~1e-16) while costing virtually no pruning power.
+const DOM_INFLATE: f64 = 1.0 + 1e-6;
+
+fn build_dom_bounds(
+    g: &Graph,
+    view: &ShapeView,
+    cg: &CoarseGraph,
+    extra: &ExtraInputs,
+    bundles: &Bundles,
+    classes: &[Option<ClassInfo>],
+    ways: usize,
+) -> DomBounds {
+    let n_groups = cg.groups.len();
+    let w = ways as f64;
+    // acc[b][gi]: bound on the total spec-dependent cost attributable to
+    // bundle b at group gi.
+    let mut acc = vec![0.0f64; bundles.count * n_groups];
+    let add = |acc: &mut Vec<f64>, b: usize, gi: usize, v: f64| {
+        acc[b * n_groups + gi] += v;
+    };
+
+    // Max over specs of one input-fetch term for a fixed requirement.
+    let req_ub = |shape: &Shape, req: &ConcreteReq| -> f64 {
+        let size = shape.bytes() as f64;
+        match req {
+            ConcreteReq::Unused => 0.0,
+            ConcreteReq::Replicated => size * (w - 1.0),
+            ConcreteReq::Split { dim, halo } => {
+                let cross = size * (w - 1.0) / w;
+                let halo_ub = if *halo > 0.0 && *dim < shape.rank() {
+                    let extent = shape.dim(*dim).max(1) as f64;
+                    size * (halo / extent).min(1.0) * w
+                } else {
+                    0.0
+                };
+                cross.max(halo_ub)
+            }
+        }
+    };
+
+    for info in classes.iter().flatten() {
+        let gi = cg.group_of[info.rep.0];
+        if info.is_ewise {
+            // cost = Σ input_fetch(t, spec(t), ewise_req(class_spec)); each
+            // term depends on both t's bundle and the class's own bundle, so
+            // its max (full replication fetch) is charged to both.
+            for &m in &info.members {
+                let node = g.node(m);
+                for &t in &node.inputs {
+                    let v = view.shape(t).bytes() as f64 * (w - 1.0);
+                    add(&mut acc, bundles.of_tensor[t.0], gi, v);
+                    add(&mut acc, info.own_bundle, gi, v);
+                }
+                for (_, t) in extra.of_node(m) {
+                    let v = view.shape(t).bytes() as f64 * (w - 1.0);
+                    add(&mut acc, bundles.of_tensor[t.0], gi, v);
+                    add(&mut acc, info.own_bundle, gi, v);
+                }
+            }
+        } else {
+            for &m in &info.members {
+                let node = g.node(m);
+                for (i, &t) in node.inputs.iter().enumerate() {
+                    let shape = view.shape(t);
+                    let ub = info
+                        .strategies
+                        .iter()
+                        .map(|s| {
+                            req_ub(shape, s.inputs.get(i).unwrap_or(&ConcreteReq::Unused))
+                        })
+                        .fold(0.0f64, f64::max);
+                    add(&mut acc, bundles.of_tensor[t.0], gi, ub);
+                }
+                for (for_input, t) in extra.of_node(m) {
+                    let shape = view.shape(t);
+                    let ub = info
+                        .strategies
+                        .iter()
+                        .map(|s| {
+                            req_ub(
+                                shape,
+                                s.inputs.get(for_input).unwrap_or(&ConcreteReq::Unused),
+                            )
+                        })
+                        .fold(0.0f64, f64::max);
+                    add(&mut acc, bundles.of_tensor[t.0], gi, ub);
+                }
+                // Output: a Split-out strategy pays up to size*(w-1) respec
+                // depending on the own bundle's spec; Reduce output cost is
+                // spec-independent (cancels in the dominance difference).
+                if info.strategies.iter().any(|s| matches!(s.out, ConcreteOut::Split(_))) {
+                    let v = view.shape(node.output).bytes() as f64 * (w - 1.0);
+                    add(&mut acc, info.own_bundle, gi, v);
+                }
+            }
+        }
+    }
+
+    // Suffix sums with the safety margin folded in.
+    let mut after = vec![0.0f64; bundles.count * (n_groups + 1)];
+    for b in 0..bundles.count {
+        let row = b * (n_groups + 1);
+        after[row + n_groups] = 0.0;
+        for gi in (0..n_groups).rev() {
+            after[row + gi] = after[row + gi + 1] + acc[b * n_groups + gi] * DOM_INFLATE;
+        }
+    }
+    DomBounds { after, groups: n_groups }
+}
+
+/// Maximum number of cheaper survivors a candidate state is compared
+/// against during dominance pruning; bounds the worst-case quadratic cost
+/// on wide frontiers.
+const DOM_COMPARISONS: usize = 48;
+
+/// The optimized DP engine: identical recurrence and tie-breaking to
+/// [`unoptimized_search`], plus packed memo keys, per-combo class-cost
+/// precomputation, dominated-state pruning and (through `caches`) strategy
+/// and step-plan memoization. Returns plans whose total cost is
+/// bit-identical to the reference (enforced by the differential harness).
+pub fn search_with_caches(
+    g: &Graph,
+    view: &ShapeView,
+    cg: &CoarseGraph,
+    extra: &ExtraInputs,
+    opts: &DpOptions,
+    caches: &mut SearchCaches,
+    obs: Option<&Collector>,
+) -> Result<StepPlan> {
+    if opts.tuning.reference {
+        return unoptimized_search(g, view, cg, extra, opts, obs);
+    }
+    if opts.ways < 2 {
+        return Err(CoreError::BadWorkerCount(opts.ways));
+    }
+
+    let plan_key = if opts.tuning.plan_cache {
+        let key = step_fingerprint(g, view, cg, extra, opts);
+        if let Some(plan) = caches.plan_get(key) {
+            if let Some(c) = obs {
+                c.add_total("cache/plan_hit", 1.0);
+            }
+            return Ok(plan);
+        }
+        if let Some(c) = obs {
+            c.add_total("cache/plan_miss", 1.0);
+        }
+        Some(key)
+    } else {
+        None
+    };
+
+    let bundles = build_bundles(g, view, cg, extra, opts.ways);
+    let classes = build_classes(g, view, cg, extra, &bundles, opts, Some(caches), obs)?;
+
+    // Packed keys need 4 bits per spec: feasible when no tensor rank
+    // exceeds 14 (split dims ≤ 13, 15 reserved for Replicated).
+    let max_rank =
+        (0..view.len()).map(|t| view.shape(TensorId(t)).rank()).max().unwrap_or(0);
+    let four_bit = max_rank <= 14;
+
+    let dom = if opts.tuning.dominance {
+        Some(build_dom_bounds(g, view, cg, extra, &bundles, &classes, opts.ways))
+    } else {
+        None
+    };
+
+    let mut memos: Vec<ClassMemo> = classes
+        .iter()
+        .map(|c| match c {
+            Some(info) if four_bit && info.touched.len() <= 16 => {
+                ClassMemo::Packed(FastMap::default())
+            }
+            _ => ClassMemo::Wide(std::collections::HashMap::new()),
+        })
+        .collect();
+
+    // Evaluates one class under fully decoded specs (memo-miss path).
+    let eval_class = |info: &ClassInfo, field_spec: &dyn Fn(usize) -> TensorSpec| -> Option<f64> {
+        let spec = |t: TensorId| {
+            let b = bundles.of_tensor[t.0];
+            let fi = info.touched.binary_search(&b).expect("touched bundle");
+            field_spec(fi)
+        };
+        class_cost(g, view, extra, info, &spec, opts).map(|(c, _)| c)
+    };
+
+    let mut records: Vec<CutRecord> = Vec::with_capacity(cg.groups.len());
+    let mut cur: Vec<Cand> =
+        vec![Cand { specs: Box::from([]), cost: 0.0, prev: u32::MAX, combo: u32::MAX }];
+    let mut prev_cross: Vec<usize> = Vec::new();
+    let mut pruned_dominated = 0u64;
+    let mut pruned_beam = 0u64;
+
+    for (gi, group) in cg.groups.iter().enumerate() {
+        let mut touched: Vec<usize> = Vec::new();
+        for &n in &group.nodes {
+            let node = g.node(n);
+            touched.push(bundles.of_tensor[node.output.0]);
+            for &t in &node.inputs {
+                touched.push(bundles.of_tensor[t.0]);
+            }
+            for (_, t) in extra.of_node(n) {
+                touched.push(bundles.of_tensor[t.0]);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+
+        let fresh: Vec<usize> =
+            touched.iter().copied().filter(|&b| bundles.first[b] == gi).collect();
+        let combos = enumerate_assignments(&fresh, &bundles.legal, opts.internal_bound);
+
+        // Bundles crossing the cut after this group, sorted (fresh and
+        // prev_cross are disjoint: first == gi vs first < gi).
+        let mut next_cross: Vec<usize> = prev_cross
+            .iter()
+            .copied()
+            .filter(|&b| bundles.last[b] > gi)
+            .chain(fresh.iter().copied().filter(|&b| bundles.last[b] > gi))
+            .collect();
+        next_cross.sort_unstable();
+        let width = next_cross.len();
+        let packed_state = four_bit && width <= 32;
+
+        // Position maps for O(1) next-state assembly.
+        let pos_in = |list: &[usize], b: usize| list.binary_search(&b).ok();
+        let surviving_prev: Vec<(usize, usize)> = prev_cross
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| bundles.last[b] > gi)
+            .map(|(p, &b)| (p, pos_in(&next_cross, b).expect("crossing bundle")))
+            .collect();
+        let surviving_fresh: Vec<(usize, usize)> = fresh
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| bundles.last[b] > gi)
+            .map(|(f, &b)| (f, pos_in(&next_cross, b).expect("crossing bundle")))
+            .collect();
+
+        // Per-class field layout at this cut.
+        let mut cut_classes: Vec<CutClass> = Vec::new();
+        for &ci in &group.classes {
+            let Some(info) = &classes[ci] else { continue };
+            let mut fresh_fields = Vec::new();
+            let mut carried_fields = Vec::new();
+            for (fi, &b) in info.touched.iter().enumerate() {
+                if let Some(f) = pos_in(&fresh, b) {
+                    fresh_fields.push((fi, f));
+                } else {
+                    let Some(p) = pos_in(&prev_cross, b) else {
+                        return Err(CoreError::Internal(format!(
+                            "bundle carried into group {gi} missing from DP state"
+                        )));
+                    };
+                    carried_fields.push((fi, p));
+                }
+            }
+            cut_classes.push(CutClass {
+                ci,
+                packed: matches!(memos[ci], ClassMemo::Packed(_)),
+                fresh_fields,
+                carried_fields,
+            });
+        }
+
+        // Per-combo precomputation: fill fresh fields; evaluate fresh-only
+        // classes immediately.
+        let mut combo_vals: Vec<Vec<ComboVal>> = Vec::with_capacity(combos.len());
+        for combo in &combos {
+            let mut vals: Vec<ComboVal> = Vec::with_capacity(cut_classes.len());
+            for cc in &cut_classes {
+                let info = classes[cc.ci].as_ref().expect("class exists");
+                if cc.packed {
+                    let mut part = 0u64;
+                    for &(fi, f) in &cc.fresh_fields {
+                        part |= enc4(combo[f].1.enc()) << (4 * fi);
+                    }
+                    if cc.carried_fields.is_empty() {
+                        let cost = match &mut memos[cc.ci] {
+                            ClassMemo::Packed(m) => *m.entry(part).or_insert_with(|| {
+                                eval_class(info, &|fi| dec4((part >> (4 * fi)) & 15))
+                            }),
+                            ClassMemo::Wide(_) => unreachable!("packed class"),
+                        };
+                        vals.push(cost.map_or(ComboVal::Infeasible, ComboVal::Cost));
+                    } else {
+                        vals.push(ComboVal::PackedPart(part));
+                    }
+                } else {
+                    let mut tmpl = vec![0u8; info.touched.len()];
+                    for &(fi, f) in &cc.fresh_fields {
+                        tmpl[fi] = combo[f].1.enc();
+                    }
+                    if cc.carried_fields.is_empty() {
+                        let cost = match &mut memos[cc.ci] {
+                            ClassMemo::Wide(m) => *m.entry(tmpl.clone()).or_insert_with(|| {
+                                eval_class(info, &|fi| TensorSpec::dec(tmpl[fi]))
+                            }),
+                            ClassMemo::Packed(_) => unreachable!("wide class"),
+                        };
+                        vals.push(cost.map_or(ComboVal::Infeasible, ComboVal::Cost));
+                    } else {
+                        vals.push(ComboVal::WidePart(tmpl));
+                    }
+                }
+            }
+            combo_vals.push(vals);
+        }
+
+        // Transition: states × combos, deduplicated by next key with
+        // first-minimum-wins semantics identical to the reference (states
+        // iterate in key order, combos in enumeration order).
+        let mut dedup: FastMap<StateFp, u32> = FastMap::default();
+        let mut kept: Vec<Cand> = Vec::new();
+        let mut carried_part: Vec<u64> = vec![0; cut_classes.len()];
+        let mut scratch: Vec<u8> = vec![0; width];
+
+        for (si, st) in cur.iter().enumerate() {
+            for (k, cc) in cut_classes.iter().enumerate() {
+                if cc.packed && !cc.carried_fields.is_empty() {
+                    let mut part = 0u64;
+                    for &(fi, p) in &cc.carried_fields {
+                        part |= enc4(st.specs[p]) << (4 * fi);
+                    }
+                    carried_part[k] = part;
+                }
+            }
+            for (combo_i, vals) in combo_vals.iter().enumerate() {
+                let mut total = 0.0f64;
+                let mut ok = true;
+                for (k, cv) in vals.iter().enumerate() {
+                    match cv {
+                        ComboVal::Cost(c) => total += c,
+                        ComboVal::Infeasible => {
+                            ok = false;
+                            break;
+                        }
+                        ComboVal::PackedPart(part) => {
+                            let key = part | carried_part[k];
+                            let ci = cut_classes[k].ci;
+                            let info = classes[ci].as_ref().expect("class exists");
+                            let cost = match &mut memos[ci] {
+                                ClassMemo::Packed(m) => *m.entry(key).or_insert_with(|| {
+                                    eval_class(info, &|fi| dec4((key >> (4 * fi)) & 15))
+                                }),
+                                ClassMemo::Wide(_) => unreachable!("packed class"),
+                            };
+                            match cost {
+                                Some(c) => total += c,
+                                None => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                        ComboVal::WidePart(tmpl) => {
+                            let cc = &cut_classes[k];
+                            let mut keyv = tmpl.clone();
+                            for &(fi, p) in &cc.carried_fields {
+                                keyv[fi] = st.specs[p];
+                            }
+                            let info = classes[cc.ci].as_ref().expect("class exists");
+                            let cost = match &mut memos[cc.ci] {
+                                ClassMemo::Wide(m) => *m.entry(keyv.clone()).or_insert_with(
+                                    || eval_class(info, &|fi| TensorSpec::dec(keyv[fi])),
+                                ),
+                                ClassMemo::Packed(_) => unreachable!("wide class"),
+                            };
+                            match cost {
+                                Some(c) => total += c,
+                                None => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                let cost = st.cost + total;
+                for &(p, q) in &surviving_prev {
+                    scratch[q] = st.specs[p];
+                }
+                let combo = &combos[combo_i];
+                for &(f, q) in &surviving_fresh {
+                    scratch[q] = combo[f].1.enc();
+                }
+                let fp = if packed_state {
+                    let mut v = 0u128;
+                    for (q, &b) in scratch.iter().enumerate() {
+                        v |= u128::from(enc4(b)) << (4 * q);
+                    }
+                    StateFp::Packed(v)
+                } else {
+                    StateFp::Wide(scratch.clone().into_boxed_slice())
+                };
+                match dedup.entry(fp) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let i = *e.get() as usize;
+                        if cost < kept[i].cost {
+                            kept[i].cost = cost;
+                            kept[i].prev = si as u32;
+                            kept[i].combo = combo_i as u32;
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(kept.len() as u32);
+                        kept.push(Cand {
+                            specs: scratch.clone().into_boxed_slice(),
+                            cost,
+                            prev: si as u32,
+                            combo: combo_i as u32,
+                        });
+                    }
+                }
+            }
+        }
+
+        if kept.is_empty() {
+            return Err(CoreError::NoStrategy {
+                node: format!("group {gi}"),
+                detail: "no feasible configuration".into(),
+            });
+        }
+        if kept.len() > opts.state_bound {
+            return Err(CoreError::SearchSpaceExceeded {
+                states: kept.len(),
+                bound: opts.state_bound,
+            });
+        }
+
+        // Rank by (cost, key): equals the reference's stable cost sort over
+        // key-ordered states.
+        kept.sort_by(|a, b| {
+            a.cost
+                .partial_cmp(&b.cost)
+                .expect("finite costs")
+                .then_with(|| a.specs.cmp(&b.specs))
+        });
+
+        // Dominance pruning: drop B when a strictly cheaper survivor A
+        // satisfies cost_B > cost_A + Σ_{differing bundles} after(b, gi).
+        if let Some(dom) = &dom {
+            if kept.len() > 1 {
+                let mut survivors: Vec<Cand> = Vec::with_capacity(kept.len());
+                for cand in kept.drain(..) {
+                    let mut dominated = false;
+                    for a in survivors.iter().take(DOM_COMPARISONS) {
+                        let slack = cand.cost - a.cost;
+                        if slack <= 0.0 {
+                            continue;
+                        }
+                        let mut ub = 0.0f64;
+                        let mut within = true;
+                        for (q, &bundle) in next_cross.iter().enumerate().take(width) {
+                            if a.specs[q] != cand.specs[q] {
+                                ub += dom.after(bundle, gi);
+                                if ub >= slack {
+                                    within = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if within {
+                            dominated = true;
+                            break;
+                        }
+                    }
+                    if dominated {
+                        pruned_dominated += 1;
+                    } else {
+                        survivors.push(cand);
+                    }
+                }
+                kept = survivors;
+            }
+        }
+
+        if kept.len() > opts.beam {
+            pruned_beam += (kept.len() - opts.beam) as u64;
+            kept.truncate(opts.beam);
+        }
+
+        if let Some(c) = obs {
+            let ts = c.now_us();
+            c.add_total("dp/states_explored", (cur.len() * combos.len()) as f64);
+            c.counter(Track::search(), "dp/frontier states", ts, kept.len() as f64);
+            c.counter(Track::search(), "dp/frontier width", ts, width as f64);
+            c.max_total("dp/frontier_width_max", width as f64);
+        }
+
+        // Restore key order for the next cut's iteration (reference iterates
+        // its BTreeMap in key order).
+        kept.sort_by(|a, b| a.specs.cmp(&b.specs));
+
+        cur = kept.clone();
+        records.push(CutRecord { combos, kept });
+        prev_cross = next_cross;
+    }
+
+    if let Some(c) = obs {
+        c.add_total("dp/prune_dominated", pruned_dominated as f64);
+        c.add_total("dp/prune_beam", pruned_beam as f64);
+    }
+
+    // Final state: minimum cost, last-minimum in key order (matches the
+    // reference's `min_by` over a BTreeMap).
+    let mut best = 0usize;
+    for (i, cand) in cur.iter().enumerate() {
+        if cand.cost.partial_cmp(&cur[best].cost).expect("finite costs").is_le() {
+            best = i;
+        }
+    }
+    let total_cost = cur[best].cost;
+
+    // Walk the winning path backwards; every bundle is fresh at exactly one
+    // cut, so applying each cut's combo resolves every touched bundle.
+    let mut bundle_spec: Vec<TensorSpec> = vec![TensorSpec::Replicated; bundles.count];
+    let mut idx = best;
+    for gi in (0..cg.groups.len()).rev() {
+        let rec = &records[gi];
+        let cand = &rec.kept[idx];
+        for &(b, s) in &rec.combos[cand.combo as usize] {
+            bundle_spec[b] = s;
+        }
+        idx = cand.prev as usize;
+    }
+
+    // Recompute each class's winning strategy from the final specs: the
+    // same deterministic first-minimum scan the DP ran, on the same specs,
+    // yields the same index.
+    let spec_of = |t: TensorId| bundle_spec[bundles.of_tensor[t.0]];
+    let tensor_spec: Vec<TensorSpec> =
+        (0..view.len()).map(|t| bundle_spec[bundles.of_tensor[t]]).collect();
+    let mut class_pick: Vec<Option<usize>> = vec![None; classes.len()];
+    let mut node_choice: Vec<NodeChoice> = Vec::with_capacity(g.num_nodes());
+    for id in g.node_ids() {
+        let ci = cg.class_of[id.0];
+        let info = classes[ci].as_ref().expect("class exists");
+        if info.is_ewise {
+            node_choice.push(NodeChoice::Ewise(bundle_spec[info.own_bundle]));
+        } else {
+            let idx = match class_pick[ci] {
+                Some(i) => i,
+                None => {
+                    let (_, choice) =
+                        class_cost(g, view, extra, info, &spec_of, opts).ok_or_else(|| {
+                            CoreError::Internal(format!(
+                                "winning plan infeasible for class {ci}"
+                            ))
+                        })?;
+                    let i = choice.ok_or_else(|| {
+                        CoreError::Internal(format!("no strategy recorded for class {ci}"))
+                    })?;
+                    class_pick[ci] = Some(i);
+                    i
+                }
+            };
+            node_choice.push(NodeChoice::Strategy(info.strategies[idx].clone()));
+        }
+    }
+
+    let plan =
+        StepPlan { ways: opts.ways, tensor_spec, node_choice, comm_bytes: total_cost };
+    if let Some(key) = plan_key {
+        caches.plan_put(key, plan.clone());
+    }
+    Ok(plan)
 }
 
 /// Enumerates assignments over the given bundles; falls back to a greedy +
@@ -774,15 +1570,17 @@ mod tests {
         let (g, _) = matmul_chain(4, &[4, 4]);
         let view = ShapeView::from_graph(&g);
         let cg = coarsen(&g);
-        let err = search(
-            &g,
-            &view,
-            &cg,
-            &ExtraInputs::new(),
-            &DpOptions { ways: 1, ..DpOptions::default() },
-        )
-        .unwrap_err();
-        assert!(matches!(err, CoreError::BadWorkerCount(1)));
+        for tuning in [SearchTuning::default(), SearchTuning::reference()] {
+            let err = search(
+                &g,
+                &view,
+                &cg,
+                &ExtraInputs::new(),
+                &DpOptions { ways: 1, tuning, ..DpOptions::default() },
+            )
+            .unwrap_err();
+            assert!(matches!(err, CoreError::BadWorkerCount(1)));
+        }
     }
 
     #[test]
@@ -798,5 +1596,48 @@ mod tests {
         view.push(Shape::new(vec![8, 10]));
         let plan = search(&g, &view, &cg, &extra, &DpOptions::default()).unwrap();
         assert_eq!(plan.tensor_spec.len(), g.num_tensors() + 1);
+    }
+
+    #[test]
+    fn optimized_matches_reference_on_chains() {
+        for (batch, dims) in
+            [(8usize, vec![16usize, 10]), (64, vec![128, 64, 32]), (2, vec![512, 512])]
+        {
+            let (g, _) = matmul_chain(batch, &dims);
+            let view = ShapeView::from_graph(&g);
+            let cg = coarsen(&g);
+            let extra = ExtraInputs::new();
+            let opt =
+                search(&g, &view, &cg, &extra, &DpOptions::default()).unwrap();
+            let reference = search(
+                &g,
+                &view,
+                &cg,
+                &extra,
+                &DpOptions { tuning: SearchTuning::reference(), ..DpOptions::default() },
+            )
+            .unwrap();
+            assert_eq!(
+                opt.comm_bytes.to_bits(),
+                reference.comm_bytes.to_bits(),
+                "cost mismatch at batch={batch} dims={dims:?}"
+            );
+            assert_eq!(opt.tensor_spec, reference.tensor_spec);
+        }
+    }
+
+    #[test]
+    fn plan_cache_round_trips_identical_queries() {
+        let (g, _) = matmul_chain(16, &[32, 16]);
+        let view = ShapeView::from_graph(&g);
+        let cg = coarsen(&g);
+        let extra = ExtraInputs::new();
+        let mut caches = SearchCaches::new();
+        let opts = DpOptions::default();
+        let a = search_with_caches(&g, &view, &cg, &extra, &opts, &mut caches, None).unwrap();
+        let b = search_with_caches(&g, &view, &cg, &extra, &opts, &mut caches, None).unwrap();
+        assert_eq!(caches.stats().plan_hits, 1);
+        assert_eq!(a.comm_bytes.to_bits(), b.comm_bytes.to_bits());
+        assert_eq!(a.tensor_spec, b.tensor_spec);
     }
 }

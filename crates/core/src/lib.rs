@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod cache;
 pub mod coarsen;
 pub mod dp;
 pub mod error;
@@ -50,13 +51,16 @@ pub mod recursive;
 pub mod spec;
 pub mod strategies;
 
+pub use cache::{CacheStats, SearchCaches};
 pub use coarsen::{coarsen, CoarseGraph};
-pub use dp::{DpOptions, ExtraInputs, NodeChoice, StepPlan};
+pub use dp::{DpOptions, ExtraInputs, NodeChoice, SearchTuning, StepPlan};
 pub use error::CoreError;
 pub use genplan::{fetch_pieces, generate, CommEdge, FetchPiece, GenOptions, ShardedGraph};
-pub use recursive::{factorize, partition, partition_with_obs, PartitionOptions, PartitionPlan};
+pub use recursive::{
+    factorize, partition, partition_cached, partition_with_obs, PartitionOptions, PartitionPlan,
+};
 pub use spec::{ConcreteOut, ConcreteReq, TensorSpec};
-pub use strategies::{node_strategies, NodeStrategy, ShapeView};
+pub use strategies::{node_strategies, strategy_signature, NodeStrategy, ShapeView};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -18,8 +18,12 @@ use tofu_graph::{Graph, TensorId};
 use tofu_obs::{Collector, Track};
 use tofu_tensor::Shape;
 
+use crate::cache::SearchCaches;
 use crate::coarsen::{coarsen, CoarseGraph};
-use crate::dp::{search_with_obs, DpOptions, ExtraInputs, NodeChoice, StepPlan};
+use crate::dp::{
+    search_with_caches, unoptimized_search, DpOptions, ExtraInputs, NodeChoice, SearchTuning,
+    StepPlan,
+};
 use crate::error::CoreError;
 use crate::spec::{ConcreteOut, ConcreteReq, TensorSpec};
 use crate::strategies::ShapeView;
@@ -42,6 +46,8 @@ pub struct PartitionOptions {
     /// inputs to later steps — keeps the bookkeeping proportional to what
     /// actually matters.
     pub fetch_buffer_floor: u64,
+    /// Search-engine selection and optimization flags (see [`SearchTuning`]).
+    pub tuning: SearchTuning,
 }
 
 impl Default for PartitionOptions {
@@ -53,6 +59,7 @@ impl Default for PartitionOptions {
             internal_bound: 1024,
             beam: 512,
             fetch_buffer_floor: 1 << 20,
+            tuning: SearchTuning::default(),
         }
     }
 }
@@ -171,6 +178,27 @@ pub fn partition(g: &Graph, opts: &PartitionOptions) -> Result<PartitionPlan> {
     partition_with_obs(g, opts, None)
 }
 
+/// [`partition`] with a caller-owned [`SearchCaches`], so strategy
+/// enumerations and finished step plans are reused *across* calls — e.g. a
+/// worker-count sweep shares every 2-way step fingerprint, and repeated
+/// partitioning of the same model is nearly free.
+pub fn partition_cached(
+    g: &Graph,
+    opts: &PartitionOptions,
+    caches: &mut SearchCaches,
+    obs: Option<&Collector>,
+) -> Result<PartitionPlan> {
+    let started = std::time::Instant::now();
+    let factors = factorize(opts.workers)?;
+    let cg = coarsen(g);
+    if let Some(c) = obs {
+        c.add_total("coarsen/nodes", g.num_nodes() as f64);
+        c.add_total("coarsen/groups", cg.groups.len() as f64);
+        c.add_total("coarsen/classes", cg.class_nodes.iter().filter(|m| !m.is_empty()).count() as f64);
+    }
+    partition_inner(g, &cg, &factors, opts, started, caches, obs)
+}
+
 /// [`partition`] that reports search statistics into `obs`: coarsening
 /// totals (`coarsen/groups`, `coarsen/classes`, `coarsen/nodes`), one span
 /// per recursion step on [`Track::search`], per-step `dp/step_comm_bytes`
@@ -188,7 +216,8 @@ pub fn partition_with_obs(
         c.add_total("coarsen/groups", cg.groups.len() as f64);
         c.add_total("coarsen/classes", cg.class_nodes.iter().filter(|m| !m.is_empty()).count() as f64);
     }
-    partition_with_coarse_obs(g, &cg, &factors, opts, started, obs)
+    let mut caches = SearchCaches::new();
+    partition_inner(g, &cg, &factors, opts, started, &mut caches, obs)
 }
 
 /// Like [`partition`] but with a caller-provided coarsened graph and factor
@@ -213,6 +242,19 @@ pub fn partition_with_coarse_obs(
     started: std::time::Instant,
     obs: Option<&Collector>,
 ) -> Result<PartitionPlan> {
+    let mut caches = SearchCaches::new();
+    partition_inner(g, cg, factors, opts, started, &mut caches, obs)
+}
+
+fn partition_inner(
+    g: &Graph,
+    cg: &CoarseGraph,
+    factors: &[usize],
+    opts: &PartitionOptions,
+    started: std::time::Instant,
+    caches: &mut SearchCaches,
+    obs: Option<&Collector>,
+) -> Result<PartitionPlan> {
     let mut view = ShapeView::from_graph(g);
     let mut extra = ExtraInputs::new();
     let mut steps: Vec<StepRecord> = Vec::with_capacity(factors.len());
@@ -226,9 +268,14 @@ pub fn partition_with_coarse_obs(
             state_bound: opts.state_bound,
             internal_bound: opts.internal_bound,
             beam: opts.beam,
+            tuning: opts.tuning,
         };
         let step_start = obs.map(|c| c.now_us());
-        let plan = search_with_obs(g, &view, cg, &extra, &dp_opts, obs)?;
+        let plan = if opts.tuning.reference {
+            unoptimized_search(g, &view, cg, &extra, &dp_opts, obs)?
+        } else {
+            search_with_caches(g, &view, cg, &extra, &dp_opts, caches, obs)?
+        };
         if let Some(c) = obs {
             let end = c.now_us();
             let name = format!("step {step}: {ways}-way dp over {} groups", cg.groups.len());

@@ -26,6 +26,31 @@ impl TensorSpec {
             TensorSpec::Replicated => None,
         }
     }
+
+    /// Canonical single-byte encoding: `Split(d)` → `d`, `Replicated` → 255.
+    ///
+    /// The byte ordering matches the derived `Ord` (ascending split
+    /// dimensions, replication last), which the DP relies on for
+    /// deterministic state ordering. Panics for split dimensions ≥ 255,
+    /// which no realistic tensor rank reaches.
+    pub fn enc(self) -> u8 {
+        match self {
+            TensorSpec::Split(d) => {
+                assert!(d < usize::from(u8::MAX), "split dimension {d} out of encoding range");
+                d as u8
+            }
+            TensorSpec::Replicated => u8::MAX,
+        }
+    }
+
+    /// Inverse of [`TensorSpec::enc`].
+    pub fn dec(byte: u8) -> TensorSpec {
+        if byte == u8::MAX {
+            TensorSpec::Replicated
+        } else {
+            TensorSpec::Split(byte as usize)
+        }
+    }
 }
 
 /// Enumerates the legal specs of a tensor for a `ways`-way step: every

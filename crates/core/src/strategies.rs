@@ -124,6 +124,24 @@ pub fn node_strategies(g: &Graph, node: NodeId, view: &ShapeView) -> Result<Vec<
     Ok(out)
 }
 
+/// The memoization signature of [`node_strategies`]: everything strategy
+/// enumeration reads — operator kind, canonical attribute string, and the
+/// input/output shapes under the view. Two nodes with equal signatures get
+/// byte-identical strategy lists, which is what makes the strategy cache
+/// answer-preserving.
+pub fn strategy_signature(g: &Graph, node: NodeId, view: &ShapeView) -> String {
+    use std::fmt::Write;
+    let n = g.node(node);
+    let mut s = String::with_capacity(64);
+    s.push_str(&n.op);
+    let _ = write!(s, "|{}", n.attrs);
+    for &t in &n.inputs {
+        let _ = write!(s, "|{:?}", view.shape(t).dims());
+    }
+    let _ = write!(s, "|>{:?}", view.shape(n.output).dims());
+    s
+}
+
 /// True when a strategy is usable for a `ways`-way step at these shapes: the
 /// split dimensions it relies on must divide evenly.
 pub fn strategy_feasible(

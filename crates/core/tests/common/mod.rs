@@ -1,0 +1,128 @@
+//! Shared helpers for the search test suites: a deterministic RNG and
+//! random-DAG builders mixing op kinds, shapes and graph topologies.
+//!
+//! Each integration-test binary compiles this module independently and uses
+//! a different subset of it.
+#![allow(dead_code)]
+
+use tofu_graph::{autodiff, Attrs, Graph, TensorId};
+use tofu_tensor::Shape;
+
+/// Tiny deterministic xorshift64* RNG — the suites must not depend on any
+/// ambient randomness, only on the explicit seed.
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(2685821657736338717).max(1))
+    }
+
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+/// A random layered DAG over 2-D tensors: matmuls against fresh weights,
+/// element-wise unary ops, same-shape binary joins (fork-join frontiers) and
+/// transposes, capped at `max_ops` operator nodes. Dimensions mix powers of
+/// two with non-powers so divisibility varies across worker counts.
+pub fn random_dag(seed: u64, max_ops: usize) -> Graph {
+    let mut rng = Rng::new(seed);
+    let dims: &[usize] = &[4, 6, 8, 12, 16];
+    let mut g = Graph::new();
+    let batch = *rng.pick(dims);
+    let mut cols = *rng.pick(dims);
+    let mut cur = g.add_input("x", Shape::new(vec![batch, cols]));
+    // Earlier tensors by shape, for same-shape joins.
+    let mut by_shape: Vec<(Vec<usize>, TensorId)> = vec![(vec![batch, cols], cur)];
+    let mut rows = batch;
+    for i in 0..max_ops {
+        let choice = rng.below(10);
+        cur = if choice < 4 {
+            let next = *rng.pick(dims);
+            let w = g.add_weight(&format!("w{i}"), Shape::new(vec![cols, next]));
+            cols = next;
+            g.add_op("matmul", &format!("mm{i}"), &[cur, w], Attrs::new()).unwrap()
+        } else if choice < 7 {
+            let op = *rng.pick(&["relu", "gelu", "abs"]);
+            g.add_op(op, &format!("ew{i}"), &[cur], Attrs::new()).unwrap()
+        } else if choice < 9 {
+            let shape = vec![rows, cols];
+            let peers: Vec<TensorId> = by_shape
+                .iter()
+                .filter(|(s, t)| *s == shape && *t != cur)
+                .map(|&(_, t)| t)
+                .collect();
+            if peers.is_empty() {
+                g.add_op("relu", &format!("ew{i}"), &[cur], Attrs::new()).unwrap()
+            } else {
+                let other = *rng.pick(&peers);
+                g.add_op("add", &format!("join{i}"), &[cur, other], Attrs::new()).unwrap()
+            }
+        } else {
+            std::mem::swap(&mut rows, &mut cols);
+            g.add_op("transpose", &format!("tr{i}"), &[cur], Attrs::new()).unwrap()
+        };
+        by_shape.push((vec![rows, cols], cur));
+    }
+    g
+}
+
+/// A small conv1d tower: exercises 3-D shapes and halo'd input requirements
+/// that the 2-D generator cannot reach.
+pub fn conv_tower(seed: u64, layers: usize) -> Graph {
+    let mut rng = Rng::new(seed);
+    let mut g = Graph::new();
+    let batch = *rng.pick(&[4usize, 6, 8]);
+    let mut chans = *rng.pick(&[3usize, 4, 8]);
+    let length = *rng.pick(&[12usize, 16, 20]);
+    let mut cur = g.add_input("data", Shape::new(vec![batch, chans, length]));
+    for i in 0..layers {
+        let out_c = *rng.pick(&[4usize, 6, 8]);
+        let f = g.add_weight(&format!("f{i}"), Shape::new(vec![chans, out_c, 3]));
+        chans = out_c;
+        cur = g.add_op("conv1d", &format!("conv{i}"), &[cur, f], Attrs::new()).unwrap();
+        if rng.below(2) == 0 {
+            cur = g.add_op("relu", &format!("act{i}"), &[cur], Attrs::new()).unwrap();
+        }
+    }
+    g
+}
+
+/// A trainable MLP (with backward pass) whose layer sizes come from the
+/// seed — the differential harness runs full multi-step partitions on it.
+pub fn random_training_mlp(seed: u64) -> Graph {
+    let mut rng = Rng::new(seed);
+    let dims: &[usize] = &[8, 12, 16, 24, 32];
+    let batch = *rng.pick(&[8usize, 12, 16, 24]);
+    let depth = 1 + rng.below(3) as usize;
+    let mut g = Graph::new();
+    let mut cols = *rng.pick(dims);
+    let mut cur = g.add_input("x", Shape::new(vec![batch, cols]));
+    let mut weights = Vec::new();
+    for i in 0..depth {
+        let next = *rng.pick(dims);
+        let w = g.add_weight(&format!("w{i}"), Shape::new(vec![cols, next]));
+        weights.push(w);
+        cols = next;
+        cur = g.add_op("matmul", &format!("fc{i}"), &[cur, w], Attrs::new()).unwrap();
+        cur = g.add_op("relu", &format!("act{i}"), &[cur], Attrs::new()).unwrap();
+    }
+    let labels = g.add_input("labels", Shape::new(vec![batch]));
+    let loss = g.add_op("softmax_ce", "loss", &[cur, labels], Attrs::new()).unwrap();
+    autodiff::backward(&mut g, loss, &weights).unwrap();
+    g
+}

@@ -1,0 +1,168 @@
+//! Differential fuzz harness: the optimized search engine (memoized,
+//! dominance-pruned, cached) against the reference `unoptimized_search` on
+//! random graphs.
+//!
+//! The contract (see DESIGN.md "Search performance"): with a beam wide
+//! enough to never truncate, both engines walk the same states in the same
+//! order and sum costs along the same paths, so the optimized engine's total
+//! cost must be **bit-identical** to the reference's — not merely close —
+//! and on these deterministic tie-breaks the chosen plan matches too.
+//! Worker counts deliberately include primes and non-powers-of-two.
+
+mod common;
+
+use proptest::prelude::*;
+
+use tofu_core::coarsen::coarsen;
+use tofu_core::dp::{search, unoptimized_search, DpOptions, ExtraInputs};
+use tofu_core::recursive::{partition, PartitionOptions};
+use tofu_core::strategies::ShapeView;
+use tofu_core::{CoreError, SearchTuning};
+use tofu_graph::Graph;
+
+/// Exact-search options: the beam and state bound are far above anything a
+/// fuzz-sized graph reaches, so pruning is purely cost-based (sound) and the
+/// bit-identity contract applies.
+fn exact_opts(ways: usize) -> DpOptions {
+    DpOptions { ways, state_bound: 50_000_000, internal_bound: 1 << 22, beam: 50_000_000, ..Default::default() }
+}
+
+/// Error-parity contract. A `SearchSpaceExceeded` reference abort is the
+/// one place the engines may legitimately diverge: the optimized frontier
+/// can stay under a bound the unpruned frontier blows through. Every other
+/// outcome must match variant-for-variant.
+fn check_error_parity(
+    opt: &Result<impl std::fmt::Debug, CoreError>,
+    reference: &Result<impl std::fmt::Debug, CoreError>,
+) -> bool {
+    match (opt, reference) {
+        (Ok(_), Ok(_)) => true,
+        (_, Err(CoreError::SearchSpaceExceeded { .. })) => false,
+        (Err(a), Err(b)) => {
+            assert_eq!(
+                std::mem::discriminant(a),
+                std::mem::discriminant(b),
+                "engines failed differently: optimized {a:?} vs reference {b:?}"
+            );
+            false
+        }
+        (a, b) => panic!("engine outcome mismatch: optimized {a:?} vs reference {b:?}"),
+    }
+}
+
+/// Runs one basic step through both engines and asserts the contract.
+fn check_step(g: &Graph, ways: usize) {
+    let view = ShapeView::from_graph(g);
+    let cg = coarsen(g);
+    let extra = ExtraInputs::new();
+    let opts = exact_opts(ways);
+    let ref_opts = DpOptions { tuning: SearchTuning::reference(), ..opts };
+    let optimized = search(g, &view, &cg, &extra, &opts);
+    let reference = unoptimized_search(g, &view, &cg, &extra, &ref_opts, None);
+    if !check_error_parity(&optimized, &reference) {
+        return;
+    }
+    let optimized = optimized.unwrap();
+    let reference = reference.unwrap();
+    assert_eq!(
+        optimized.comm_bytes.to_bits(),
+        reference.comm_bytes.to_bits(),
+        "step cost mismatch at ways {ways}: optimized {} vs reference {}",
+        optimized.comm_bytes,
+        reference.comm_bytes
+    );
+    assert_eq!(optimized.tensor_spec, reference.tensor_spec, "plan specs diverged at ways {ways}");
+    assert_eq!(optimized.node_choice, reference.node_choice, "node choices diverged at ways {ways}");
+}
+
+/// Runs a full recursive partition through both engines and asserts the
+/// contract step-by-step.
+fn check_partition(g: &Graph, workers: usize) {
+    let opts = PartitionOptions {
+        workers,
+        state_bound: 50_000_000,
+        internal_bound: 1 << 22,
+        beam: 50_000_000,
+        ..Default::default()
+    };
+    let ref_opts = PartitionOptions { tuning: SearchTuning::reference(), ..opts };
+    let optimized = partition(g, &opts);
+    let reference = partition(g, &ref_opts);
+    if !check_error_parity(&optimized, &reference) {
+        return;
+    }
+    let optimized = optimized.unwrap();
+    let reference = reference.unwrap();
+    assert_eq!(
+        optimized.total_comm_bytes().to_bits(),
+        reference.total_comm_bytes().to_bits(),
+        "total cost mismatch at {workers} workers: optimized {} vs reference {}",
+        optimized.total_comm_bytes(),
+        reference.total_comm_bytes()
+    );
+    assert_eq!(optimized.steps.len(), reference.steps.len());
+    for (a, b) in optimized.steps.iter().zip(reference.steps.iter()) {
+        assert_eq!(a.ways, b.ways);
+        assert_eq!(
+            a.plan.comm_bytes.to_bits(),
+            b.plan.comm_bytes.to_bits(),
+            "per-step cost mismatch at {workers} workers"
+        );
+        assert_eq!(a.plan.tensor_spec, b.plan.tensor_spec, "plan diverged at {workers} workers");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Basic-step differential on layered random DAGs.
+    #[test]
+    fn step_matches_reference_on_random_dags(
+        seed in 0u64..1_000_000,
+        ops in 4usize..14,
+        ways in prop::sample::select(vec![2usize, 3, 5, 7]),
+    ) {
+        let g = common::random_dag(seed, ops);
+        check_step(&g, ways);
+    }
+
+    /// Basic-step differential on conv towers (3-D shapes, halo costs).
+    #[test]
+    fn step_matches_reference_on_conv_towers(
+        seed in 0u64..1_000_000,
+        layers in 1usize..4,
+        ways in prop::sample::select(vec![2usize, 3, 4]),
+    ) {
+        let g = common::conv_tower(seed, layers);
+        check_step(&g, ways);
+    }
+
+    /// Full recursive partition differential on trainable MLPs, including
+    /// prime and non-power-of-two worker counts (k = k1·…·km recursion with
+    /// mixed factors).
+    #[test]
+    fn partition_matches_reference_on_training_graphs(
+        seed in 0u64..1_000_000,
+        workers in prop::sample::select(vec![2usize, 3, 4, 5, 6, 7, 8, 12]),
+    ) {
+        let g = common::random_training_mlp(seed);
+        check_partition(&g, workers);
+    }
+}
+
+/// A fixed-seed smoke check that the harness rejects nothing silently: at
+/// least some fuzz cases must reach the Ok/Ok branch end-to-end.
+#[test]
+fn differential_harness_exercises_success_paths() {
+    let mut ok = 0usize;
+    for seed in 0..20u64 {
+        let g = common::random_dag(seed, 8);
+        let view = ShapeView::from_graph(&g);
+        let cg = coarsen(&g);
+        let extra = ExtraInputs::new();
+        if search(&g, &view, &cg, &extra, &exact_opts(2)).is_ok() {
+            ok += 1;
+        }
+    }
+    assert!(ok >= 10, "random DAGs almost never partition: {ok}/20");
+}

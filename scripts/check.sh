@@ -9,10 +9,18 @@ cargo build --release
 # The fault suite must abort runs in milliseconds; a hang here means the
 # fail-fast path regressed, so cap it hard rather than stalling CI.
 timeout 300 cargo test -q -p tofu-runtime --test faults
+# The search-optimality suites (brute-force oracle + differential fuzzing
+# against the reference engine) are exhaustive by design; cap them so a
+# search-space blowup fails CI instead of stalling it.
+timeout 600 cargo test -q -p tofu-core --test oracle --test differential
 cargo test --workspace -q
 # Record the fault-matrix detection latencies and recovery outcomes
 # (exits non-zero unless every injected fault recovers bit-identically).
 cargo run --release -q -p tofu-bench --bin fault_matrix
+# Record the search-engine scaling numbers (exits non-zero if the optimized
+# DP's plan cost differs from the reference engine's, or if it stops
+# exploring fewer states on the nontrivial searches).
+cargo run --release -q -p tofu-bench --bin search_scaling
 # Emit a unified Chrome trace for a 2-worker MLP; trace_dump re-parses its
 # own output and exits non-zero unless the JSON is valid, non-empty, and has
 # a measured + predicted lane per device (plus the DP-search counters).

@@ -38,6 +38,7 @@
 pub use tofu_core as core;
 pub use tofu_graph as graph;
 pub use tofu_models as models;
+pub use tofu_obs as obs;
 pub use tofu_runtime as runtime;
 pub use tofu_sim as sim;
 pub use tofu_tdl as tdl;
