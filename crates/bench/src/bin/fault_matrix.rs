@@ -108,7 +108,7 @@ fn main() {
     for (label, fault) in cases {
         let opts = RunOptions {
             faults: FaultPlan::single(fault),
-            checkpoint: Some(CheckpointPolicy { every }),
+            checkpoint: Some(CheckpointPolicy::every(every)),
             recv_timeout: Duration::from_secs(5),
             ..Default::default()
         };
@@ -131,7 +131,7 @@ fn main() {
             &sharded,
             &shard_feeds,
             &opts,
-            &RecoveryOptions { max_attempts: 3, backoff: Duration::from_millis(1) },
+            &RecoveryOptions { max_attempts: 3, backoff: Duration::from_millis(1), ..Default::default() },
         );
         let (recovered_exact, attempts) = match &report {
             Ok(r) => (bit_identical(&r.output.values, &baseline.values), r.attempts),

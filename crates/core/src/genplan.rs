@@ -65,6 +65,12 @@ pub struct ShardedGraph {
     pub device_of_node: Vec<usize>,
     /// Device owning each new tensor (None for nothing in practice).
     pub device_of_tensor: Vec<Option<usize>>,
+    /// For each generated node, the original node it expands. Every original
+    /// node's expansion (fetch/compute/gather/reduce across all workers) is
+    /// emitted contiguously, so for any worker the generated nodes whose
+    /// origin precedes original node `n` form a prefix of that worker's
+    /// schedule — the property plan-independent checkpoint barriers rely on.
+    pub origin_of_node: Vec<NodeId>,
     /// Whether sharded execution is numerically exact. Strategies that split
     /// the spatial variables of strided *backward* convolutions (or of
     /// global pooling) change kernel semantics in ways the generator does
@@ -144,6 +150,17 @@ impl ShardedGraph {
     /// The device executing `id`.
     pub fn device_of(&self, id: NodeId) -> usize {
         self.device_of_node[id.0]
+    }
+
+    /// The original node whose expansion generated `id`.
+    pub fn origin_of(&self, id: NodeId) -> NodeId {
+        self.origin_of_node[id.0]
+    }
+
+    /// Number of nodes in the original (pre-expansion) graph — one more than
+    /// the largest origin, or zero for an empty graph.
+    pub fn original_nodes(&self) -> usize {
+        self.origin_of_node.iter().map(|n| n.0 + 1).max().unwrap_or(0)
     }
 
     /// The nodes device `w` executes, in schedule (insertion/topological)
@@ -359,6 +376,7 @@ pub fn generate(g: &Graph, plan: &PartitionPlan, opts: &GenOptions) -> Result<Sh
     let mut shards: BTreeMap<TensorId, Vec<TensorId>> = BTreeMap::new();
     let mut device_of_tensor: Vec<Option<usize>> = Vec::new();
     let mut device_of_node: Vec<usize> = Vec::new();
+    let mut origin_of_node: Vec<NodeId> = Vec::new();
 
     for t in g.tensor_ids() {
         let meta = g.tensor(t);
@@ -595,6 +613,9 @@ pub fn generate(g: &Graph, plan: &PartitionPlan, opts: &GenOptions) -> Result<Sh
             shard_ids.push(shard);
         }
         shards.insert(node.output, shard_ids);
+        // Everything emitted while expanding this original node — fetches,
+        // computes, gathers, reduces, on every worker — originates from it.
+        origin_of_node.resize(out.num_nodes(), id);
     }
 
     // Pass 3: control dependencies mirroring original direct dependencies
@@ -624,6 +645,7 @@ pub fn generate(g: &Graph, plan: &PartitionPlan, opts: &GenOptions) -> Result<Sh
     }
 
     device_of_node.resize(out.num_nodes(), 0);
+    debug_assert_eq!(origin_of_node.len(), out.num_nodes());
     Ok(ShardedGraph {
         graph: out,
         workers: k,
@@ -631,6 +653,7 @@ pub fn generate(g: &Graph, plan: &PartitionPlan, opts: &GenOptions) -> Result<Sh
         regions,
         device_of_node,
         device_of_tensor,
+        origin_of_node,
         exact,
     })
 }
@@ -1030,5 +1053,32 @@ mod tests {
         let values: BTreeMap<TensorId, Tensor> = pieces.into_iter().collect();
         let back = sharded.gather(x, v.shape(), &values).unwrap();
         assert!(back.allclose(&v, 0.0));
+    }
+
+    #[test]
+    fn origins_are_contiguous_and_complete() {
+        let (g, _) = mlp(8, 16);
+        let plan = partition(&g, &PartitionOptions { workers: 4, ..Default::default() }).unwrap();
+        let sharded = generate(&g, &plan, &GenOptions::default()).unwrap();
+        assert_eq!(sharded.origin_of_node.len(), sharded.graph.num_nodes());
+        assert_eq!(sharded.original_nodes(), g.num_nodes());
+        // Each original node's expansion is one contiguous run of generated
+        // nodes, in original-schedule order — so any per-worker "origin < n"
+        // filter selects a prefix of that worker's schedule.
+        let mut prev = NodeId(0);
+        for id in sharded.graph.node_ids() {
+            let o = sharded.origin_of(id);
+            assert!(o.0 >= prev.0, "origins must be non-decreasing");
+            prev = o;
+        }
+        for w in 0..sharded.workers {
+            let sched = sharded.worker_schedule(w);
+            for barrier in 0..g.num_nodes() {
+                let cut = sched.iter().take_while(|&&n| sharded.origin_of(n).0 < barrier).count();
+                for (i, &n) in sched.iter().enumerate() {
+                    assert_eq!(i < cut, sharded.origin_of(n).0 < barrier);
+                }
+            }
+        }
     }
 }

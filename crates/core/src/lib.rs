@@ -55,7 +55,7 @@ pub use cache::{CacheStats, SearchCaches};
 pub use coarsen::{coarsen, CoarseGraph};
 pub use dp::{DpOptions, ExtraInputs, NodeChoice, SearchTuning, StepPlan};
 pub use error::CoreError;
-pub use genplan::{fetch_pieces, generate, CommEdge, FetchPiece, GenOptions, ShardedGraph};
+pub use genplan::{fetch_pieces, generate, CommEdge, FetchPiece, GenOptions, Region, ShardedGraph};
 pub use recursive::{
     factorize, partition, partition_cached, partition_with_obs, PartitionOptions, PartitionPlan,
 };

@@ -1,11 +1,16 @@
 //! Checkpoint-restart recovery.
 //!
 //! A [`CheckpointPolicy`] makes every worker snapshot its live values at
-//! *barrier* positions derived from the **global** schedule: checkpoint `k`
-//! covers the first `k·every` nodes of the sharded graph's topological
-//! order, and each worker's local cut for `k` is the length of its schedule
-//! prefix inside that global prefix. Workers cross their cuts asynchronously;
-//! a checkpoint is *consistent* once every worker has recorded it.
+//! *barrier* positions derived from a global order. With
+//! [`BarrierUnit::ShardedSteps`] checkpoint `k` covers the first `k·every`
+//! nodes of the sharded graph's topological order; with
+//! [`BarrierUnit::OriginalSteps`] it covers every generated node whose
+//! *origin* is among the first `k·every` nodes of the **original** graph —
+//! a plan-independent boundary, so checkpoint `k` means the same original
+//! prefix under every worker count (the property elastic resharding relies
+//! on). Each worker's local cut for `k` is the length of its schedule prefix
+//! inside that global prefix. Workers cross their cuts asynchronously; a
+//! checkpoint is *consistent* once every worker has recorded it.
 //!
 //! Consistency argument (see DESIGN.md "Failure model"): a worker's values
 //! map after its cut prefix is a pure function of the feeds, because worker
@@ -25,29 +30,150 @@ use tofu_core::ShardedGraph;
 use tofu_graph::TensorId;
 use tofu_tensor::Tensor;
 
+use crate::elastic::DegradePolicy;
 use crate::error::RunFailure;
+use crate::fault::FaultRng;
 use crate::RunOutput;
 
-/// Snapshot cadence, in **global** schedule steps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CheckpointPolicy {
-    /// Snapshot after every `every` nodes of the global topological order.
-    pub every: usize,
+/// Which schedule the checkpoint barriers count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BarrierUnit {
+    /// Barriers every `every` nodes of the *sharded* graph's global
+    /// topological order. Cheap and fine for same-plan restart, but the
+    /// barriers of two different plans cover different original prefixes.
+    #[default]
+    ShardedSteps,
+    /// Barriers every `every` nodes of the **original** graph: a generated
+    /// node is inside barrier `b` iff its origin node's id is `< b·every`.
+    /// Checkpoint `k` then denotes the same original-graph prefix under
+    /// every worker count, which is what lets elastic recovery reshard a
+    /// snapshot onto a different plan.
+    OriginalSteps,
 }
 
-/// Retry policy of [`run_with_recovery`](crate::run_with_recovery).
+/// Snapshot cadence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Snapshot after every `every` nodes (of the schedule `unit` selects).
+    pub every: usize,
+    /// Which schedule the barrier counts.
+    pub unit: BarrierUnit,
+    /// Scan snapshot values for NaN/Inf before committing; a hit fails the
+    /// run with [`RuntimeError::PoisonedCheckpoint`](crate::RuntimeError)
+    /// instead of persisting a state recovery would faithfully resume into.
+    pub poison_check: bool,
+}
+
+impl CheckpointPolicy {
+    /// Snapshot every `n` sharded-graph schedule steps (poison check on).
+    pub fn every(n: usize) -> CheckpointPolicy {
+        CheckpointPolicy { every: n, unit: BarrierUnit::ShardedSteps, poison_check: true }
+    }
+
+    /// Snapshot every `n` *original-graph* nodes — the plan-independent
+    /// barriers elastic recovery reshards across (poison check on).
+    pub fn every_original(n: usize) -> CheckpointPolicy {
+        CheckpointPolicy { every: n, unit: BarrierUnit::OriginalSteps, poison_check: true }
+    }
+}
+
+/// Retry policy of [`run_with_recovery`](crate::run_with_recovery) and
+/// [`run_with_elastic_recovery`](crate::run_with_elastic_recovery).
 #[derive(Debug, Clone, Copy)]
 pub struct RecoveryOptions {
-    /// Total attempts (first run included). At least 1.
+    /// Total attempts per worker count (first run included). At least 1.
     pub max_attempts: usize,
-    /// Sleep before the first retry; doubles after each further failure.
+    /// Base sleep before the first retry; later delays follow a
+    /// decorrelated-jitter schedule (see [`BackoffSchedule`]).
     pub backoff: Duration,
+    /// Hard ceiling on any single retry delay.
+    pub max_backoff: Duration,
+    /// Seed of the deterministic jitter stream, so fault-suite timing is
+    /// reproducible run to run.
+    pub jitter_seed: u64,
+    /// When set, exhausting `max_attempts` shrinks the worker set per this
+    /// policy instead of giving up (elastic recovery). Ignored by plain
+    /// [`run_with_recovery`](crate::run_with_recovery).
+    pub degrade: Option<DegradePolicy>,
 }
 
 impl Default for RecoveryOptions {
     fn default() -> Self {
-        RecoveryOptions { max_attempts: 3, backoff: Duration::from_millis(10) }
+        RecoveryOptions {
+            max_attempts: 3,
+            backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            jitter_seed: 0,
+            degrade: None,
+        }
     }
+}
+
+/// Deterministic decorrelated-jitter retry schedule (the AWS
+/// "decorrelated jitter" recurrence, made reproducible by seeding the
+/// jitter from [`FaultRng`]): each delay is
+/// `min(cap, base + frac · (3·prev − base))` with `frac` uniform in
+/// `[0, 1)`. Delays never exceed `cap` — the fix for the former unbounded
+/// `backoff · 2^attempt` growth — and a zero `base` yields zero delays.
+#[derive(Debug, Clone)]
+pub struct BackoffSchedule {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    rng: FaultRng,
+}
+
+impl BackoffSchedule {
+    /// A schedule starting at `base`, capped at `cap`, jitter-seeded by
+    /// `seed`. Equal arguments yield the identical delay sequence.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> BackoffSchedule {
+        BackoffSchedule { base, cap, prev: base, rng: FaultRng::new(seed) }
+    }
+
+    /// [`BackoffSchedule::new`] from a [`RecoveryOptions`].
+    pub fn from_recovery(r: &RecoveryOptions) -> BackoffSchedule {
+        BackoffSchedule::new(r.backoff, r.max_backoff, r.jitter_seed)
+    }
+
+    /// The next delay to sleep before retrying.
+    pub fn next_delay(&mut self) -> Duration {
+        if self.base.is_zero() {
+            return Duration::ZERO;
+        }
+        // 53-bit mantissa fraction in [0, 1); f64 arithmetic is exact enough
+        // for scheduling and bit-deterministic across runs.
+        let frac = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let base = self.base.as_secs_f64();
+        let spread = (3.0 * self.prev.as_secs_f64() - base).max(0.0);
+        let next = (base + frac * spread).min(self.cap.as_secs_f64());
+        self.prev = Duration::from_secs_f64(next);
+        self.prev
+    }
+}
+
+/// One attempt of a recovery ladder, for latency accounting: which worker
+/// set ran, what it resumed from, and where the time went.
+#[derive(Debug, Clone)]
+pub struct AttemptRecord {
+    /// Worker count of this attempt.
+    pub width: usize,
+    /// Physical devices the logical workers mapped to.
+    pub devices: Vec<usize>,
+    /// Checkpoint the attempt resumed from (`None` = from scratch).
+    pub resumed_from: Option<usize>,
+    /// Time spent re-running the partition search before this attempt
+    /// (`None` when the previous attempt's plan was reused).
+    pub replan: Option<Duration>,
+    /// Time spent resharding the carried snapshot onto this attempt's plan.
+    pub reshard: Option<Duration>,
+    /// Bytes of full-tensor snapshot moved by that reshard.
+    pub reshard_bytes: u64,
+    /// Slowest peer abort-detection latency, for failed attempts.
+    pub detection: Option<Duration>,
+    /// Wall-clock of the attempt itself.
+    pub wall: Duration,
+    /// Whether the attempt succeeded.
+    pub ok: bool,
 }
 
 /// What a recovered run hands back: the (verified-resumable) output plus the
@@ -62,29 +188,38 @@ pub struct RecoveryReport {
     pub failures: Vec<RunFailure>,
     /// Per retry: the checkpoint it resumed from (`None` = clean restart).
     pub resumed_from: Vec<Option<usize>>,
+    /// Per attempt (first run included): worker set, resume point and
+    /// latency breakdown, so tooling can assert detection → replan → resume
+    /// budgets.
+    pub history: Vec<AttemptRecord>,
 }
 
 /// Per-worker cut positions of every checkpoint: `cuts[k - 1][w]` is the
 /// local schedule prefix worker `w` must complete for checkpoint `k`.
-pub(crate) fn checkpoint_cuts(sharded: &ShardedGraph, every: usize) -> Vec<Vec<usize>> {
-    let n = sharded.graph.num_nodes();
+pub(crate) fn checkpoint_cuts(sharded: &ShardedGraph, policy: CheckpointPolicy) -> Vec<Vec<usize>> {
     let k = sharded.workers;
-    // Global topological position of every node (node_ids is the global
-    // schedule order).
-    let mut global_pos = vec![0usize; n];
-    for (i, id) in sharded.graph.node_ids().enumerate() {
-        global_pos[id.0] = i;
-    }
+    let every = policy.every;
+    // Per node: its position in the order the barriers count.
+    let (n, pos_of): (usize, Vec<usize>) = match policy.unit {
+        BarrierUnit::ShardedSteps => {
+            // Global topological position (node_ids is the schedule order).
+            let n = sharded.graph.num_nodes();
+            let mut global_pos = vec![0usize; n];
+            for (i, id) in sharded.graph.node_ids().enumerate() {
+                global_pos[id.0] = i;
+            }
+            (n, global_pos)
+        }
+        BarrierUnit::OriginalSteps => {
+            (sharded.original_nodes(), sharded.origin_of_node.iter().map(|o| o.0).collect())
+        }
+    };
     let mut cuts = Vec::new();
     let mut barrier = every;
     while barrier < n {
         let cut: Vec<usize> = (0..k)
             .map(|w| {
-                sharded
-                    .worker_schedule(w)
-                    .iter()
-                    .filter(|id| global_pos[id.0] < barrier)
-                    .count()
+                sharded.worker_schedule(w).iter().filter(|id| pos_of[id.0] < barrier).count()
             })
             .collect();
         cuts.push(cut);
@@ -94,7 +229,7 @@ pub(crate) fn checkpoint_cuts(sharded: &ShardedGraph, every: usize) -> Vec<Vec<u
 }
 
 /// A consistent checkpoint selected for resumption.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct ResumePoint {
     /// 1-based checkpoint id.
     pub ckpt: usize,
@@ -153,5 +288,23 @@ mod tests {
         assert_eq!(s.latest_consistent(2, 3), Some(1), "checkpoint 2 misses worker 1");
         s.record(2, 1, BTreeMap::new());
         assert_eq!(s.latest_consistent(2, 3), Some(2));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(80);
+        let delays = |seed: u64| -> Vec<Duration> {
+            let mut s = BackoffSchedule::new(base, cap, seed);
+            (0..32).map(|_| s.next_delay()).collect()
+        };
+        let a = delays(42);
+        assert_eq!(a, delays(42), "equal seeds yield equal schedules");
+        assert_ne!(a, delays(43), "jitter actually depends on the seed");
+        assert!(a.iter().all(|d| *d >= base && *d <= cap), "every delay in [base, cap]");
+        assert!(a.iter().any(|d| *d > base), "jitter spreads delays above base");
+        // A zero base never sleeps (the fast path tests rely on).
+        let mut zero = BackoffSchedule::new(Duration::ZERO, cap, 7);
+        assert!(zero.next_delay().is_zero());
     }
 }

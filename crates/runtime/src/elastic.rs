@@ -1,0 +1,370 @@
+//! Elastic degraded-mode recovery: survive permanent device loss by
+//! re-partitioning onto the survivors and resharding checkpoints.
+//!
+//! The degradation ladder (DESIGN.md "Elastic recovery"):
+//!
+//! 1. **Transient retry.** Each worker count gets `max_attempts` runs,
+//!    resuming from the latest consistent checkpoint with capped,
+//!    deterministically jittered backoff between them — the plain
+//!    [`run_with_recovery`](crate::run_with_recovery) behaviour.
+//! 2. **Elastic shrink.** When a width exhausts its attempts, the worker the
+//!    last failure blames is classified as *permanently lost*: its physical
+//!    device leaves the topology, the partition search re-runs for the
+//!    survivor count through [`partition_cached`] (warm [`SearchCaches`]
+//!    make the replan a cache lookup, not a cold search), the last
+//!    consistent checkpoint is reassembled into a plan-independent
+//!    [`FullSnapshot`] and resharded onto the new plan, and execution
+//!    resumes at the same original-graph barrier on the shrunk worker set.
+//!    A [`DegradePolicy`] bounds the shrinking: minimum surviving workers,
+//!    maximum shrink steps, and a per-device memory budget every new plan's
+//!    static footprint is checked against before the shrink commits.
+//! 3. **Typed surrender.** When the policy forbids further shrinking the
+//!    ladder ends with [`RuntimeError::Unrecoverable`] naming every lost
+//!    device and every width attempted — never a hang.
+//!
+//! Fault worker indices name **physical** devices: survivors keep their
+//! physical identity across shrinks (`devices[logical] = physical`), so a
+//! permanent fault follows its device and vanishes from the topology with
+//! it, while faults on survivors keep firing at any width.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use tofu_core::{
+    generate, partition_cached, GenOptions, PartitionOptions, PartitionPlan, SearchCaches,
+    ShardedGraph,
+};
+use tofu_graph::{plan_buffers, Graph, TensorId};
+use tofu_obs::Track;
+use tofu_tensor::Tensor;
+
+use crate::checkpoint::{
+    checkpoint_cuts, AttemptRecord, BackoffSchedule, BarrierUnit, CheckpointStore,
+    RecoveryOptions, ResumePoint,
+};
+use crate::error::{RunFailure, RuntimeError};
+use crate::fault::FaultState;
+use crate::reshard::{assemble_snapshot, scatter_snapshot, FullSnapshot};
+use crate::{run_attempt, validate, Result, RunOptions, RunOutput};
+
+/// When and how far elastic recovery may shrink the worker set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// Fewest surviving workers the run may degrade to (inclusive; values
+    /// below 1 mean 1).
+    pub min_workers: usize,
+    /// Maximum number of shrink events (device removals).
+    pub max_shrink_steps: usize,
+    /// Per-device byte budget every candidate plan's static footprint
+    /// (buffer-plan peak + persistent shards, the bytes the pools will
+    /// actually hold) is checked against before a shrink commits.
+    pub per_device_budget: Option<u64>,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        DegradePolicy { min_workers: 1, max_shrink_steps: usize::MAX, per_device_budget: None }
+    }
+}
+
+/// What an elastic run hands back: the final output plus the whole ladder's
+/// history. `output.values` is keyed by `sharded`'s tensor ids — gather
+/// originals with [`ShardedGraph::gather`] (or
+/// [`gather_shards`](crate::gather_shards)) on the returned `sharded`.
+#[derive(Debug)]
+pub struct ElasticReport {
+    /// The successful run's output, on the final worker set.
+    pub output: RunOutput,
+    /// The sharded graph of the final (successful) plan.
+    pub sharded: ShardedGraph,
+    /// The final partition plan.
+    pub plan: PartitionPlan,
+    /// Surviving physical devices, in logical-worker order.
+    pub devices: Vec<usize>,
+    /// Physical devices classified as permanently lost, in loss order.
+    pub lost: Vec<usize>,
+    /// Worker counts attempted, ladder order (full width first).
+    pub widths: Vec<usize>,
+    /// Total attempts consumed across all widths.
+    pub attempts: usize,
+    /// The failure of every aborted attempt, in order.
+    pub failures: Vec<RunFailure>,
+    /// Per attempt: the checkpoint it resumed from (`None` = from scratch).
+    pub resumed_from: Vec<Option<usize>>,
+    /// Per attempt: worker set, resume point and latency breakdown.
+    pub history: Vec<AttemptRecord>,
+    /// The plan-independent snapshot the final width resumed from, if any —
+    /// feed it to [`resume_from_snapshot`](crate::resume_from_snapshot) at
+    /// the surviving width to reproduce the degraded output bit for bit.
+    pub snapshot: Option<FullSnapshot>,
+}
+
+/// Worst per-device static memory footprint of a plan: buffer-plan peak
+/// plus persistent shard bytes, per worker — the same accounting the
+/// runtime's pools replay.
+fn worst_device_footprint(sharded: &ShardedGraph, buffer_reuse: bool) -> u64 {
+    (0..sharded.workers)
+        .map(|w| {
+            let schedule = sharded.worker_schedule(w);
+            plan_buffers(&sharded.graph, &schedule, buffer_reuse).mem.total_bytes()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// [`run_with_recovery`](crate::run_with_recovery) extended with the elastic
+/// ladder: takes the **original** graph and full-tensor feeds (partitioning
+/// and scattering are re-done per width), retries transient failures at the
+/// current width, shrinks past permanent ones per
+/// [`RecoveryOptions::degrade`], and reshards checkpoints across plans so
+/// progress survives the shrink. See the module docs for the ladder.
+pub fn run_with_elastic_recovery(
+    g: &Graph,
+    feeds: &[(TensorId, Tensor)],
+    part_opts: &PartitionOptions,
+    opts: &RunOptions,
+    recovery: &RecoveryOptions,
+    caches: &mut SearchCaches,
+) -> Result<ElasticReport> {
+    let invalid = |m: &str| Err(RuntimeError::InvalidOptions(m.into()));
+    if recovery.max_attempts == 0 {
+        return invalid("max_attempts must be at least 1");
+    }
+    if part_opts.workers == 0 {
+        return invalid("cannot run on zero workers");
+    }
+    if let Some(cp) = opts.checkpoint {
+        if cp.unit != BarrierUnit::OriginalSteps {
+            return invalid(
+                "elastic recovery reshards checkpoints across plans; use the plan-independent \
+                 barriers of CheckpointPolicy::every_original",
+            );
+        }
+    }
+    let obs = opts.collector.as_ref();
+    let faults = FaultState::new(&opts.faults);
+    let mut backoff = BackoffSchedule::from_recovery(recovery);
+
+    let mut devices: Vec<usize> = (0..part_opts.workers).collect();
+    let mut lost: Vec<usize> = Vec::new();
+    let mut widths: Vec<usize> = Vec::new();
+    let mut failures: Vec<RunFailure> = Vec::new();
+    let mut resumed_from: Vec<Option<usize>> = Vec::new();
+    let mut history: Vec<AttemptRecord> = Vec::new();
+    let mut attempts = 0usize;
+    let mut carried: Option<FullSnapshot> = None;
+    let mut shrinks = 0usize;
+
+    loop {
+        let width = devices.len();
+        widths.push(width);
+
+        // (Re)partition for this width. `partition_cached` serves repeat
+        // widths from the warm plan cache, so replans after the first width
+        // are lookups rather than cold searches.
+        let replan_started = Instant::now();
+        let replan_t0 = obs.map(|c| c.now_us()).unwrap_or(0.0);
+        let plan = partition_cached(
+            g,
+            &PartitionOptions { workers: width, ..*part_opts },
+            caches,
+            obs,
+        )?;
+        let sharded = generate(g, &plan, &GenOptions::default())?;
+        let replan = replan_started.elapsed();
+        if let Some(c) = obs {
+            c.complete(
+                Track::search(),
+                "search",
+                &format!("elastic replan ({width} workers)"),
+                replan_t0,
+                c.now_us(),
+            );
+            c.counter(Track::control(), "elastic/surviving_workers", c.now_us(), width as f64);
+            if shrinks > 0 {
+                c.add_total("elastic/replans", 1.0);
+            }
+        }
+        if width == part_opts.workers {
+            validate(&sharded, opts)?;
+        }
+
+        // Per-device budget gate: refuse to commit to a plan whose static
+        // footprint cannot fit the surviving devices.
+        if let Some(budget) = recovery.degrade.and_then(|d| d.per_device_budget) {
+            let worst = worst_device_footprint(&sharded, opts.buffer_reuse);
+            if worst > budget {
+                let cause = RuntimeError::Pool {
+                    worker: 0,
+                    detail: format!(
+                        "plan for {width} workers needs {worst} bytes/device, budget is {budget}"
+                    ),
+                };
+                return Err(RuntimeError::Unrecoverable {
+                    lost,
+                    widths,
+                    cause: Box::new(cause),
+                });
+            }
+        }
+
+        // Scatter the original feeds into this plan's shard layout.
+        let mut shard_feeds: Vec<(TensorId, Tensor)> = Vec::new();
+        for (t, v) in feeds {
+            shard_feeds.extend(sharded.scatter(*t, v)?);
+        }
+
+        // Reshard the carried snapshot (if any) onto this plan once; every
+        // attempt at this width can resume from it.
+        let mut reshard_time: Option<Duration> = None;
+        let mut reshard_bytes = 0u64;
+        let carried_point: Option<ResumePoint> = match &carried {
+            Some(snap) => {
+                let t0 = Instant::now();
+                let obs_t0 = obs.map(|c| c.now_us()).unwrap_or(0.0);
+                let point = scatter_snapshot(snap, &sharded)?;
+                let took = t0.elapsed();
+                reshard_time = Some(took);
+                reshard_bytes = snap.bytes();
+                if let Some(c) = obs {
+                    c.complete(
+                        Track::control(),
+                        "elastic",
+                        &format!("reshard checkpoint {} → {width} workers", snap.ckpt),
+                        obs_t0,
+                        c.now_us(),
+                    );
+                    c.add_total("elastic/reshard_bytes", snap.bytes() as f64);
+                }
+                Some(point)
+            }
+            None => None,
+        };
+
+        let cuts: Vec<Vec<usize>> = match opts.checkpoint {
+            Some(cp) => checkpoint_cuts(&sharded, cp),
+            None => Vec::new(),
+        };
+        // Fresh store per width: snapshots are keyed by this plan's tensor
+        // ids. Progress crosses widths only through the carried snapshot.
+        let store = Mutex::new(CheckpointStore::default());
+
+        let mut width_failure: Option<RunFailure> = None;
+        for attempt in 1..=recovery.max_attempts {
+            attempts += 1;
+            let resume: Option<ResumePoint> = {
+                let s = store.lock();
+                match s.latest_consistent(width, cuts.len()) {
+                    // This width's own checkpoints are never older than the
+                    // carried snapshot (attempts resume at or past its
+                    // barrier), so prefer them.
+                    Some(ck) => Some(s.resume_point(ck, width, &cuts)),
+                    None => carried_point.clone(),
+                }
+            };
+            resumed_from.push(resume.as_ref().map(|p| p.ckpt));
+            if let Some(c) = obs {
+                let what = match &resume {
+                    Some(p) => format!(
+                        "attempt {attempt} @ {width} workers: resume from checkpoint {}",
+                        p.ckpt
+                    ),
+                    None => format!("attempt {attempt} @ {width} workers: from scratch"),
+                };
+                c.instant(Track::control(), "recovery", &what);
+            }
+            let t0 = Instant::now();
+            let outcome =
+                run_attempt(&sharded, &shard_feeds, opts, &faults, &store, resume.as_ref(), &devices);
+            let wall = t0.elapsed();
+            let mut record = AttemptRecord {
+                width,
+                devices: devices.clone(),
+                resumed_from: resume.as_ref().map(|p| p.ckpt),
+                replan: (attempt == 1).then_some(replan),
+                reshard: if attempt == 1 { reshard_time } else { None },
+                reshard_bytes: if attempt == 1 { reshard_bytes } else { 0 },
+                detection: None,
+                wall,
+                ok: false,
+            };
+            match outcome {
+                Ok(output) => {
+                    record.ok = true;
+                    history.push(record);
+                    let snapshot = carried.take();
+                    return Ok(ElasticReport {
+                        output,
+                        sharded,
+                        plan,
+                        devices,
+                        lost,
+                        widths,
+                        attempts,
+                        failures,
+                        resumed_from,
+                        history,
+                        snapshot,
+                    });
+                }
+                Err(RuntimeError::Failed(f)) => {
+                    record.detection = f.max_detection();
+                    history.push(record);
+                    if attempt < recovery.max_attempts {
+                        failures.push(*f);
+                        let delay = backoff.next_delay();
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                    } else {
+                        width_failure = Some(*f);
+                    }
+                }
+                // Configuration errors are not retryable.
+                Err(e) => return Err(e),
+            }
+        }
+
+        // This width is out of attempts: classify the blamed worker's
+        // physical device as permanently lost and consult the policy.
+        let f = width_failure.expect("exhausted width recorded a failure");
+        let victim = devices[f.worker];
+        if let Some(c) = obs {
+            c.instant(Track::control(), "elastic", &format!("device {victim} lost (permanent)"));
+        }
+        let Some(policy) = recovery.degrade else {
+            // No elastic mandate: behave like plain recovery and surface the
+            // final failure.
+            return Err(RuntimeError::Failed(Box::new(f)));
+        };
+        lost.push(victim);
+        shrinks += 1;
+        if width <= 1 || width - 1 < policy.min_workers.max(1) || shrinks > policy.max_shrink_steps
+        {
+            return Err(RuntimeError::Unrecoverable {
+                lost,
+                widths,
+                cause: Box::new(RuntimeError::Failed(Box::new(f))),
+            });
+        }
+        let logical = f.worker;
+        failures.push(f);
+
+        // Harvest this width's best consistent checkpoint as the carried
+        // plan-independent snapshot before the store (keyed by this plan's
+        // tensor ids) is dropped.
+        if let Some(cp) = opts.checkpoint {
+            let s = store.lock();
+            if let Some(ck) = s.latest_consistent(width, cuts.len()) {
+                let point = s.resume_point(ck, width, &cuts);
+                let snap = assemble_snapshot(&sharded, &point, cp.every)?;
+                // Attempts only ever resume at or past the carried barrier,
+                // so a fresh consistent checkpoint is never older.
+                if carried.as_ref().is_none_or(|c0| snap.ckpt >= c0.ckpt) {
+                    carried = Some(snap);
+                }
+            }
+        }
+        devices.remove(logical);
+    }
+}

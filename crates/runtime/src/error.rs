@@ -71,6 +71,27 @@ pub enum RuntimeError {
         /// Which fault fired.
         detail: String,
     },
+    /// A checkpoint snapshot contained a non-finite value; the checkpoint
+    /// was *not* committed, so recovery can never resume from a numerically
+    /// poisoned state.
+    PoisonedCheckpoint {
+        /// Worker whose snapshot held the poisoned tensor.
+        worker: usize,
+        /// Name of the node that produced the tensor (`None` for a leaf).
+        node: Option<String>,
+        /// Name of the poisoned tensor.
+        tensor: String,
+    },
+    /// Elastic recovery exhausted its `DegradePolicy`: every attempted
+    /// worker count failed and no further shrink is permitted.
+    Unrecoverable {
+        /// Physical devices classified as permanently lost, in loss order.
+        lost: Vec<usize>,
+        /// Worker counts attempted, ladder order (full width first).
+        widths: Vec<usize>,
+        /// Why the last width could not proceed.
+        cause: Box<RuntimeError>,
+    },
     /// `RunOptions` (or the sharded graph itself) failed up-front validation.
     InvalidOptions(String),
     /// The run aborted; the boxed record names the first failure and keeps
@@ -105,6 +126,18 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Injected { worker, detail } => {
                 write!(f, "worker {worker}: injected fault: {detail}")
             }
+            RuntimeError::PoisonedCheckpoint { worker, node, tensor } => {
+                write!(f, "worker {worker}: checkpoint poisoned: tensor {tensor:?}")?;
+                if let Some(n) = node {
+                    write!(f, " (produced by node {n:?})")?;
+                }
+                write!(f, " contains a non-finite value")
+            }
+            RuntimeError::Unrecoverable { lost, widths, cause } => write!(
+                f,
+                "unrecoverable: device(s) {lost:?} permanently lost after attempting \
+                 worker count(s) {widths:?}; last failure: {cause}"
+            ),
             RuntimeError::InvalidOptions(m) => write!(f, "invalid run options: {m}"),
             RuntimeError::Failed(failure) => failure.fmt(f),
             RuntimeError::Internal(m) => write!(f, "internal runtime error: {m}"),
@@ -118,6 +151,7 @@ impl std::error::Error for RuntimeError {
             RuntimeError::Exec { source, .. } => Some(source),
             RuntimeError::Core(e) => Some(e),
             RuntimeError::Failed(failure) => Some(&*failure.cause),
+            RuntimeError::Unrecoverable { cause, .. } => Some(&**cause),
             _ => None,
         }
     }

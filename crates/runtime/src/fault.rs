@@ -8,10 +8,15 @@
 //! deterministic for a given sharded graph — so every run of a plan exercises
 //! the identical failure path.
 //!
-//! Each fault fires **once** per [`FaultState`], and `run_with_recovery`
-//! shares one state across retries: injected faults model *transient*
-//! failures, so the retry observes a healthy world and can validate the
-//! checkpoint-restart path.
+//! Each fault carries a [`FaultPersistence`]: `Transient` faults fire
+//! **once** per [`FaultState`] (and `run_with_recovery` shares one state
+//! across retries, so the retry observes a healthy world and can validate
+//! the checkpoint-restart path), while `Permanent` faults re-fire on every
+//! attempt — modelling a device that is gone for good, the trigger for
+//! elastic degraded-mode recovery. Fault worker indices name **physical**
+//! devices: when elastic recovery shrinks the worker set, surviving logical
+//! workers keep querying the state under their original physical ids, so a
+//! permanent fault follows its device and disappears with it.
 //!
 //! [`FaultRng`] is a small deterministic generator (SplitMix64) for deriving
 //! fault sites from a seed — used by the `fault_matrix` bench and tests to
@@ -74,11 +79,32 @@ pub enum Fault {
     },
 }
 
+/// Whether an injected fault models a glitch or a lasting condition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FaultPersistence {
+    /// Fires once per [`FaultState`]; retries observe a healthy world.
+    #[default]
+    Transient,
+    /// Re-fires on every attempt that reaches the injection site: the
+    /// device (or link) is broken for good. Retrying at the same width can
+    /// never succeed — only removing the target from the topology can.
+    Permanent,
+}
+
+/// One fault plus its persistence mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The failure to inject.
+    pub fault: Fault,
+    /// Transient (fire once) or permanent (re-fire every attempt).
+    pub persistence: FaultPersistence,
+}
+
 /// The full set of faults to inject into one run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Faults to inject; order is irrelevant.
-    pub faults: Vec<Fault>,
+    pub faults: Vec<InjectedFault>,
 }
 
 impl FaultPlan {
@@ -87,14 +113,25 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
-    /// A plan with a single fault.
+    /// A plan with a single transient fault.
     pub fn single(fault: Fault) -> FaultPlan {
-        FaultPlan { faults: vec![fault] }
+        FaultPlan::default().with(fault)
     }
 
-    /// Adds a fault, builder style.
+    /// A plan with a single permanent fault.
+    pub fn single_permanent(fault: Fault) -> FaultPlan {
+        FaultPlan::default().with_permanent(fault)
+    }
+
+    /// Adds a transient fault, builder style.
     pub fn with(mut self, fault: Fault) -> FaultPlan {
-        self.faults.push(fault);
+        self.faults.push(InjectedFault { fault, persistence: FaultPersistence::Transient });
+        self
+    }
+
+    /// Adds a permanent fault, builder style.
+    pub fn with_permanent(mut self, fault: Fault) -> FaultPlan {
+        self.faults.push(InjectedFault { fault, persistence: FaultPersistence::Permanent });
         self
     }
 
@@ -140,12 +177,13 @@ pub(crate) enum StepFault {
     PoolOverBudget,
 }
 
-/// Shared fire-once state of a plan. One `FaultState` spans every retry of a
-/// `run_with_recovery` call, so each fault is observed by exactly one
-/// attempt.
+/// Shared injection state of a plan. One `FaultState` spans every retry of a
+/// `run_with_recovery` call (and every width of an elastic ladder), so each
+/// *transient* fault is observed by exactly one attempt while *permanent*
+/// faults keep firing for as long as their device stays in the topology.
 #[derive(Debug)]
 pub(crate) struct FaultState {
-    faults: Vec<(Fault, AtomicBool)>,
+    faults: Vec<(InjectedFault, AtomicBool)>,
 }
 
 impl FaultState {
@@ -155,19 +193,32 @@ impl FaultState {
         }
     }
 
-    /// Marks fault `i` fired; true if this call fired it first.
+    /// Whether fault `i` fires now: permanent faults always do, transient
+    /// faults only on the first call.
     fn fire(&self, i: usize) -> bool {
-        !self.faults[i].1.swap(true, Ordering::AcqRel)
+        match self.faults[i].0.persistence {
+            FaultPersistence::Permanent => true,
+            FaultPersistence::Transient => !self.faults[i].1.swap(true, Ordering::AcqRel),
+        }
     }
 
-    /// The step faults (kill/panic/pool) firing for `worker` just before its
-    /// local schedule position `pos`. `last` is the worker's final position,
-    /// used to clamp out-of-range injection sites so "late" faults on short
-    /// schedules still fire.
-    pub(crate) fn step_faults(&self, worker: usize, pos: usize, last: usize) -> Vec<StepFault> {
+    /// The step faults (kill/panic/pool) firing for physical device `worker`
+    /// just before its local schedule position `pos`. `last` is the worker's
+    /// final position, used to clamp out-of-range injection sites so "late"
+    /// faults on short schedules still fire; `start` is the position the
+    /// attempt resumed from, so a permanent fault planted *before* the
+    /// resume cut still kills the attempt at its first step instead of
+    /// silently becoming unreachable.
+    pub(crate) fn step_faults(
+        &self,
+        worker: usize,
+        pos: usize,
+        last: usize,
+        start: usize,
+    ) -> Vec<StepFault> {
         let mut out = Vec::new();
         for (i, (f, _)) in self.faults.iter().enumerate() {
-            let (w, p, kind) = match f {
+            let (w, p, kind) = match &f.fault {
                 Fault::Kill { worker, pos } => (*worker, *pos, StepFault::Kill),
                 Fault::Panic { worker, pos } => (*worker, *pos, StepFault::Panic),
                 Fault::PoolOverBudget { worker, pos } => {
@@ -175,7 +226,7 @@ impl FaultState {
                 }
                 Fault::Message { .. } => continue,
             };
-            if w == worker && p.min(last) == pos && self.fire(i) {
+            if w == worker && p.min(last).max(start) == pos && self.fire(i) {
                 out.push(kind);
             }
         }
@@ -183,7 +234,7 @@ impl FaultState {
     }
 
     /// The message fault (if any) targeting the `index`-th message that
-    /// `src` pushes to `dst`.
+    /// physical device `src` pushes to physical device `dst`.
     pub(crate) fn message_action(
         &self,
         src: usize,
@@ -191,7 +242,7 @@ impl FaultState {
         index: u64,
     ) -> Option<MessageFault> {
         for (i, (f, _)) in self.faults.iter().enumerate() {
-            if let Fault::Message { src: s, dst: d, index: n, action } = f {
+            if let Fault::Message { src: s, dst: d, index: n, action } = &f.fault {
                 if *s == src && *d == dst && *n == index && self.fire(i) {
                     return Some(*action);
                 }
@@ -208,17 +259,28 @@ mod tests {
     #[test]
     fn step_faults_fire_once() {
         let st = FaultState::new(&FaultPlan::single(Fault::Kill { worker: 1, pos: 3 }));
-        assert!(st.step_faults(0, 3, 10).is_empty(), "wrong worker");
-        assert!(st.step_faults(1, 2, 10).is_empty(), "wrong position");
-        assert_eq!(st.step_faults(1, 3, 10), vec![StepFault::Kill]);
-        assert!(st.step_faults(1, 3, 10).is_empty(), "faults are one-shot");
+        assert!(st.step_faults(0, 3, 10, 0).is_empty(), "wrong worker");
+        assert!(st.step_faults(1, 2, 10, 0).is_empty(), "wrong position");
+        assert_eq!(st.step_faults(1, 3, 10, 0), vec![StepFault::Kill]);
+        assert!(st.step_faults(1, 3, 10, 0).is_empty(), "transient faults are one-shot");
+    }
+
+    #[test]
+    fn permanent_faults_refire_every_attempt() {
+        let st = FaultState::new(&FaultPlan::single_permanent(Fault::Kill { worker: 1, pos: 3 }));
+        assert_eq!(st.step_faults(1, 3, 10, 0), vec![StepFault::Kill]);
+        assert_eq!(st.step_faults(1, 3, 10, 0), vec![StepFault::Kill], "permanent re-fires");
+        // An attempt resumed past the injection site still dies — at its
+        // first position, because the dead device is dead everywhere.
+        assert!(st.step_faults(1, 6, 10, 5).is_empty());
+        assert_eq!(st.step_faults(1, 5, 10, 5), vec![StepFault::Kill]);
     }
 
     #[test]
     fn out_of_range_position_clamps_to_last() {
         let st = FaultState::new(&FaultPlan::single(Fault::Panic { worker: 0, pos: 99 }));
-        assert!(st.step_faults(0, 4, 5).is_empty());
-        assert_eq!(st.step_faults(0, 5, 5), vec![StepFault::Panic]);
+        assert!(st.step_faults(0, 4, 5, 0).is_empty());
+        assert_eq!(st.step_faults(0, 5, 5, 0), vec![StepFault::Panic]);
     }
 
     #[test]

@@ -59,9 +59,11 @@
 
 mod abort;
 mod checkpoint;
+mod elastic;
 mod error;
 mod fault;
 mod pool;
+mod reshard;
 mod trace;
 
 use std::collections::BTreeMap;
@@ -75,10 +77,14 @@ use tofu_obs::{Collector, SpanBuffer, Track};
 use tofu_tensor::Tensor;
 
 pub use abort::{AbortCause, AbortToken};
-pub use checkpoint::{CheckpointPolicy, RecoveryOptions, RecoveryReport};
+pub use checkpoint::{
+    AttemptRecord, BackoffSchedule, BarrierUnit, CheckpointPolicy, RecoveryOptions, RecoveryReport,
+};
+pub use elastic::{run_with_elastic_recovery, DegradePolicy, ElasticReport};
 pub use error::{RunFailure, RuntimeError};
-pub use fault::{Fault, FaultPlan, FaultRng, MessageFault};
+pub use fault::{Fault, FaultPersistence, FaultPlan, FaultRng, InjectedFault, MessageFault};
 pub use pool::BufferPool;
+pub use reshard::{gather_shards, resume_from_snapshot, scatter_full, FullSnapshot};
 pub use trace::{LinkStat, OpEvent, RunTrace, WorkerTrace};
 
 use checkpoint::{checkpoint_cuts, CheckpointStore, ResumePoint};
@@ -210,7 +216,7 @@ fn validate(sharded: &ShardedGraph, opts: &RunOptions) -> Result<()> {
         }
     }
     for f in &opts.faults.faults {
-        match *f {
+        match f.fault {
             Fault::Kill { worker, .. }
             | Fault::Panic { worker, .. }
             | Fault::PoolOverBudget { worker, .. } => {
@@ -247,15 +253,19 @@ pub fn run_with_options(
     validate(sharded, opts)?;
     let faults = FaultState::new(&opts.faults);
     let store = Mutex::new(CheckpointStore::default());
-    run_attempt(sharded, feeds, opts, &faults, &store, None)
+    let device_map: Vec<usize> = (0..sharded.workers).collect();
+    run_attempt(sharded, feeds, opts, &faults, &store, None, &device_map)
 }
 
 /// [`run_with_options`] plus retry: a faulted run is re-attempted with
-/// exponential backoff, resuming from the last *consistent* checkpoint when
-/// `opts.checkpoint` is set (and from scratch otherwise). Injected faults
-/// fire once across all attempts — they model transient failures — so the
-/// retry observes a healthy world. The recovered output is bit-identical to
-/// an undisturbed run (see DESIGN.md "Failure model" for the argument).
+/// capped, deterministically jittered backoff (see [`BackoffSchedule`]),
+/// resuming from the last *consistent* checkpoint when `opts.checkpoint` is
+/// set (and from scratch otherwise). Transient injected faults fire once
+/// across all attempts, so the retry observes a healthy world; permanent
+/// faults re-fire every attempt — recovering past those takes the elastic
+/// ladder of [`run_with_elastic_recovery`] ([`RecoveryOptions::degrade`] is
+/// ignored here). The recovered output is bit-identical to an undisturbed
+/// run (see DESIGN.md "Failure model" for the argument).
 pub fn run_with_recovery(
     sharded: &ShardedGraph,
     feeds: &[(TensorId, Tensor)],
@@ -268,13 +278,15 @@ pub fn run_with_recovery(
     }
     let faults = FaultState::new(&opts.faults);
     let store = Mutex::new(CheckpointStore::default());
+    let device_map: Vec<usize> = (0..sharded.workers).collect();
     let cuts = match opts.checkpoint {
-        Some(cp) => checkpoint_cuts(sharded, cp.every),
+        Some(cp) => checkpoint_cuts(sharded, cp),
         None => Vec::new(),
     };
     let mut failures = Vec::new();
     let mut resumed_from = Vec::new();
-    let mut backoff = recovery.backoff;
+    let mut history: Vec<AttemptRecord> = Vec::new();
+    let mut backoff = BackoffSchedule::from_recovery(recovery);
     for attempt in 1..=recovery.max_attempts {
         let resume: Option<ResumePoint> = if attempt == 1 {
             None
@@ -294,15 +306,40 @@ pub fn run_with_recovery(
             };
             c.instant(Track::control(), "recovery", &name);
         }
-        match run_attempt(sharded, feeds, opts, &faults, &store, resume.as_ref()) {
+        let started = Instant::now();
+        let outcome = run_attempt(sharded, feeds, opts, &faults, &store, resume.as_ref(), &device_map);
+        let mut record = AttemptRecord {
+            width: sharded.workers,
+            devices: device_map.clone(),
+            resumed_from: resume.as_ref().map(|p| p.ckpt),
+            replan: None,
+            reshard: None,
+            reshard_bytes: 0,
+            detection: None,
+            wall: started.elapsed(),
+            ok: false,
+        };
+        match outcome {
             Ok(output) => {
-                return Ok(RecoveryReport { output, attempts: attempt, failures, resumed_from })
+                record.ok = true;
+                history.push(record);
+                return Ok(RecoveryReport {
+                    output,
+                    attempts: attempt,
+                    failures,
+                    resumed_from,
+                    history,
+                });
             }
             Err(RuntimeError::Failed(f)) => {
+                record.detection = f.max_detection();
+                history.push(record);
                 failures.push(*f);
-                if attempt < recovery.max_attempts && !backoff.is_zero() {
-                    std::thread::sleep(backoff);
-                    backoff = backoff.saturating_mul(2);
+                if attempt < recovery.max_attempts {
+                    let delay = backoff.next_delay();
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
                 }
             }
             // Configuration errors are not retryable.
@@ -314,7 +351,11 @@ pub fn run_with_recovery(
 }
 
 /// One execution attempt: spawns the workers, collects their outcomes, and
-/// on any failure assembles the [`RunFailure`] post-mortem.
+/// on any failure assembles the [`RunFailure`] post-mortem. `device_map[w]`
+/// is the *physical* device logical worker `w` runs on — fault plans target
+/// physical devices, so after an elastic shrink the surviving workers keep
+/// their fault histories while the dead device's faults vanish with it.
+#[allow(clippy::too_many_arguments)]
 fn run_attempt(
     sharded: &ShardedGraph,
     feeds: &[(TensorId, Tensor)],
@@ -322,8 +363,10 @@ fn run_attempt(
     faults: &FaultState,
     store: &Mutex<CheckpointStore>,
     resume: Option<&ResumePoint>,
+    device_map: &[usize],
 ) -> Result<RunOutput> {
     let k = sharded.workers;
+    debug_assert_eq!(device_map.len(), k);
     let edges = sharded.comm_edges();
 
     // Local schedule position of every node within its own worker.
@@ -337,7 +380,7 @@ fn run_attempt(
     // Checkpoint barriers: per worker, which checkpoint ids to record at
     // which local schedule position.
     let cuts: Vec<Vec<usize>> = match opts.checkpoint {
-        Some(cp) => checkpoint_cuts(sharded, cp.every),
+        Some(cp) => checkpoint_cuts(sharded, cp),
         None => Vec::new(),
     };
     let mut ckpts_at: Vec<BTreeMap<usize, Vec<usize>>> = vec![BTreeMap::new(); k];
@@ -415,7 +458,7 @@ fn run_attempt(
             scope.spawn(move || {
                 let outcome = run_worker(
                     sharded, w, feeds, rx, out, epoch, obs_epoch_us, opts, faults, &token,
-                    ckpts_at, store, resume_data, startup, node_sends,
+                    ckpts_at, store, resume_data, startup, node_sends, device_map,
                 );
                 if let Some(slot) = results.lock().get_mut(w) {
                     *slot = Some(outcome);
@@ -514,11 +557,12 @@ fn run_worker<'a>(
     resume: Option<(usize, &'a BTreeMap<TensorId, Tensor>)>,
     startup: &[&CommEdge],
     node_sends: &BTreeMap<NodeId, Vec<&CommEdge>>,
+    device_map: &'a [usize],
 ) -> WorkerOutcome {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut worker = match Worker::new(
             sharded, w, feeds, rx, txs, epoch, obs_epoch_us, opts, faults, token, ckpts_at,
-            store, resume,
+            store, resume, device_map,
         ) {
             Ok(worker) => worker,
             Err(e) => {
@@ -567,6 +611,14 @@ fn run_worker<'a>(
 struct Worker<'a> {
     sharded: &'a ShardedGraph,
     w: usize,
+    /// Physical device this logical worker runs on; fault plans address
+    /// physical devices (see `run_attempt`).
+    phys: usize,
+    /// Logical-to-physical device map for the whole attempt, for addressing
+    /// message faults by physical link.
+    device_map: &'a [usize],
+    /// Scan checkpoint values for NaN/Inf before committing them.
+    poison_check: bool,
     schedule: Vec<NodeId>,
     plan: BufferPlan,
     values: BTreeMap<TensorId, Tensor>,
@@ -624,6 +676,7 @@ impl<'a> Worker<'a> {
         ckpts_at: &'a BTreeMap<usize, Vec<usize>>,
         store: Option<&'a Mutex<CheckpointStore>>,
         resume: Option<(usize, &'a BTreeMap<TensorId, Tensor>)>,
+        device_map: &'a [usize],
     ) -> Result<Worker<'a>> {
         let schedule = sharded.worker_schedule(w);
         let plan = plan_buffers(&sharded.graph, &schedule, opts.buffer_reuse);
@@ -663,6 +716,9 @@ impl<'a> Worker<'a> {
         Ok(Worker {
             sharded,
             w,
+            phys: device_map[w],
+            device_map,
+            poison_check: opts.checkpoint.map(|cp| cp.poison_check).unwrap_or(false),
             schedule,
             plan,
             values,
@@ -761,9 +817,27 @@ impl<'a> Worker<'a> {
     }
 
     /// Records every checkpoint whose local cut is `pos` (positions
-    /// `[0, pos)` are done).
-    fn take_checkpoints(&mut self, pos: usize) {
+    /// `[0, pos)` are done). With `poison_check` on, every value is scanned
+    /// for NaN/Inf first and a poisoned snapshot is *never* committed — a
+    /// checkpoint exists to be restored from, and restoring non-finite state
+    /// would silently poison every later attempt.
+    fn take_checkpoints(&mut self, pos: usize) -> Result<()> {
         if let (Some(store), Some(ks)) = (self.store, self.ckpts_at.get(&pos)) {
+            if self.poison_check {
+                for (t, v) in &self.values {
+                    if v.data().iter().any(|x| !x.is_finite()) {
+                        return Err(RuntimeError::PoisonedCheckpoint {
+                            worker: self.w,
+                            node: self
+                                .sharded
+                                .graph
+                                .producer(*t)
+                                .map(|n| self.sharded.graph.node(n).name.clone()),
+                            tensor: self.sharded.graph.tensor(*t).name.clone(),
+                        });
+                    }
+                }
+            }
             {
                 let mut s = store.lock();
                 for &k in ks {
@@ -776,6 +850,7 @@ impl<'a> Worker<'a> {
                 }
             }
         }
+        Ok(())
     }
 
     fn run_inner(
@@ -818,8 +893,8 @@ impl<'a> Worker<'a> {
             self.check_abort()?;
             self.cur_pos = Some(pos);
             self.cur_node = Some(id);
-            self.take_checkpoints(pos);
-            for f in self.faults.step_faults(self.w, pos, last) {
+            self.take_checkpoints(pos)?;
+            for f in self.faults.step_faults(self.phys, pos, last, self.start_pos) {
                 match f {
                     StepFault::Kill => {
                         return Err(RuntimeError::Injected {
@@ -878,7 +953,7 @@ impl<'a> Worker<'a> {
         }
         self.cur_pos = None;
         self.cur_node = None;
-        self.take_checkpoints(self.schedule.len());
+        self.take_checkpoints(self.schedule.len())?;
 
         // End-of-run integrity: every piece addressed to this worker must
         // have been consumed — a leftover means a duplicated or misrouted
@@ -916,7 +991,7 @@ impl<'a> Worker<'a> {
                 buf.counter(&name, ts, total);
             }
         }
-        let action = self.faults.message_action(self.w, e.dst, index);
+        let action = self.faults.message_action(self.phys, self.device_map[e.dst], index);
         match action {
             // Lost on the wire: the sequence number is consumed, so the next
             // message on this link exposes the gap.

@@ -1,0 +1,203 @@
+//! Plan-independent snapshots and checkpoint resharding.
+//!
+//! A [`FullSnapshot`] is a checkpoint addressed by **original** tensor ids at
+//! full (unsharded) shapes, which makes it independent of any partition plan:
+//! it can be cut out of one plan's per-worker snapshots
+//! ([`assemble_snapshot`]) and sliced back into another plan's shard layout
+//! ([`scatter_snapshot`]) — the mechanism elastic recovery uses to carry
+//! progress across a worker-count change.
+//!
+//! Why this is sound (DESIGN.md "Elastic recovery" has the full argument):
+//! with [`BarrierUnit::OriginalSteps`](crate::BarrierUnit) barriers, every
+//! original node is entirely before or entirely after a barrier on *every*
+//! worker of *every* plan, because the generator expands each original node
+//! contiguously ([`ShardedGraph::origin_of_node`]). The values a resumed
+//! worker reads from its snapshot are exactly the shard tensors of original
+//! tensors computed before the barrier (cross-expansion reads only ever go
+//! through shard tensors), and each shard is by construction the region
+//! slice of its original tensor — so gathering the shards with
+//! [`copy_block`] and re-slicing them for the new plan reproduces, bit for
+//! bit, the state an undisturbed run at the new width would have checkpointed
+//! when resumed from this same snapshot.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use tofu_core::{Region, ShardedGraph};
+use tofu_graph::TensorId;
+use tofu_tensor::{Shape, Tensor};
+
+use crate::checkpoint::{checkpoint_cuts, CheckpointPolicy, CheckpointStore, ResumePoint};
+use crate::fault::FaultState;
+use crate::{copy_block, Result, RunOptions, RunOutput, RuntimeError};
+
+/// A plan-independent checkpoint: every original tensor the barrier covers
+/// (leaves plus outputs of original nodes before it), at full shape, keyed
+/// by **original** tensor id.
+#[derive(Debug, Clone)]
+pub struct FullSnapshot {
+    /// 1-based checkpoint id; the barrier is original node `ckpt · every`.
+    pub ckpt: usize,
+    /// Original-step checkpoint cadence the id refers to.
+    pub every: usize,
+    /// Full-shape values keyed by original tensor id.
+    pub tensors: BTreeMap<TensorId, Tensor>,
+}
+
+impl FullSnapshot {
+    /// Total payload bytes of the snapshot.
+    pub fn bytes(&self) -> u64 {
+        self.tensors.values().map(|t| t.shape().bytes()).sum()
+    }
+}
+
+/// The full (unsharded) extent implied by a tensor's per-worker regions:
+/// the regions tile (or replicate over) `[0, max hi)` per dimension.
+fn full_dims(regions: &[Region]) -> Vec<usize> {
+    let rank = regions.first().map(|r| r.len()).unwrap_or(0);
+    (0..rank)
+        .map(|d| regions.iter().map(|r| r[d].1).max().unwrap_or(0).max(0) as usize)
+        .collect()
+}
+
+/// Gathers the per-worker shard values of original tensor `t` (looked up in
+/// `values`, a map over *sharded-graph* tensor ids) into the full original
+/// value. Block-copy based — the fast path [`ShardedGraph::gather`]'s
+/// per-element loop is not.
+pub fn gather_shards(
+    sharded: &ShardedGraph,
+    t: TensorId,
+    values: &BTreeMap<TensorId, Tensor>,
+) -> Result<Tensor> {
+    let regions = sharded
+        .regions
+        .get(&t)
+        .ok_or_else(|| RuntimeError::Internal(format!("gather_shards: unknown tensor {t:?}")))?;
+    let shards = sharded
+        .shards
+        .get(&t)
+        .ok_or_else(|| RuntimeError::Internal(format!("gather_shards: {t:?} has no shards")))?;
+    let mut full = Tensor::zeros(Shape::new(full_dims(regions)));
+    for (w, region) in regions.iter().enumerate() {
+        let piece = values.get(&shards[w]).ok_or_else(|| {
+            RuntimeError::Internal(format!("gather_shards: worker {w} shard of {t:?} missing"))
+        })?;
+        let len: Vec<i64> = region.iter().map(|&(lo, hi)| hi - lo).collect();
+        let expect: Vec<usize> = len.iter().map(|&l| l.max(0) as usize).collect();
+        if piece.shape().dims() != expect.as_slice() {
+            return Err(RuntimeError::Internal(format!(
+                "gather_shards: worker {w} shard of {t:?} is {} but region wants {expect:?}",
+                piece.shape()
+            )));
+        }
+        let zeros = vec![0i64; region.len()];
+        let lo: Vec<i64> = region.iter().map(|&(lo, _)| lo).collect();
+        // Replicated workers hold bit-identical copies, so overlapping
+        // writes are idempotent.
+        copy_block(&mut full, piece, &zeros, &lo, &len);
+    }
+    Ok(full)
+}
+
+/// Slices a full original-tensor value into per-worker shard values for
+/// `sharded`'s plan (the block-copy dual of [`gather_shards`]).
+pub fn scatter_full(
+    sharded: &ShardedGraph,
+    t: TensorId,
+    full: &Tensor,
+) -> Result<Vec<(TensorId, Tensor)>> {
+    let regions = sharded
+        .regions
+        .get(&t)
+        .ok_or_else(|| RuntimeError::Internal(format!("scatter_full: unknown tensor {t:?}")))?;
+    let shards = sharded
+        .shards
+        .get(&t)
+        .ok_or_else(|| RuntimeError::Internal(format!("scatter_full: {t:?} has no shards")))?;
+    let mut out = Vec::with_capacity(regions.len());
+    for (w, region) in regions.iter().enumerate() {
+        let len: Vec<i64> = region.iter().map(|&(lo, hi)| hi - lo).collect();
+        let dims: Vec<usize> = len.iter().map(|&l| l.max(0) as usize).collect();
+        let lo: Vec<i64> = region.iter().map(|&(lo, _)| lo).collect();
+        let zeros = vec![0i64; region.len()];
+        let mut piece = Tensor::zeros(Shape::new(dims));
+        copy_block(&mut piece, full, &lo, &zeros, &len);
+        out.push((shards[w], piece));
+    }
+    Ok(out)
+}
+
+/// Cuts a [`FullSnapshot`] out of one plan's per-worker checkpoint values:
+/// every original tensor whose shards are all present (exactly the leaves
+/// plus the outputs of original nodes before the barrier, when the barrier
+/// is origin-aligned) is reassembled at full shape.
+pub(crate) fn assemble_snapshot(
+    sharded: &ShardedGraph,
+    point: &ResumePoint,
+    every: usize,
+) -> Result<FullSnapshot> {
+    // One merged view over all workers' snapshots; shard ids are disjoint
+    // across workers except for values each worker holds of its own shards.
+    let mut merged: BTreeMap<TensorId, Tensor> = BTreeMap::new();
+    for per_worker in &point.values {
+        for (t, v) in per_worker {
+            merged.entry(*t).or_insert_with(|| v.clone());
+        }
+    }
+    let mut tensors = BTreeMap::new();
+    for (&t, shards) in &sharded.shards {
+        if shards.iter().all(|s| merged.contains_key(s)) {
+            tensors.insert(t, gather_shards(sharded, t, &merged)?);
+        }
+    }
+    Ok(FullSnapshot { ckpt: point.ckpt, every, tensors })
+}
+
+/// Slices a [`FullSnapshot`] into a resume point for `sharded` (possibly a
+/// different plan / worker count than the snapshot came from). The snapshot's
+/// checkpoint id addresses the same original-graph barrier under any plan, so
+/// the new plan's cuts for that id are the equivalent resume positions.
+pub(crate) fn scatter_snapshot(
+    snap: &FullSnapshot,
+    sharded: &ShardedGraph,
+) -> Result<ResumePoint> {
+    let cuts = checkpoint_cuts(sharded, CheckpointPolicy::every_original(snap.every));
+    let cut = cuts.get(snap.ckpt - 1).ok_or_else(|| {
+        RuntimeError::Internal(format!(
+            "snapshot checkpoint {} has no barrier in the new plan ({} cuts)",
+            snap.ckpt,
+            cuts.len()
+        ))
+    })?;
+    let mut values: Vec<BTreeMap<TensorId, Tensor>> = vec![BTreeMap::new(); sharded.workers];
+    for (&t, full) in &snap.tensors {
+        for (w, (shard, piece)) in scatter_full(sharded, t, full)?.into_iter().enumerate() {
+            values[w].insert(shard, piece);
+        }
+    }
+    Ok(ResumePoint { ckpt: snap.ckpt, cuts: cut.clone(), values })
+}
+
+/// Runs `sharded` resuming from a plan-independent snapshot: the snapshot is
+/// resharded onto `sharded`'s layout and execution starts at the barrier.
+/// This is both the resume path of elastic recovery and the way to construct
+/// its bit-identity baseline — an undisturbed run at the surviving width
+/// resumed from the equivalent checkpoint cut.
+///
+/// `feeds` is ignored when the snapshot covers the leaves (it always does
+/// for snapshots assembled from a consistent checkpoint) and exists so call
+/// sites read like [`run_with_options`](crate::run_with_options).
+pub fn resume_from_snapshot(
+    sharded: &ShardedGraph,
+    feeds: &[(TensorId, Tensor)],
+    opts: &RunOptions,
+    snap: &FullSnapshot,
+) -> Result<RunOutput> {
+    crate::validate(sharded, opts)?;
+    let _ = feeds;
+    let faults = FaultState::new(&opts.faults);
+    let store = Mutex::new(CheckpointStore::default());
+    let point = scatter_snapshot(snap, sharded)?;
+    let device_map: Vec<usize> = (0..sharded.workers).collect();
+    crate::run_attempt(sharded, &[], opts, &faults, &store, Some(&point), &device_map)
+}

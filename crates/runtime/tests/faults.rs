@@ -87,7 +87,7 @@ fn kill_matrix_aborts_fast_and_recovers_bit_identically() {
         for pos in [0, len / 2, len - 1] {
             let opts = RunOptions {
                 faults: FaultPlan::single(Fault::Kill { worker: w, pos }),
-                checkpoint: Some(CheckpointPolicy { every }),
+                checkpoint: Some(CheckpointPolicy::every(every)),
                 ..Default::default()
             };
             let start = Instant::now();
@@ -122,7 +122,7 @@ fn kill_matrix_aborts_fast_and_recovers_bit_identically() {
                 &sharded,
                 &shard_feeds,
                 &opts,
-                &RecoveryOptions { max_attempts: 3, backoff: Duration::from_millis(1) },
+                &RecoveryOptions { max_attempts: 3, backoff: Duration::from_millis(1), ..Default::default() },
             )
             .unwrap_or_else(|e| panic!("kill w{w}@{pos}: recovery failed: {e}"));
             assert_eq!(report.attempts, 2, "kill w{w}@{pos}: one failure, one retry");
@@ -143,7 +143,7 @@ fn late_kill_resumes_from_checkpoint() {
     let last = sharded.worker_schedule(0).len() - 1;
     let opts = RunOptions {
         faults: FaultPlan::single(Fault::Kill { worker: 0, pos: last }),
-        checkpoint: Some(CheckpointPolicy { every: 1 }),
+        checkpoint: Some(CheckpointPolicy::every(1)),
         ..Default::default()
     };
     let report = run_with_recovery(&sharded, &shard_feeds, &opts, &RecoveryOptions::default())
@@ -332,7 +332,7 @@ fn invalid_options_fail_before_spawning() {
     let cases: Vec<RunOptions> = vec![
         RunOptions { recv_timeout: Duration::ZERO, ..Default::default() },
         RunOptions { abort_poll: Duration::ZERO, ..Default::default() },
-        RunOptions { checkpoint: Some(CheckpointPolicy { every: 0 }), ..Default::default() },
+        RunOptions { checkpoint: Some(CheckpointPolicy::every(0)), ..Default::default() },
         RunOptions {
             faults: FaultPlan::single(Fault::Kill { worker: 9, pos: 0 }),
             ..Default::default()
@@ -355,8 +355,90 @@ fn invalid_options_fail_before_spawning() {
         &sharded,
         &shard_feeds,
         &RunOptions::default(),
-        &RecoveryOptions { max_attempts: 0, backoff: Duration::ZERO },
+        &RecoveryOptions { max_attempts: 0, backoff: Duration::ZERO, ..Default::default() },
     )
     .unwrap_err();
     assert!(matches!(err, RuntimeError::InvalidOptions(_)), "got {err}");
+}
+
+#[test]
+fn permanent_kill_defeats_fixed_width_retry() {
+    let (sharded, shard_feeds) = shard(4);
+    let every = (sharded.graph.num_nodes() / 4).max(1);
+    let pos = sharded.worker_schedule(1).len() / 2;
+    let opts = RunOptions {
+        faults: FaultPlan::single_permanent(Fault::Kill { worker: 1, pos }),
+        checkpoint: Some(CheckpointPolicy::every(every)),
+        ..Default::default()
+    };
+    // The device is gone for good: every fixed-width attempt re-hits the
+    // fault, and retry alone (no degrade ladder) must exhaust and surface
+    // the same worker in the post-mortem.
+    let err = run_with_recovery(
+        &sharded,
+        &shard_feeds,
+        &opts,
+        &RecoveryOptions { max_attempts: 3, backoff: Duration::ZERO, ..Default::default() },
+    )
+    .unwrap_err();
+    let failure = expect_failed(err);
+    assert_eq!(failure.worker, 1, "post-mortem names the dead device");
+
+    // Sanity contrast: the same fault marked transient fires once, so the
+    // identical retry budget recovers bit-identically.
+    let baseline =
+        run_with_options(&sharded, &shard_feeds, &RunOptions::default()).expect("healthy run");
+    let transient = RunOptions {
+        faults: FaultPlan::single(Fault::Kill { worker: 1, pos }),
+        ..opts.clone()
+    };
+    let report = run_with_recovery(
+        &sharded,
+        &shard_feeds,
+        &transient,
+        &RecoveryOptions { max_attempts: 3, backoff: Duration::ZERO, ..Default::default() },
+    )
+    .expect("transient fault recovers");
+    assert_bit_identical(&report.output.values, &baseline.values);
+    assert_eq!(report.history.len(), 2, "one failed attempt, one success");
+    assert!(report.history[1].ok);
+}
+
+#[test]
+fn poisoned_checkpoint_is_refused_with_a_typed_error() {
+    let (sharded, mut shard_feeds) = shard(2);
+    // Poison one fed weight shard with a NaN; the integrity guard must
+    // refuse to commit the first checkpoint rather than persist it.
+    let victim = shard_feeds
+        .iter_mut()
+        .find(|(t, _)| sharded.graph.tensor(*t).name.contains('w'))
+        .expect("some weight shard");
+    victim.1.data_mut()[0] = f32::NAN;
+    let poisoned_name = sharded.graph.tensor(victim.0).name.clone();
+    let opts = RunOptions {
+        checkpoint: Some(CheckpointPolicy::every(1)),
+        ..Default::default()
+    };
+    let failure =
+        expect_failed(run_with_options(&sharded, &shard_feeds, &opts).unwrap_err());
+    // The poisoned worker ships its NaN leaf shard at startup, so the peer
+    // can hit its own poison guard on a downstream tensor and win the abort
+    // race — either way the first failure must be a typed PoisonedCheckpoint
+    // naming a tensor, and the owner (when blamed) names the fed one.
+    match *failure.cause {
+        RuntimeError::PoisonedCheckpoint { worker, ref tensor, .. } => {
+            assert!(!tensor.is_empty(), "error names the poisoned tensor");
+            if tensor == &poisoned_name {
+                assert_eq!(worker, failure.worker, "blame matches the post-mortem");
+            }
+        }
+        ref other => panic!("expected PoisonedCheckpoint, got {other}"),
+    }
+
+    // With the guard off the same run proceeds (NaN flows through the math);
+    // the guard is the only thing standing between NaN and the store.
+    let mut off = CheckpointPolicy::every(1);
+    off.poison_check = false;
+    let lax = RunOptions { checkpoint: Some(off), ..Default::default() };
+    run_with_options(&sharded, &shard_feeds, &lax).expect("guard off: run completes");
 }

@@ -1,0 +1,76 @@
+//! Property tests for checkpoint resharding: slicing a full tensor into one
+//! plan's shard layout and reassembling it — within a plan or across two
+//! plans with different worker counts (including prime and non-power-of-two
+//! widths) — must be bit-identical and conserve every byte.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use tofu_core::{generate, partition, GenOptions, PartitionOptions, ShardedGraph};
+use tofu_models::{mlp, MlpConfig};
+use tofu_runtime::{gather_shards, scatter_full};
+use tofu_tensor::Tensor;
+
+/// An MLP whose batch (840 = lcm 1..8) is divisible by every tested width,
+/// so a feasible split exists for worker counts 2 through 8 — including the
+/// primes 5 and 7 no power-of-two schedule reaches.
+fn sharded_at(workers: usize) -> (tofu_graph::Graph, ShardedGraph) {
+    let m = mlp(&MlpConfig { batch: 840, dims: vec![16], classes: 8, with_updates: true })
+        .unwrap();
+    let plan = partition(&m.graph, &PartitionOptions { workers, ..Default::default() }).unwrap();
+    let sharded = generate(&m.graph, &plan, &GenOptions::default()).unwrap();
+    (m.graph, sharded)
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// scatter_full → gather_shards round-trips bit-identically under the
+    /// source plan AND through a second plan at a different worker count,
+    /// for every original tensor of the graph, conserving total bytes.
+    #[test]
+    fn reshard_round_trips_across_worker_counts(
+        w_old in 2usize..9,
+        w_new in 2usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        prop_assume!(w_old != w_new);
+        let (g, old) = sharded_at(w_old);
+        let (_, new) = sharded_at(w_new);
+        for (i, (&t, _)) in old.shards.iter().enumerate() {
+            let full_shape = g.tensor(t).shape.clone();
+            let full = Tensor::random(full_shape, seed + i as u64 + 1, 1.0);
+
+            // Within-plan round trip.
+            let mut values = BTreeMap::new();
+            for (shard, piece) in scatter_full(&old, t, &full).unwrap() {
+                values.insert(shard, piece);
+            }
+            let back = gather_shards(&old, t, &values).unwrap();
+            prop_assert_eq!(back.shape(), full.shape(), "tensor {:?} changed shape", t);
+            prop_assert_eq!(
+                back.shape().bytes(),
+                full.shape().bytes(),
+                "tensor {:?} lost bytes", t
+            );
+            prop_assert_eq!(bits(&back), bits(&full), "tensor {:?} not bit-identical", t);
+
+            // Cross-plan: reshard the gathered value onto the other width
+            // and reassemble there.
+            let mut values_new = BTreeMap::new();
+            for (shard, piece) in scatter_full(&new, t, &back).unwrap() {
+                values_new.insert(shard, piece);
+            }
+            let across = gather_shards(&new, t, &values_new).unwrap();
+            prop_assert_eq!(
+                bits(&across),
+                bits(&full),
+                "tensor {:?} corrupted by {} → {} reshard", t, w_old, w_new
+            );
+        }
+    }
+}

@@ -9,6 +9,10 @@ cargo build --release
 # The fault suite must abort runs in milliseconds; a hang here means the
 # fail-fast path regressed, so cap it hard rather than stalling CI.
 timeout 300 cargo test -q -p tofu-runtime --test faults
+# Elastic degraded-mode recovery and checkpoint resharding: permanent device
+# loss must end in success or a typed Unrecoverable — never a hang — so these
+# get the same hard cap.
+timeout 300 cargo test -q -p tofu-runtime --test elastic --test reshard
 # The search-optimality suites (brute-force oracle + differential fuzzing
 # against the reference engine) are exhaustive by design; cap them so a
 # search-space blowup fails CI instead of stalling it.
@@ -17,6 +21,10 @@ cargo test --workspace -q
 # Record the fault-matrix detection latencies and recovery outcomes
 # (exits non-zero unless every injected fault recovers bit-identically).
 cargo run --release -q -p tofu-bench --bin fault_matrix
+# Record the elastic-recovery ladder latencies (exits non-zero unless every
+# degraded run is bit-identical to its surviving-width baseline and warm
+# replans are no slower than cold searches).
+timeout 300 cargo run --release -q -p tofu-bench --bin elastic_recovery
 # Record the search-engine scaling numbers (exits non-zero if the optimized
 # DP's plan cost differs from the reference engine's, or if it stops
 # exploring fewer states on the nontrivial searches).
