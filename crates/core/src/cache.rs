@@ -1,4 +1,4 @@
-//! Memoization shared across DP invocations.
+//! Memoization shared across DP invocations — and across threads.
 //!
 //! Three caches make the search layer fast without changing its answers:
 //!
@@ -16,14 +16,35 @@
 //! byte-for-byte equivalent for the search, so cache hits are provably
 //! answer-preserving. The differential harness in `crates/core/tests`
 //! enforces this against the unoptimized reference search.
+//!
+//! # Concurrency
+//!
+//! [`SearchCaches`] is `Send + Sync`: both maps live behind **sharded
+//! reader-writer locks** (16 shards each, selected by key bits, so readers
+//! of different entries never contend on one lock) and the hit/miss tallies
+//! are atomics. Because every cached value is a pure function of its exact
+//! key, concurrent interleavings can only change *which thread computes an
+//! entry first*, never the entry's value — so results stay bit-identical to
+//! a single-threaded run (the plan-service stress tests assert this).
+//!
+//! The step-plan cache additionally performs **single-flight
+//! deduplication**: when N threads miss the same fingerprint at once,
+//! exactly one (the *leader*) runs the search while the rest block on a
+//! condvar and receive the leader's plan as a hit. A leader that errors or
+//! panics marks the flight failed and wakes the waiters, one of which
+//! becomes the next leader — no flight is ever abandoned in a blocking
+//! state.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use tofu_graph::Graph;
 
 use crate::coarsen::CoarseGraph;
 use crate::dp::{DpOptions, ExtraInputs, StepPlan};
+use crate::recursive::PartitionOptions;
 use crate::strategies::{NodeStrategy, ShapeView};
 
 /// A fast multiply-xor hasher for the DP's integer keys (packed spec
@@ -99,16 +120,139 @@ impl Fnv {
 
 /// Cache hit/miss tallies, exposed for tests and the bench harness (the same
 /// numbers flow into `tofu-obs` totals when a collector is attached).
+///
+/// Reading the tallies never drains them; use the derived-rate accessors
+/// instead of diffing raw counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Strategy-enumeration cache hits.
     pub strategy_hits: u64,
     /// Strategy-enumeration cache misses.
     pub strategy_misses: u64,
-    /// Step-plan cache hits.
+    /// Step-plan cache hits (including single-flight waiters served by a
+    /// leader's finished plan).
     pub plan_hits: u64,
-    /// Step-plan cache misses.
+    /// Step-plan cache misses (one per single-flight leader).
     pub plan_misses: u64,
+}
+
+impl CacheStats {
+    /// Hits / lookups of the strategy cache (`0.0` before any lookup).
+    pub fn strategy_hit_rate(&self) -> f64 {
+        rate(self.strategy_hits, self.strategy_misses)
+    }
+
+    /// Hits / lookups of the step-plan cache (`0.0` before any lookup).
+    pub fn plan_hit_rate(&self) -> f64 {
+        rate(self.plan_hits, self.plan_misses)
+    }
+
+    /// Total lookups across both caches.
+    pub fn lookups(&self) -> u64 {
+        self.strategy_hits + self.strategy_misses + self.plan_hits + self.plan_misses
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// A non-draining point-in-time view of a [`SearchCaches`]: raw tallies plus
+/// the derived rates and entry counts callers previously had to compute by
+/// diffing counters. This is what the plan service's `stats` request
+/// reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheSnapshot {
+    /// The raw hit/miss tallies.
+    pub stats: CacheStats,
+    /// Resident strategy-enumeration entries.
+    pub strategy_entries: usize,
+    /// Resident finished step plans (in-flight computations excluded).
+    pub plan_entries: usize,
+    /// Derived strategy-cache hit rate.
+    pub strategy_hit_rate: f64,
+    /// Derived step-plan-cache hit rate.
+    pub plan_hit_rate: f64,
+}
+
+/// Lock shard count for both maps. A power of two so shard selection is a
+/// mask; 16 shards keep 8–16 worker threads essentially contention-free
+/// while costing a few hundred bytes when idle.
+const SHARDS: usize = 16;
+
+fn shard_of(h: u64) -> usize {
+    (h as usize) & (SHARDS - 1)
+}
+
+fn string_shard(sig: &str) -> usize {
+    let mut h = FastHasher::default();
+    h.write(sig.as_bytes());
+    shard_of(h.finish())
+}
+
+/// State of one in-flight step-plan computation.
+enum FlightState {
+    /// The leader is still searching.
+    Computing,
+    /// The leader finished; waiters take the plan from here.
+    Done(StepPlan),
+    /// The leader errored or panicked; a waiter must retry.
+    Failed,
+}
+
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight { state: Mutex::new(FlightState::Computing), cv: Condvar::new() }
+    }
+}
+
+enum PlanSlot {
+    Ready(StepPlan),
+    Pending(Arc<Flight>),
+}
+
+/// Result of a single-flight step-plan lookup.
+pub(crate) enum PlanLookup {
+    /// The plan was cached (or just produced by another thread's leader).
+    Ready(StepPlan),
+    /// This thread is the leader: it must compute the plan and then call
+    /// [`PlanFlightGuard::fill`] (or let the guard drop to mark failure).
+    Leader,
+}
+
+/// RAII companion of [`PlanLookup::Leader`]: guarantees the flight is
+/// resolved even when the search errors or panics, so waiters never block
+/// on an abandoned computation.
+pub(crate) struct PlanFlightGuard<'a> {
+    caches: &'a SearchCaches,
+    key: u128,
+    armed: bool,
+}
+
+impl PlanFlightGuard<'_> {
+    /// Publishes the finished plan and wakes every waiter.
+    pub(crate) fn fill(mut self, plan: &StepPlan) {
+        self.armed = false;
+        self.caches.plan_fill(self.key, plan);
+    }
+}
+
+impl Drop for PlanFlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.caches.plan_fail(self.key);
+        }
+    }
 }
 
 /// Memoization state threaded through one or more searches.
@@ -116,12 +260,18 @@ pub struct CacheStats {
 /// A fresh instance is created per [`crate::partition`] call; callers that
 /// run many related searches (worker-count sweeps, baseline comparisons)
 /// can share one instance via [`crate::recursive::partition_cached`] to
-/// also reuse plans across calls.
+/// also reuse plans across calls. The type is `Send + Sync`: a long-running
+/// service wraps one instance in an `Arc` and calls
+/// [`crate::recursive::partition_shared`] from many solver threads at once
+/// (see the module docs for the bit-identity argument).
 #[derive(Default)]
 pub struct SearchCaches {
-    strategies: HashMap<String, Vec<NodeStrategy>>,
-    plans: FastMap<u128, StepPlan>,
-    stats: CacheStats,
+    strategies: [RwLock<HashMap<String, Vec<NodeStrategy>>>; SHARDS],
+    plans: [RwLock<FastMap<u128, PlanSlot>>; SHARDS],
+    strategy_hits: AtomicU64,
+    strategy_misses: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
 }
 
 impl SearchCaches {
@@ -130,45 +280,143 @@ impl SearchCaches {
         SearchCaches::default()
     }
 
-    /// Current hit/miss tallies.
+    /// Current hit/miss tallies (non-draining).
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            strategy_hits: self.strategy_hits.load(Ordering::Relaxed),
+            strategy_misses: self.strategy_misses.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A full non-draining snapshot: tallies, derived hit rates and resident
+    /// entry counts.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let stats = self.stats();
+        let strategy_entries =
+            self.strategies.iter().map(|s| s.read().expect("cache lock").len()).sum();
+        let plan_entries = self
+            .plans
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("cache lock")
+                    .values()
+                    .filter(|slot| matches!(slot, PlanSlot::Ready(_)))
+                    .count()
+            })
+            .sum();
+        CacheSnapshot {
+            stats,
+            strategy_entries,
+            plan_entries,
+            strategy_hit_rate: stats.strategy_hit_rate(),
+            plan_hit_rate: stats.plan_hit_rate(),
+        }
     }
 
     /// Looks up enumerated strategies by signature, recording the hit.
-    pub(crate) fn strategies_get(&mut self, sig: &str) -> Option<Vec<NodeStrategy>> {
-        match self.strategies.get(sig) {
+    pub(crate) fn strategies_get(&self, sig: &str) -> Option<Vec<NodeStrategy>> {
+        let shard = &self.strategies[string_shard(sig)];
+        match shard.read().expect("cache lock").get(sig) {
             Some(v) => {
-                self.stats.strategy_hits += 1;
+                self.strategy_hits.fetch_add(1, Ordering::Relaxed);
                 Some(v.clone())
             }
             None => {
-                self.stats.strategy_misses += 1;
+                self.strategy_misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    pub(crate) fn strategies_put(&mut self, sig: String, v: Vec<NodeStrategy>) {
-        self.strategies.insert(sig, v);
+    pub(crate) fn strategies_put(&self, sig: String, v: Vec<NodeStrategy>) {
+        let shard = &self.strategies[string_shard(&sig)];
+        // Two racing misses insert byte-identical values (the enumeration is
+        // a pure function of the signature), so last-write-wins is safe.
+        shard.write().expect("cache lock").insert(sig, v);
     }
 
-    /// Looks up a finished step plan by fingerprint, recording the hit.
-    pub(crate) fn plan_get(&mut self, key: u128) -> Option<StepPlan> {
-        match self.plans.get(&key) {
-            Some(p) => {
-                self.stats.plan_hits += 1;
-                Some(p.clone())
-            }
-            None => {
-                self.stats.plan_misses += 1;
-                None
+    fn plan_shard(&self, key: u128) -> &RwLock<FastMap<u128, PlanSlot>> {
+        &self.plans[shard_of(key as u64 ^ (key >> 64) as u64)]
+    }
+
+    /// Single-flight step-plan lookup: returns the cached plan, blocks until
+    /// a concurrent leader publishes it, or elects the caller leader.
+    pub(crate) fn plan_begin(&self, key: u128) -> PlanLookup {
+        loop {
+            // Fast path: shared read of the shard.
+            let flight = {
+                let map = self.plan_shard(key).read().expect("cache lock");
+                match map.get(&key) {
+                    Some(PlanSlot::Ready(p)) => {
+                        self.plan_hits.fetch_add(1, Ordering::Relaxed);
+                        return PlanLookup::Ready(p.clone());
+                    }
+                    Some(PlanSlot::Pending(f)) => Some(Arc::clone(f)),
+                    None => None,
+                }
+            };
+            match flight {
+                Some(f) => {
+                    // Wait for the leader; a failed flight retries the loop
+                    // (and may elect this thread the next leader).
+                    let mut st = f.state.lock().expect("flight lock");
+                    while matches!(*st, FlightState::Computing) {
+                        st = f.cv.wait(st).expect("flight lock");
+                    }
+                    if let FlightState::Done(p) = &*st {
+                        self.plan_hits.fetch_add(1, Ordering::Relaxed);
+                        return PlanLookup::Ready(p.clone());
+                    }
+                }
+                None => {
+                    let mut map = self.plan_shard(key).write().expect("cache lock");
+                    // Re-check under the write lock: another thread may have
+                    // inserted between our read and write acquisitions.
+                    if map.contains_key(&key) {
+                        continue;
+                    }
+                    map.insert(key, PlanSlot::Pending(Arc::new(Flight::new())));
+                    self.plan_misses.fetch_add(1, Ordering::Relaxed);
+                    return PlanLookup::Leader;
+                }
             }
         }
     }
 
-    pub(crate) fn plan_put(&mut self, key: u128, plan: StepPlan) {
-        self.plans.insert(key, plan);
+    /// Creates the leader guard for a key this thread won via
+    /// [`PlanLookup::Leader`].
+    pub(crate) fn plan_flight_guard(&self, key: u128) -> PlanFlightGuard<'_> {
+        PlanFlightGuard { caches: self, key, armed: true }
+    }
+
+    fn plan_fill(&self, key: u128, plan: &StepPlan) {
+        let old = {
+            let mut map = self.plan_shard(key).write().expect("cache lock");
+            map.insert(key, PlanSlot::Ready(plan.clone()))
+        };
+        if let Some(PlanSlot::Pending(f)) = old {
+            let mut st = f.state.lock().expect("flight lock");
+            *st = FlightState::Done(plan.clone());
+            f.cv.notify_all();
+        }
+    }
+
+    fn plan_fail(&self, key: u128) {
+        let old = {
+            let mut map = self.plan_shard(key).write().expect("cache lock");
+            match map.get(&key) {
+                Some(PlanSlot::Pending(_)) => map.remove(&key),
+                _ => None,
+            }
+        };
+        if let Some(PlanSlot::Pending(f)) = old {
+            let mut st = f.state.lock().expect("flight lock");
+            *st = FlightState::Failed;
+            f.cv.notify_all();
+        }
     }
 }
 
@@ -236,6 +484,65 @@ pub(crate) fn step_fingerprint(
     h.finish()
 }
 
+/// Structural fingerprint of one *whole partition request*: the graph (ops,
+/// canonical attrs, shapes, wiring, coarsening tags — names excluded) plus
+/// every [`PartitionOptions`] field that steers the search. Two requests
+/// share a fingerprint exactly when `partition` would walk an identical
+/// search and return an identical plan, so it is the natural key for a
+/// request-level plan cache (the `tofu-serve` service keys its shared
+/// response cache on this).
+pub fn request_fingerprint(g: &Graph, opts: &PartitionOptions) -> u128 {
+    let mut h = Fnv::new();
+    h.num(opts.workers as u64);
+    h.byte(u8::from(opts.allow_reduce));
+    h.num(opts.state_bound as u64);
+    h.num(opts.internal_bound as u64);
+    h.num(opts.beam as u64);
+    h.num(opts.fetch_buffer_floor);
+    h.byte(u8::from(opts.tuning.reference));
+    h.byte(u8::from(opts.tuning.strategy_cache));
+    h.byte(u8::from(opts.tuning.dominance));
+    h.byte(u8::from(opts.tuning.plan_cache));
+    // Tensor shapes (declared, pre-recursion).
+    h.num(g.num_tensors() as u64);
+    for t in g.tensor_ids() {
+        let dims = g.tensor(t).shape.dims();
+        h.num(dims.len() as u64);
+        for &d in dims {
+            h.num(d as u64);
+        }
+    }
+    // Nodes: op kind, canonical attrs, wiring, and the tags coarsening
+    // reads (§5.1) — forward/backward pairing, RNN timestep coalescing and
+    // layer placement all change the coarsened chain, hence the plan.
+    h.num(g.num_nodes() as u64);
+    for id in g.node_ids() {
+        let n = g.node(id);
+        h.bytes(n.op.as_bytes());
+        h.byte(0);
+        h.bytes(n.attrs.to_string().as_bytes());
+        h.byte(0);
+        h.num(n.inputs.len() as u64);
+        for &t in &n.inputs {
+            h.num(t.0 as u64);
+        }
+        h.num(n.output.0 as u64);
+        h.byte(u8::from(n.tags.is_backward));
+        h.num(n.tags.fw_origin.map_or(u64::MAX, |f| f.0 as u64));
+        h.num(n.tags.layer.map_or(u64::MAX, |l| l as u64));
+        h.num(n.tags.timestep.map_or(u64::MAX, |t| t as u64));
+        match &n.tags.cell_position {
+            Some(cp) => {
+                h.byte(1);
+                h.bytes(cp.as_bytes());
+            }
+            None => h.byte(0),
+        }
+        h.byte(0);
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,5 +573,83 @@ mod tests {
     fn stats_start_zeroed() {
         let c = SearchCaches::new();
         assert_eq!(c.stats(), CacheStats::default());
+        let snap = c.snapshot();
+        assert_eq!(snap.strategy_entries, 0);
+        assert_eq!(snap.plan_entries, 0);
+        assert_eq!(snap.plan_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn hit_rates_derive_from_tallies() {
+        let s = CacheStats { strategy_hits: 3, strategy_misses: 1, plan_hits: 0, plan_misses: 4 };
+        assert!((s.strategy_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.plan_hit_rate(), 0.0);
+        assert_eq!(s.lookups(), 8);
+    }
+
+    #[test]
+    fn single_flight_leader_then_hit() {
+        let c = SearchCaches::new();
+        let plan = StepPlan {
+            ways: 2,
+            tensor_spec: Vec::new(),
+            node_choice: Vec::new(),
+            comm_bytes: 7.0,
+        };
+        match c.plan_begin(42) {
+            PlanLookup::Leader => c.plan_flight_guard(42).fill(&plan),
+            PlanLookup::Ready(_) => panic!("fresh cache cannot hit"),
+        }
+        match c.plan_begin(42) {
+            PlanLookup::Ready(p) => assert_eq!(p.comm_bytes, 7.0),
+            PlanLookup::Leader => panic!("filled key must hit"),
+        }
+        assert_eq!(c.stats().plan_misses, 1);
+        assert_eq!(c.stats().plan_hits, 1);
+        assert_eq!(c.snapshot().plan_entries, 1);
+    }
+
+    #[test]
+    fn failed_flight_elects_a_new_leader() {
+        let c = SearchCaches::new();
+        match c.plan_begin(7) {
+            PlanLookup::Leader => {
+                let guard = c.plan_flight_guard(7);
+                drop(guard); // leader "errored": flight must clear
+            }
+            PlanLookup::Ready(_) => panic!("fresh cache cannot hit"),
+        }
+        // The key is free again: the next lookup becomes leader, not a hit.
+        assert!(matches!(c.plan_begin(7), PlanLookup::Leader));
+        assert_eq!(c.stats().plan_misses, 2);
+    }
+
+    #[test]
+    fn waiters_block_until_leader_fills() {
+        let c = Arc::new(SearchCaches::new());
+        assert!(matches!(c.plan_begin(9), PlanLookup::Leader));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || match c.plan_begin(9) {
+                PlanLookup::Ready(p) => p.comm_bytes,
+                PlanLookup::Leader => panic!("flight in progress: nobody else leads"),
+            }));
+        }
+        // Give the waiters time to park on the flight, then publish.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let plan = StepPlan {
+            ways: 2,
+            tensor_spec: Vec::new(),
+            node_choice: Vec::new(),
+            comm_bytes: 3.0,
+        };
+        c.plan_flight_guard(9).fill(&plan);
+        for h in handles {
+            assert_eq!(h.join().expect("waiter"), 3.0);
+        }
+        let stats = c.stats();
+        assert_eq!(stats.plan_misses, 1, "single flight: one miss for five lookups");
+        assert_eq!(stats.plan_hits, 4);
     }
 }

@@ -318,7 +318,7 @@ fn build_classes(
     extra: &ExtraInputs,
     bundles: &Bundles,
     opts: &DpOptions,
-    mut caches: Option<&mut SearchCaches>,
+    caches: Option<&SearchCaches>,
     obs: Option<&Collector>,
 ) -> Result<Vec<Option<ClassInfo>>> {
     let mut classes: Vec<Option<ClassInfo>> = Vec::with_capacity(cg.class_nodes.len());
@@ -333,7 +333,7 @@ fn build_classes(
             Vec::new()
         } else {
             let out_shape = view.shape(g.node(rep).output).clone();
-            let enumerated = match caches.as_deref_mut().filter(|_| opts.tuning.strategy_cache) {
+            let enumerated = match caches.filter(|_| opts.tuning.strategy_cache) {
                 Some(cache) => {
                     let sig = strategy_signature(g, rep, view);
                     match cache.strategies_get(&sig) {
@@ -431,8 +431,8 @@ pub fn search_with_obs(
     if opts.tuning.reference {
         unoptimized_search(g, view, cg, extra, opts, obs)
     } else {
-        let mut caches = SearchCaches::new();
-        search_with_caches(g, view, cg, extra, opts, &mut caches, obs)
+        let caches = SearchCaches::new();
+        search_with_caches(g, view, cg, extra, opts, &caches, obs)
     }
 }
 
@@ -887,13 +887,18 @@ const DOM_COMPARISONS: usize = 48;
 /// precomputation, dominated-state pruning and (through `caches`) strategy
 /// and step-plan memoization. Returns plans whose total cost is
 /// bit-identical to the reference (enforced by the differential harness).
+///
+/// `caches` is taken by shared reference: [`SearchCaches`] is internally
+/// synchronized, so any number of threads may run searches against one
+/// instance concurrently. Concurrent misses of the same step fingerprint
+/// are single-flighted — one thread searches, the rest wait for its plan.
 pub fn search_with_caches(
     g: &Graph,
     view: &ShapeView,
     cg: &CoarseGraph,
     extra: &ExtraInputs,
     opts: &DpOptions,
-    caches: &mut SearchCaches,
+    caches: &SearchCaches,
     obs: Option<&Collector>,
 ) -> Result<StepPlan> {
     if opts.tuning.reference {
@@ -903,18 +908,26 @@ pub fn search_with_caches(
         return Err(CoreError::BadWorkerCount(opts.ways));
     }
 
-    let plan_key = if opts.tuning.plan_cache {
+    // Single-flight plan-cache lookup: a hit (cached or freshly published by
+    // a concurrent leader) returns immediately; a miss makes this thread the
+    // leader, and the guard resolves the flight on every exit path —
+    // including errors and panics — so waiters never block forever.
+    let flight = if opts.tuning.plan_cache {
         let key = step_fingerprint(g, view, cg, extra, opts);
-        if let Some(plan) = caches.plan_get(key) {
-            if let Some(c) = obs {
-                c.add_total("cache/plan_hit", 1.0);
+        match caches.plan_begin(key) {
+            crate::cache::PlanLookup::Ready(plan) => {
+                if let Some(c) = obs {
+                    c.add_total("cache/plan_hit", 1.0);
+                }
+                return Ok(plan);
             }
-            return Ok(plan);
+            crate::cache::PlanLookup::Leader => {
+                if let Some(c) = obs {
+                    c.add_total("cache/plan_miss", 1.0);
+                }
+                Some(caches.plan_flight_guard(key))
+            }
         }
-        if let Some(c) = obs {
-            c.add_total("cache/plan_miss", 1.0);
-        }
-        Some(key)
     } else {
         None
     };
@@ -1334,8 +1347,8 @@ pub fn search_with_caches(
 
     let plan =
         StepPlan { ways: opts.ways, tensor_spec, node_choice, comm_bytes: total_cost };
-    if let Some(key) = plan_key {
-        caches.plan_put(key, plan.clone());
+    if let Some(f) = flight {
+        f.fill(&plan);
     }
     Ok(plan)
 }
@@ -1632,10 +1645,10 @@ mod tests {
         let view = ShapeView::from_graph(&g);
         let cg = coarsen(&g);
         let extra = ExtraInputs::new();
-        let mut caches = SearchCaches::new();
+        let caches = SearchCaches::new();
         let opts = DpOptions::default();
-        let a = search_with_caches(&g, &view, &cg, &extra, &opts, &mut caches, None).unwrap();
-        let b = search_with_caches(&g, &view, &cg, &extra, &opts, &mut caches, None).unwrap();
+        let a = search_with_caches(&g, &view, &cg, &extra, &opts, &caches, None).unwrap();
+        let b = search_with_caches(&g, &view, &cg, &extra, &opts, &caches, None).unwrap();
         assert_eq!(caches.stats().plan_hits, 1);
         assert_eq!(a.comm_bytes.to_bits(), b.comm_bytes.to_bits());
         assert_eq!(a.tensor_spec, b.tensor_spec);

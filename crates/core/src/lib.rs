@@ -51,13 +51,14 @@ pub mod recursive;
 pub mod spec;
 pub mod strategies;
 
-pub use cache::{CacheStats, SearchCaches};
+pub use cache::{request_fingerprint, CacheSnapshot, CacheStats, SearchCaches};
 pub use coarsen::{coarsen, CoarseGraph};
 pub use dp::{DpOptions, ExtraInputs, NodeChoice, SearchTuning, StepPlan};
 pub use error::CoreError;
 pub use genplan::{fetch_pieces, generate, CommEdge, FetchPiece, GenOptions, Region, ShardedGraph};
 pub use recursive::{
-    factorize, partition, partition_cached, partition_with_obs, PartitionOptions, PartitionPlan,
+    factorize, partition, partition_cached, partition_shared, partition_with_obs,
+    PartitionOptions, PartitionPlan,
 };
 pub use spec::{ConcreteOut, ConcreteReq, TensorSpec};
 pub use strategies::{node_strategies, strategy_signature, NodeStrategy, ShapeView};

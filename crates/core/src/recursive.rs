@@ -182,10 +182,31 @@ pub fn partition(g: &Graph, opts: &PartitionOptions) -> Result<PartitionPlan> {
 /// enumerations and finished step plans are reused *across* calls — e.g. a
 /// worker-count sweep shares every 2-way step fingerprint, and repeated
 /// partitioning of the same model is nearly free.
+///
+/// The `&mut` receiver is kept for single-threaded callers' convenience
+/// (exclusive access needs no synchronization reasoning); it delegates to
+/// [`partition_shared`], which accepts the same caches by shared reference
+/// from any number of threads.
 pub fn partition_cached(
     g: &Graph,
     opts: &PartitionOptions,
     caches: &mut SearchCaches,
+    obs: Option<&Collector>,
+) -> Result<PartitionPlan> {
+    partition_shared(g, opts, caches, obs)
+}
+
+/// [`partition_cached`] over a *shared* [`SearchCaches`]: the caches are
+/// internally synchronized (sharded locks + single-flight plan
+/// deduplication), so a long-running service can call this concurrently
+/// from many solver threads against one `Arc<SearchCaches>`. Results are
+/// bit-identical to a single-threaded [`partition_cached`] run — every
+/// cached value is a pure function of its exact structural key, so thread
+/// interleaving only decides who computes an entry first, never its value.
+pub fn partition_shared(
+    g: &Graph,
+    opts: &PartitionOptions,
+    caches: &SearchCaches,
     obs: Option<&Collector>,
 ) -> Result<PartitionPlan> {
     let started = std::time::Instant::now();
@@ -216,8 +237,8 @@ pub fn partition_with_obs(
         c.add_total("coarsen/groups", cg.groups.len() as f64);
         c.add_total("coarsen/classes", cg.class_nodes.iter().filter(|m| !m.is_empty()).count() as f64);
     }
-    let mut caches = SearchCaches::new();
-    partition_inner(g, &cg, &factors, opts, started, &mut caches, obs)
+    let caches = SearchCaches::new();
+    partition_inner(g, &cg, &factors, opts, started, &caches, obs)
 }
 
 /// Like [`partition`] but with a caller-provided coarsened graph and factor
@@ -242,8 +263,8 @@ pub fn partition_with_coarse_obs(
     started: std::time::Instant,
     obs: Option<&Collector>,
 ) -> Result<PartitionPlan> {
-    let mut caches = SearchCaches::new();
-    partition_inner(g, cg, factors, opts, started, &mut caches, obs)
+    let caches = SearchCaches::new();
+    partition_inner(g, cg, factors, opts, started, &caches, obs)
 }
 
 fn partition_inner(
@@ -252,7 +273,7 @@ fn partition_inner(
     factors: &[usize],
     opts: &PartitionOptions,
     started: std::time::Instant,
-    caches: &mut SearchCaches,
+    caches: &SearchCaches,
     obs: Option<&Collector>,
 ) -> Result<PartitionPlan> {
     let mut view = ShapeView::from_graph(g);

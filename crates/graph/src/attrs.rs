@@ -102,6 +102,18 @@ impl Attrs {
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
+
+    /// Iterates over `(key, value)` pairs in canonical (sorted-key) order —
+    /// the order [`fmt::Display`] renders and serializers must follow.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &AttrValue)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Inserts one attribute value under a key (used by deserializers; the
+    /// `with_*` builders are the ergonomic path).
+    pub fn set(&mut self, key: &str, value: AttrValue) {
+        self.0.insert(key.to_string(), value);
+    }
 }
 
 impl fmt::Display for Attrs {

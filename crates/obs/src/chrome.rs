@@ -8,7 +8,7 @@
 //! sort them so measured and predicted device lanes sit next to each other.
 
 use crate::json::Json;
-use crate::{Arg, Event, Phase, PID_CONTROL, PID_RUNTIME_BASE, PID_SEARCH, PID_SIM_BASE};
+use crate::{Arg, Event, Phase, PID_CONTROL, PID_RUNTIME_BASE, PID_SEARCH, PID_SERVE, PID_SIM_BASE};
 use std::collections::BTreeSet;
 
 /// Human-readable process name for a pid under the workspace pid scheme.
@@ -17,6 +17,8 @@ pub fn process_name(pid: u32) -> String {
         "partition search".to_string()
     } else if pid == PID_CONTROL {
         "runtime control".to_string()
+    } else if pid == PID_SERVE {
+        "plan service".to_string()
     } else if pid >= PID_SIM_BASE {
         format!("sim device {} (predicted)", pid - PID_SIM_BASE)
     } else if pid >= PID_RUNTIME_BASE {
@@ -33,6 +35,8 @@ fn process_sort_index(pid: u32) -> u64 {
         0
     } else if pid == PID_CONTROL {
         1
+    } else if pid == PID_SERVE {
+        2
     } else if pid >= PID_SIM_BASE {
         10 + 2 * (pid - PID_SIM_BASE) as u64 + 1
     } else {

@@ -56,6 +56,8 @@ use std::time::Instant;
 pub const PID_SEARCH: u32 = 1;
 /// Process id of the runtime-control track (attempts, aborts, recovery).
 pub const PID_CONTROL: u32 = 2;
+/// Process id of the plan-service track (request spans, queue counters).
+pub const PID_SERVE: u32 = 3;
 /// Base process id of the measured runtime devices (`pid = base + device`).
 pub const PID_RUNTIME_BASE: u32 = 100;
 /// Base process id of the simulated devices (`pid = base + device`).
@@ -94,6 +96,11 @@ impl Track {
     /// The runtime-control lane (run attempts, aborts, recovery).
     pub fn control() -> Track {
         Track { pid: PID_CONTROL, tid: 0 }
+    }
+
+    /// The plan-service lane (per-request spans, admission/queue counters).
+    pub fn serve() -> Track {
+        Track { pid: PID_SERVE, tid: 0 }
     }
 
     /// The device a runtime/sim track belongs to, if any.

@@ -1,0 +1,157 @@
+//! A small synchronous client for the plan service.
+//!
+//! One [`PlanClient`] wraps one TCP connection and issues one request at a
+//! time (send frame, read frame); correlation ids are still checked so a
+//! protocol bug surfaces as an error rather than a mismatched answer.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use tofu_core::recursive::PartitionOptions;
+use tofu_graph::Graph;
+use tofu_obs::json::Json;
+
+use crate::protocol::{
+    encode_partition, read_frame, write_frame, ErrorCode, ProtocolError, Request, Response,
+    DEFAULT_MAX_FRAME,
+};
+
+/// A served plan answer.
+#[derive(Debug, Clone)]
+pub struct ServedPlan {
+    /// True when answered from the server's response cache.
+    pub cached: bool,
+    /// The request fingerprint (hex).
+    pub fingerprint: String,
+    /// The canonical plan JSON (see [`crate::protocol::plan_to_json`]).
+    pub plan: Json,
+}
+
+/// Client-side failure: either a transport/protocol error or a typed
+/// error response from the server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Frame or message-layer failure.
+    Protocol(ProtocolError),
+    /// The server answered with a typed error.
+    Server {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered something unexpected for this request.
+    UnexpectedResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "{e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error [{}]: {message}", code.as_str())
+            }
+            ClientError::UnexpectedResponse(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> ClientError {
+        ClientError::Protocol(e)
+    }
+}
+
+/// A blocking connection to a [`crate::server::PlanServer`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use tofu_core::recursive::PartitionOptions;
+/// use tofu_serve::client::PlanClient;
+/// # let graph = tofu_graph::Graph::new();
+///
+/// let mut client = PlanClient::connect("127.0.0.1:7070").unwrap();
+/// let opts = PartitionOptions { workers: 8, ..Default::default() };
+/// let plan = client.partition("tenant-a", &graph, &opts, None).unwrap();
+/// println!("cached: {} fp: {}", plan.cached, plan.fingerprint);
+/// ```
+pub struct PlanClient {
+    stream: TcpStream,
+    max_frame: usize,
+    next_id: u64,
+}
+
+impl PlanClient {
+    /// Connects to a plan server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<PlanClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(PlanClient { stream, max_frame: DEFAULT_MAX_FRAME, next_id: 1 })
+    }
+
+    /// The underlying stream (tests use this to inject raw frames).
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.round_trip_bytes(&req.to_bytes())
+    }
+
+    fn round_trip_bytes(&mut self, payload: &[u8]) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, payload)?;
+        let payload = read_frame(&mut self.stream, self.max_frame)?
+            .ok_or(ProtocolError::Truncated { want: 0 })?;
+        Ok(Response::from_bytes(&payload)?)
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Requests a partition plan. `deadline_ms` is a relative deadline the
+    /// server enforces; expired requests come back as
+    /// [`ErrorCode::DeadlineMissed`].
+    pub fn partition(
+        &mut self,
+        tenant: &str,
+        graph: &Graph,
+        options: &PartitionOptions,
+        deadline_ms: Option<u64>,
+    ) -> Result<ServedPlan, ClientError> {
+        let id = self.fresh_id();
+        // Encode from borrowed parts: no Graph clone per request.
+        let payload = encode_partition(id, tenant, graph, options, deadline_ms);
+        match self.round_trip_bytes(&payload)? {
+            Response::Plan { id: rid, cached, fingerprint, plan } if rid == id => {
+                Ok(ServedPlan { cached, fingerprint, plan })
+            }
+            Response::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the server's statistics document.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        let id = self.fresh_id();
+        match self.round_trip(&Request::Stats { id })? {
+            Response::Stats { id: rid, body } if rid == id => Ok(body),
+            Response::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Liveness probe; errors if the server does not answer pong.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        match self.round_trip(&Request::Ping { id })? {
+            Response::Pong { id: rid } if rid == id => Ok(()),
+            Response::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,547 @@
+//! The plan server: TCP acceptor, connection handlers and the solver pool.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  clients ──TCP──► acceptor ──► one handler thread per connection
+//!                                  │  parse frame, fingerprint request
+//!                                  │
+//!                     response cache (fingerprint → plan JSON)
+//!                       hit ──► answer immediately (cached=true)
+//!                       in-flight ──► join as waiter (single-flight)
+//!                       miss ──► FairScheduler (per-tenant round-robin,
+//!                                bounded → `overloaded` when full)
+//!                                  │
+//!                          solver pool (N threads)
+//!                        partition_shared(&SearchCaches)
+//!                                  │
+//!                       answer leader + all joined waiters
+//! ```
+//!
+//! Two cache layers cooperate: the serve-level *response cache* maps a whole
+//! request fingerprint ([`tofu_core::request_fingerprint`]) to the finished
+//! plan JSON, while the shared [`SearchCaches`] underneath deduplicates the
+//! per-step DP work *across different requests* (two models sharing layers,
+//! or one model at different worker counts, reuse each other's step plans).
+//!
+//! Every served plan is bit-identical to what a single-threaded
+//! [`tofu_core::partition_cached`] call would produce for the same request:
+//! both cache layers key on exact structural identity and store pure
+//! functions of their keys, so concurrency only reorders who computes an
+//! entry first.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tofu_core::recursive::{partition_shared, PartitionOptions};
+use tofu_core::{request_fingerprint, SearchCaches};
+use tofu_graph::Graph;
+use tofu_obs::json::Json;
+use tofu_obs::{Collector, Track};
+
+use crate::protocol::{
+    encode_plan_response, fingerprint_hex, plan_to_json, read_frame, write_frame, ErrorCode,
+    PartitionRequest, ProtocolError, Request, Response, DEFAULT_MAX_FRAME,
+};
+use crate::scheduler::FairScheduler;
+
+/// Server tuning knobs.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Solver threads computing cache misses (clamped up to 1).
+    pub solver_threads: usize,
+    /// Admission cap: total queued misses before `overloaded` rejections.
+    /// Zero rejects every cold request (hits still serve).
+    pub queue_cap: usize,
+    /// Maximum accepted frame payload in bytes.
+    pub max_frame: usize,
+    /// Optional observability sink: serve counters and per-solve spans land
+    /// here on [`Track::serve`].
+    pub collector: Option<Collector>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            solver_threads: 2,
+            queue_cap: 64,
+            max_frame: DEFAULT_MAX_FRAME,
+            collector: None,
+        }
+    }
+}
+
+/// Monotonic serve-level counters (all `Relaxed`; consistency across fields
+/// is not required for stats reporting).
+#[derive(Default)]
+pub struct ServeCounters {
+    /// Partition requests received (any outcome).
+    pub requests: AtomicU64,
+    /// Answered from the response cache.
+    pub hits: AtomicU64,
+    /// Computed fresh (single-flight leaders).
+    pub misses: AtomicU64,
+    /// Joined an in-flight identical computation.
+    pub joined: AtomicU64,
+    /// Rejected by admission control.
+    pub rejected: AtomicU64,
+    /// Answered `deadline_missed`.
+    pub deadline_missed: AtomicU64,
+    /// Partition search returned an error.
+    pub search_failed: AtomicU64,
+    /// Frames or messages that failed to parse.
+    pub protocol_errors: AtomicU64,
+}
+
+/// A response destination: the connection's shared write half plus the
+/// request's correlation id and deadline.
+struct Waiter {
+    conn: Arc<Mutex<TcpStream>>,
+    id: u64,
+    deadline: Option<Instant>,
+}
+
+/// The finished, immutable answer for one fingerprint. The plan is kept
+/// pre-serialized: answering a hit splices the canonical text into the
+/// response frame instead of cloning a JSON tree.
+struct PlanPayload {
+    fingerprint: String,
+    plan_text: String,
+}
+
+enum PlanEntry {
+    /// Computed; answer hits immediately.
+    Ready(Arc<PlanPayload>),
+    /// A leader is computing; these waiters joined behind it.
+    Pending(Vec<Waiter>),
+}
+
+/// One queued cache miss (the single-flight leader's work order).
+struct Job {
+    fp: u128,
+    graph: Graph,
+    opts: PartitionOptions,
+    leader: Waiter,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    caches: SearchCaches,
+    plans: Mutex<HashMap<u128, PlanEntry>>,
+    sched: FairScheduler<Job>,
+    counters: ServeCounters,
+    stop: AtomicBool,
+    /// try_clone'd handles used solely to shutdown sockets on close.
+    conns: Mutex<Vec<TcpStream>>,
+    started: Instant,
+}
+
+impl Shared {
+    fn bump(&self, counter: &AtomicU64, name: &'static str) {
+        counter.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = &self.cfg.collector {
+            c.add_total(name, 1.0);
+        }
+    }
+}
+
+/// A running plan service bound to a TCP address.
+///
+/// # Examples
+///
+/// ```no_run
+/// use tofu_serve::server::{PlanServer, ServeConfig};
+///
+/// let server = PlanServer::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+/// println!("serving on {}", server.addr());
+/// server.shutdown();
+/// ```
+pub struct PlanServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl PlanServer {
+    /// Binds, spawns the acceptor and solver pool, and returns immediately.
+    /// Use address `"127.0.0.1:0"` for an OS-assigned test port.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> std::io::Result<PlanServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let solver_threads = cfg.solver_threads.max(1);
+        let queue_cap = cfg.queue_cap;
+        let shared = Arc::new(Shared {
+            cfg,
+            caches: SearchCaches::new(),
+            plans: Mutex::new(HashMap::new()),
+            sched: FairScheduler::new(queue_cap),
+            counters: ServeCounters::default(),
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            started: Instant::now(),
+        });
+        let mut handles = Vec::new();
+        for i in 0..solver_threads {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("tofu-solver-{i}"))
+                    .spawn(move || solver_loop(&shared))
+                    .expect("spawn solver"),
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("tofu-accept".to_string())
+                    .spawn(move || accept_loop(&listener, &shared))
+                    .expect("spawn acceptor"),
+            );
+        }
+        Ok(PlanServer { addr: local, shared, handles })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared search caches (exposed so tests and benches can assert
+    /// hit/miss tallies).
+    pub fn caches(&self) -> &SearchCaches {
+        &self.shared.caches
+    }
+
+    /// Serve-level counters.
+    pub fn counters(&self) -> &ServeCounters {
+        &self.shared.counters
+    }
+
+    /// Stops accepting, drains solvers, closes connections, joins threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.sched.close();
+        for conn in self.shared.conns.lock().expect("conns lock").iter() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PlanServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().expect("conns lock").push(clone);
+        }
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("tofu-conn".to_string())
+            .spawn(move || connection_loop(stream, &shared));
+    }
+}
+
+/// Sends a response over a shared write half; write errors mean the peer is
+/// gone and are deliberately ignored (the server must outlive any client).
+fn send(conn: &Arc<Mutex<TcpStream>>, resp: &Response) {
+    send_bytes(conn, &resp.to_bytes());
+}
+
+fn send_bytes(conn: &Arc<Mutex<TcpStream>>, payload: &[u8]) {
+    let mut stream = conn.lock().expect("conn write lock");
+    let _ = write_frame(&mut *stream, payload);
+}
+
+fn send_error(conn: &Arc<Mutex<TcpStream>>, id: u64, code: ErrorCode, message: String) {
+    send(conn, &Response::Error { id, code, message });
+}
+
+/// Best-effort extraction of a request id from a payload that failed full
+/// parsing, so error responses can still be correlated.
+fn extract_id(payload: &[u8]) -> u64 {
+    std::str::from_utf8(payload)
+        .ok()
+        .and_then(|t| tofu_obs::json::parse(t).ok())
+        .and_then(|v| v.get("id").and_then(Json::as_f64))
+        .filter(|f| *f >= 0.0 && f.fract() == 0.0)
+        .map(|f| f as u64)
+        .unwrap_or(0)
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    run_connection(&mut reader, &writer, shared);
+    // The shutdown-registry holds another clone of this socket, so dropping
+    // our handles alone would leave it open and the peer would never see
+    // EOF; send FIN explicitly.
+    let _ = reader.shutdown(Shutdown::Both);
+}
+
+fn run_connection(reader: &mut TcpStream, writer: &Arc<Mutex<TcpStream>>, shared: &Arc<Shared>) {
+    let max = shared.cfg.max_frame;
+    loop {
+        let payload = match read_frame(reader, max) {
+            Ok(Some(p)) => p,
+            // Clean close, or a stream error we cannot answer on.
+            Ok(None) | Err(ProtocolError::Truncated { .. }) | Err(ProtocolError::Io(_)) => return,
+            Err(e @ ProtocolError::Oversized { .. }) => {
+                // The payload was never read, so the stream cannot be
+                // re-synchronized: answer, then close.
+                shared.bump(&shared.counters.protocol_errors, "serve/protocol_errors");
+                send_error(writer, 0, ErrorCode::Oversized, e.to_string());
+                return;
+            }
+            Err(_) => return,
+        };
+        match Request::from_bytes(&payload) {
+            Ok(Request::Ping { id }) => send(writer, &Response::Pong { id }),
+            Ok(Request::Stats { id }) => send(writer, &stats_response(shared, id)),
+            Ok(Request::Partition { id, req }) => {
+                handle_partition(shared, writer, id, *req);
+            }
+            Err(e) => {
+                shared.bump(&shared.counters.protocol_errors, "serve/protocol_errors");
+                let id = extract_id(&payload);
+                let code = match &e {
+                    ProtocolError::UnknownType(_) => ErrorCode::UnknownType,
+                    _ => ErrorCode::BadRequest,
+                };
+                send_error(writer, id, code, e.to_string());
+            }
+        }
+    }
+}
+
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+fn handle_partition(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, id: u64, req: PartitionRequest) {
+    shared.bump(&shared.counters.requests, "serve/requests");
+    let deadline = req.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let fp = request_fingerprint(&req.graph, &req.options);
+
+    let mut plans = shared.plans.lock().expect("plans lock");
+    match plans.get_mut(&fp) {
+        Some(PlanEntry::Ready(payload)) => {
+            let payload = Arc::clone(payload);
+            drop(plans);
+            if expired(deadline) {
+                shared.bump(&shared.counters.deadline_missed, "serve/deadline_missed");
+                send_error(writer, id, ErrorCode::DeadlineMissed, "deadline elapsed".into());
+                return;
+            }
+            shared.bump(&shared.counters.hits, "serve/hits");
+            send_bytes(
+                writer,
+                &encode_plan_response(id, true, &payload.fingerprint, &payload.plan_text),
+            );
+        }
+        Some(PlanEntry::Pending(waiters)) => {
+            shared.bump(&shared.counters.joined, "serve/joined");
+            waiters.push(Waiter { conn: Arc::clone(writer), id, deadline });
+        }
+        None => {
+            plans.insert(fp, PlanEntry::Pending(Vec::new()));
+            let job = Job {
+                fp,
+                graph: req.graph,
+                opts: req.options,
+                leader: Waiter { conn: Arc::clone(writer), id, deadline },
+            };
+            // Lock order note: `plans` is held across `sched.push` (which
+            // only takes the scheduler's own lock and never blocks); solver
+            // threads take the scheduler lock inside `pop` and release it
+            // before touching `plans`, so the order is acyclic.
+            match shared.sched.push(&req.tenant, job) {
+                Ok(()) => {
+                    shared.bump(&shared.counters.misses, "serve/misses");
+                }
+                Err(job) => {
+                    // Not admitted: roll the in-flight entry back. No waiter
+                    // can have joined — the lock was never released.
+                    plans.remove(&fp);
+                    drop(plans);
+                    shared.bump(&shared.counters.rejected, "serve/rejected");
+                    send_error(
+                        &job.leader.conn,
+                        job.leader.id,
+                        ErrorCode::Overloaded,
+                        format!("miss queue at capacity ({})", shared.cfg.queue_cap),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Removes a fingerprint's in-flight entry, returning its joined waiters.
+fn take_waiters(shared: &Shared, fp: u128) -> Vec<Waiter> {
+    match shared.plans.lock().expect("plans lock").remove(&fp) {
+        Some(PlanEntry::Pending(w)) => w,
+        Some(ready @ PlanEntry::Ready(_)) => {
+            // Should not happen (only the solver owning the job fills it);
+            // restore rather than drop cached work.
+            shared.plans.lock().expect("plans lock").insert(fp, ready);
+            Vec::new()
+        }
+        None => Vec::new(),
+    }
+}
+
+fn fail_all(shared: &Shared, leader: &Waiter, waiters: &[Waiter], code: ErrorCode, msg: &str, counter: &AtomicU64, name: &'static str) {
+    for w in std::iter::once(leader).chain(waiters.iter()) {
+        shared.bump(counter, name);
+        send_error(&w.conn, w.id, code, msg.to_string());
+    }
+}
+
+fn solver_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.sched.pop() {
+        if expired(job.leader.deadline) {
+            let waiters = take_waiters(shared, job.fp);
+            fail_all(
+                shared,
+                &job.leader,
+                &waiters,
+                ErrorCode::DeadlineMissed,
+                "deadline elapsed while queued",
+                &shared.counters.deadline_missed,
+                "serve/deadline_missed",
+            );
+            continue;
+        }
+        let start = shared.cfg.collector.as_ref().map(|c| c.now_us());
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            partition_shared(&job.graph, &job.opts, &shared.caches, shared.cfg.collector.as_ref())
+        }));
+        if let (Some(c), Some(s)) = (&shared.cfg.collector, start) {
+            let name = format!(
+                "solve {} ({} workers, {} nodes)",
+                &fingerprint_hex(job.fp)[..8],
+                job.opts.workers,
+                job.graph.num_nodes()
+            );
+            c.complete(Track::serve(), "serve", &name, s, c.now_us());
+        }
+        match result {
+            Ok(Ok(plan)) => {
+                let payload = Arc::new(PlanPayload {
+                    fingerprint: fingerprint_hex(job.fp),
+                    plan_text: plan_to_json(&plan).to_json(),
+                });
+                let waiters = {
+                    let mut plans = shared.plans.lock().expect("plans lock");
+                    match plans.insert(job.fp, PlanEntry::Ready(Arc::clone(&payload))) {
+                        Some(PlanEntry::Pending(w)) => w,
+                        _ => Vec::new(),
+                    }
+                };
+                for w in std::iter::once(&job.leader).chain(waiters.iter()) {
+                    if expired(w.deadline) {
+                        shared.bump(&shared.counters.deadline_missed, "serve/deadline_missed");
+                        send_error(&w.conn, w.id, ErrorCode::DeadlineMissed, "deadline elapsed".into());
+                        continue;
+                    }
+                    send_bytes(
+                        &w.conn,
+                        &encode_plan_response(w.id, false, &payload.fingerprint, &payload.plan_text),
+                    );
+                }
+            }
+            Ok(Err(e)) => {
+                let waiters = take_waiters(shared, job.fp);
+                fail_all(
+                    shared,
+                    &job.leader,
+                    &waiters,
+                    ErrorCode::SearchFailed,
+                    &format!("partition search failed: {e}"),
+                    &shared.counters.search_failed,
+                    "serve/search_failed",
+                );
+            }
+            Err(_) => {
+                let waiters = take_waiters(shared, job.fp);
+                fail_all(
+                    shared,
+                    &job.leader,
+                    &waiters,
+                    ErrorCode::Internal,
+                    "partition search panicked",
+                    &shared.counters.search_failed,
+                    "serve/search_failed",
+                );
+            }
+        }
+    }
+}
+
+fn stats_response(shared: &Shared, id: u64) -> Response {
+    let c = &shared.counters;
+    let load = |a: &AtomicU64| Json::from(a.load(Ordering::Relaxed));
+    let snap = shared.caches.snapshot();
+    let body = Json::obj(vec![
+        ("type", Json::from("stats")),
+        ("id", Json::from(id)),
+        (
+            "serve",
+            Json::obj(vec![
+                ("requests", load(&c.requests)),
+                ("hits", load(&c.hits)),
+                ("misses", load(&c.misses)),
+                ("joined", load(&c.joined)),
+                ("rejected", load(&c.rejected)),
+                ("deadline_missed", load(&c.deadline_missed)),
+                ("search_failed", load(&c.search_failed)),
+                ("protocol_errors", load(&c.protocol_errors)),
+                ("queued", Json::from(shared.sched.queued())),
+                ("uptime_seconds", Json::Num(shared.started.elapsed().as_secs_f64())),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj(vec![
+                ("strategy_hits", Json::from(snap.stats.strategy_hits)),
+                ("strategy_misses", Json::from(snap.stats.strategy_misses)),
+                ("plan_hits", Json::from(snap.stats.plan_hits)),
+                ("plan_misses", Json::from(snap.stats.plan_misses)),
+                ("strategy_entries", Json::from(snap.strategy_entries)),
+                ("plan_entries", Json::from(snap.plan_entries)),
+                ("strategy_hit_rate", Json::Num(snap.strategy_hit_rate)),
+                ("plan_hit_rate", Json::Num(snap.plan_hit_rate)),
+            ]),
+        ),
+    ]);
+    Response::Stats { id, body }
+}

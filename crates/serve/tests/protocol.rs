@@ -1,0 +1,138 @@
+//! Wire-protocol robustness: hostile or broken clients get typed errors and
+//! never take the server down or poison other connections.
+
+use std::io::Write;
+use std::net::TcpStream;
+
+use tofu_serve::client::{ClientError, PlanClient};
+use tofu_serve::protocol::{read_frame, write_frame, ErrorCode, Response};
+use tofu_serve::server::{PlanServer, ServeConfig};
+
+fn small_server() -> PlanServer {
+    PlanServer::bind(
+        "127.0.0.1:0",
+        ServeConfig { solver_threads: 1, queue_cap: 8, max_frame: 64 * 1024, ..Default::default() },
+    )
+    .expect("bind")
+}
+
+fn read_response(stream: &mut TcpStream) -> Response {
+    let payload = read_frame(stream, 1 << 20).expect("read frame").expect("response frame");
+    Response::from_bytes(&payload).expect("parse response")
+}
+
+#[test]
+fn oversized_length_prefix_gets_typed_error_then_close() {
+    let server = small_server();
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    // Advertise a 1 GiB payload; send nothing else.
+    stream.write_all(&(1u32 << 30).to_be_bytes()).expect("write header");
+    match read_response(&mut stream) {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Oversized),
+        other => panic!("expected oversized error, got {other:?}"),
+    }
+    // The connection is closed afterwards (stream cannot be resynced)…
+    assert!(read_frame(&mut stream, 1 << 20).expect("clean close").is_none());
+    // …but the server still serves new connections.
+    PlanClient::connect(server.addr()).expect("reconnect").ping().expect("ping after abuse");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_json_gets_typed_error_and_connection_survives() {
+    let server = small_server();
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    write_frame(&mut stream, b"{this is not json").expect("send garbage");
+    match read_response(&mut stream) {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+    // Same connection still answers ping: frame boundaries were preserved.
+    write_frame(&mut stream, br#"{"type":"ping","id":9}"#).expect("send ping");
+    match read_response(&mut stream) {
+        Response::Pong { id } => assert_eq!(id, 9),
+        other => panic!("expected pong, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn unknown_request_type_echoes_id() {
+    let server = small_server();
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    write_frame(&mut stream, br#"{"type":"frobnicate","id":1234}"#).expect("send");
+    match read_response(&mut stream) {
+        Response::Error { id, code, message } => {
+            assert_eq!(id, 1234, "error must echo the request id");
+            assert_eq!(code, ErrorCode::UnknownType);
+            assert!(message.contains("frobnicate"), "message was {message:?}");
+        }
+        other => panic!("expected unknown_type error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn truncated_frame_does_not_kill_the_server() {
+    let server = small_server();
+    {
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        // Promise 100 bytes, deliver 3, hang up.
+        stream.write_all(&100u32.to_be_bytes()).expect("header");
+        stream.write_all(b"abc").expect("partial payload");
+    } // dropped: connection dies mid-frame
+    PlanClient::connect(server.addr()).expect("reconnect").ping().expect("server survived");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_partition_request_is_bad_request() {
+    let server = small_server();
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    // Structurally valid JSON, but the graph references a tensor that does
+    // not exist yet.
+    let req = br#"{"type":"partition","id":7,"tenant":"t","workers":4,"graph":{"tensors":[{"io":"op","shape":[2,2],"node":{"op":"relu","name":"r","inputs":[5]}}]}}"#;
+    write_frame(&mut stream, req).expect("send");
+    match read_response(&mut stream) {
+        Response::Error { id, code, .. } => {
+            assert_eq!(id, 7);
+            assert_eq!(code, ErrorCode::BadRequest);
+        }
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+    // Zero workers is also structural nonsense.
+    write_frame(
+        &mut stream,
+        br#"{"type":"partition","id":8,"tenant":"t","workers":0,"graph":{"tensors":[]}}"#,
+    )
+    .expect("send");
+    match read_response(&mut stream) {
+        Response::Error { id, code, .. } => {
+            assert_eq!(id, 8);
+            assert_eq!(code, ErrorCode::BadRequest);
+        }
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn client_surfaces_server_errors_typed() {
+    let server = small_server();
+    let mut client = PlanClient::connect(server.addr()).expect("connect");
+    // A graph the registry rejects (matmul of mismatched shapes) travels as
+    // a bad_request all the way into the typed client error.
+    let mut g = tofu_graph::Graph::new();
+    g.add_input("x", tofu_tensor::Shape::new(vec![3, 5]));
+    let opts = tofu_core::recursive::PartitionOptions { workers: 3, ..Default::default() };
+    // 3 workers over a 3×5 input with no ops: the search itself fails
+    // (nothing to partition is fine, but odd shapes may be) — accept either
+    // a served plan or a typed error; what must NOT happen is a transport
+    // error or hang.
+    match client.partition("t", &g, &opts, None) {
+        Ok(_) | Err(ClientError::Server { .. }) => {}
+        Err(other) => panic!("expected typed outcome, got {other}"),
+    }
+    client.ping().expect("connection still healthy");
+    server.shutdown();
+}

@@ -17,6 +17,11 @@ timeout 300 cargo test -q -p tofu-runtime --test elastic --test reshard
 # against the reference engine) are exhaustive by design; cap them so a
 # search-space blowup fails CI instead of stalling it.
 timeout 600 cargo test -q -p tofu-core --test oracle --test differential
+# Shared-cache stress (8 threads hammering one SearchCaches) and the plan
+# service's protocol/e2e suites involve cross-thread blocking; a deadlock
+# must fail CI rather than stall it.
+timeout 300 cargo test -q -p tofu-core --test concurrent_cache
+timeout 300 cargo test -q -p tofu-serve
 cargo test --workspace -q
 # Record the fault-matrix detection latencies and recovery outcomes
 # (exits non-zero unless every injected fault recovers bit-identically).
@@ -29,6 +34,10 @@ timeout 300 cargo run --release -q -p tofu-bench --bin elastic_recovery
 # DP's plan cost differs from the reference engine's, or if it stops
 # exploring fewer states on the nontrivial searches).
 cargo run --release -q -p tofu-bench --bin search_scaling
+# Record plan-service throughput/latency (exits non-zero if any served plan
+# differs byte-for-byte from a local partition_cached run, the warm hit-rate
+# is zero, or the single-flight counters don't add up).
+timeout 300 cargo run --release -q -p tofu-bench --bin plan_serve
 # Emit a unified Chrome trace for a 2-worker MLP; trace_dump re-parses its
 # own output and exits non-zero unless the JSON is valid, non-empty, and has
 # a measured + predicted lane per device (plus the DP-search counters).

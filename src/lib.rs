@@ -13,6 +13,7 @@
 //! | [`sim`] | `tofu-sim` | the 8-GPU discrete-event simulator and training baselines (§7) |
 //! | [`runtime`] | `tofu-runtime` | multi-worker threaded executor for partitioned graphs |
 //! | [`models`] | `tofu-models` | WResNet, multi-layer LSTM, MLP and CNN training graphs |
+//! | [`serve`] | `tofu-serve` | multi-tenant partition-plan service with a shared concurrent plan cache |
 //!
 //! # Quickstart
 //!
@@ -40,6 +41,7 @@ pub use tofu_graph as graph;
 pub use tofu_models as models;
 pub use tofu_obs as obs;
 pub use tofu_runtime as runtime;
+pub use tofu_serve as serve;
 pub use tofu_sim as sim;
 pub use tofu_tdl as tdl;
 pub use tofu_tensor as tensor;
