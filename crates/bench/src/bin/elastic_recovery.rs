@@ -20,7 +20,7 @@ use tofu_graph::TensorId;
 use tofu_models::{mlp, MlpConfig};
 use tofu_runtime::{
     resume_from_snapshot, run_with_elastic_recovery, run_with_options, CheckpointPolicy,
-    DegradePolicy, ElasticReport, Fault, FaultPlan, RecoveryOptions, RunOptions,
+    ElasticPolicy, ElasticReport, Fault, FaultPlan, RecoveryOptions, RunOptions,
 };
 use tofu_tensor::Tensor;
 
@@ -81,7 +81,7 @@ fn main() {
     let recovery = RecoveryOptions {
         max_attempts: 1,
         backoff: Duration::ZERO,
-        degrade: Some(DegradePolicy::default()),
+        elastic: Some(ElasticPolicy::default()),
         ..Default::default()
     };
     // One warm cache across all rows, like a long-lived trainer would hold:

@@ -1,6 +1,6 @@
 //! Memoization shared across DP invocations — and across threads.
 //!
-//! Three caches make the search layer fast without changing its answers:
+//! Four caches make the search layer fast without changing its answers:
 //!
 //! 1. a **strategy-enumeration cache** keyed by (op kind, attrs, shape
 //!    signature) — the thousands of structurally identical nodes in
@@ -10,7 +10,14 @@
 //!    repeated basic step (e.g. the first 2-way cut shared by every
 //!    power-of-two worker count in a sweep) is searched once;
 //! 3. the per-class cost memo inside `dp.rs` (always on; it lives there
-//!    because its keys are frontier-local).
+//!    because its keys are frontier-local);
+//! 4. a **request memo** keyed by [`request_fingerprint`] — a repeat of a
+//!    *whole* partition request skips even coarsening and returns the
+//!    finished plan, and a width the search *proved infeasible*
+//!    ([`crate::CoreError::NoStrategy`] / `BadWorkerCount`) is remembered
+//!    too, so an elastic runtime probing the width ladder never re-proves
+//!    an infeasibility. Transient errors (bounds, internal) are never
+//!    memoized.
 //!
 //! All keys are *exact*: two entries collide only when the DP inputs are
 //! byte-for-byte equivalent for the search, so cache hits are provably
@@ -44,7 +51,8 @@ use tofu_graph::Graph;
 
 use crate::coarsen::CoarseGraph;
 use crate::dp::{DpOptions, ExtraInputs, StepPlan};
-use crate::recursive::PartitionOptions;
+use crate::error::CoreError;
+use crate::recursive::{PartitionOptions, PartitionPlan};
 use crate::strategies::{NodeStrategy, ShapeView};
 
 /// A fast multiply-xor hasher for the DP's integer keys (packed spec
@@ -134,6 +142,12 @@ pub struct CacheStats {
     pub plan_hits: u64,
     /// Step-plan cache misses (one per single-flight leader).
     pub plan_misses: u64,
+    /// Request-memo hits: whole partition requests answered without any
+    /// search — a finished plan or a remembered infeasibility (including
+    /// single-flight waiters served by a leader's outcome).
+    pub request_hits: u64,
+    /// Request-memo misses (one per single-flight leader).
+    pub request_misses: u64,
 }
 
 impl CacheStats {
@@ -147,9 +161,19 @@ impl CacheStats {
         rate(self.plan_hits, self.plan_misses)
     }
 
-    /// Total lookups across both caches.
+    /// Hits / lookups of the request memo (`0.0` before any lookup).
+    pub fn request_hit_rate(&self) -> f64 {
+        rate(self.request_hits, self.request_misses)
+    }
+
+    /// Total lookups across all three tallied caches.
     pub fn lookups(&self) -> u64 {
-        self.strategy_hits + self.strategy_misses + self.plan_hits + self.plan_misses
+        self.strategy_hits
+            + self.strategy_misses
+            + self.plan_hits
+            + self.plan_misses
+            + self.request_hits
+            + self.request_misses
     }
 }
 
@@ -174,10 +198,15 @@ pub struct CacheSnapshot {
     pub strategy_entries: usize,
     /// Resident finished step plans (in-flight computations excluded).
     pub plan_entries: usize,
+    /// Resident request-memo outcomes — finished plans *and* remembered
+    /// infeasibilities (in-flight computations excluded).
+    pub request_entries: usize,
     /// Derived strategy-cache hit rate.
     pub strategy_hit_rate: f64,
     /// Derived step-plan-cache hit rate.
     pub plan_hit_rate: f64,
+    /// Derived request-memo hit rate.
+    pub request_hit_rate: f64,
 }
 
 /// Lock shard count for both maps. A power of two so shard selection is a
@@ -255,6 +284,76 @@ impl Drop for PlanFlightGuard<'_> {
     }
 }
 
+/// Memoized outcome of one whole partition request.
+///
+/// `Infeasible` holds only the *provable* rejections — no strategy for some
+/// node or an unusable worker count — which are pure functions of the
+/// request exactly like a finished plan is. Resource-bound and internal
+/// errors are circumstance-dependent and are never stored.
+#[derive(Clone)]
+pub(crate) enum RequestOutcome {
+    /// The search finished; the plan is served verbatim.
+    Plan(PartitionPlan),
+    /// The search proved the request unsatisfiable.
+    Infeasible(CoreError),
+}
+
+enum RequestFlightState {
+    Computing,
+    Done(RequestOutcome),
+    Failed,
+}
+
+struct RequestFlight {
+    state: Mutex<RequestFlightState>,
+    cv: Condvar,
+}
+
+impl RequestFlight {
+    fn new() -> RequestFlight {
+        RequestFlight { state: Mutex::new(RequestFlightState::Computing), cv: Condvar::new() }
+    }
+}
+
+enum RequestSlot {
+    Ready(RequestOutcome),
+    Pending(Arc<RequestFlight>),
+}
+
+/// Result of a single-flight request-memo lookup.
+pub(crate) enum RequestLookup {
+    /// The outcome was memoized (or just produced by another thread).
+    Ready(RequestOutcome),
+    /// This thread is the leader: it must run the search and resolve the
+    /// flight through its [`RequestFlightGuard`].
+    Leader,
+}
+
+/// RAII companion of [`RequestLookup::Leader`]: a leader that errors or
+/// panics without filling marks the flight failed so waiters retry instead
+/// of blocking forever.
+pub(crate) struct RequestFlightGuard<'a> {
+    caches: &'a SearchCaches,
+    key: u128,
+    armed: bool,
+}
+
+impl RequestFlightGuard<'_> {
+    /// Publishes the outcome and wakes every waiter.
+    pub(crate) fn fill(mut self, outcome: &RequestOutcome) {
+        self.armed = false;
+        self.caches.request_fill(self.key, outcome);
+    }
+}
+
+impl Drop for RequestFlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.caches.request_fail(self.key);
+        }
+    }
+}
+
 /// Memoization state threaded through one or more searches.
 ///
 /// A fresh instance is created per [`crate::partition`] call; callers that
@@ -268,10 +367,13 @@ impl Drop for PlanFlightGuard<'_> {
 pub struct SearchCaches {
     strategies: [RwLock<HashMap<String, Vec<NodeStrategy>>>; SHARDS],
     plans: [RwLock<FastMap<u128, PlanSlot>>; SHARDS],
+    requests: [RwLock<FastMap<u128, RequestSlot>>; SHARDS],
     strategy_hits: AtomicU64,
     strategy_misses: AtomicU64,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
+    request_hits: AtomicU64,
+    request_misses: AtomicU64,
 }
 
 impl SearchCaches {
@@ -287,6 +389,8 @@ impl SearchCaches {
             strategy_misses: self.strategy_misses.load(Ordering::Relaxed),
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            request_hits: self.request_hits.load(Ordering::Relaxed),
+            request_misses: self.request_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -307,12 +411,25 @@ impl SearchCaches {
                     .count()
             })
             .sum();
+        let request_entries = self
+            .requests
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("cache lock")
+                    .values()
+                    .filter(|slot| matches!(slot, RequestSlot::Ready(_)))
+                    .count()
+            })
+            .sum();
         CacheSnapshot {
             stats,
             strategy_entries,
             plan_entries,
+            request_entries,
             strategy_hit_rate: stats.strategy_hit_rate(),
             plan_hit_rate: stats.plan_hit_rate(),
+            request_hit_rate: stats.request_hit_rate(),
         }
     }
 
@@ -415,6 +532,83 @@ impl SearchCaches {
         if let Some(PlanSlot::Pending(f)) = old {
             let mut st = f.state.lock().expect("flight lock");
             *st = FlightState::Failed;
+            f.cv.notify_all();
+        }
+    }
+
+    fn request_shard(&self, key: u128) -> &RwLock<FastMap<u128, RequestSlot>> {
+        &self.requests[shard_of(key as u64 ^ (key >> 64) as u64)]
+    }
+
+    /// Single-flight request-memo lookup: returns the memoized outcome,
+    /// blocks until a concurrent leader publishes one, or elects the caller
+    /// leader.
+    pub(crate) fn request_begin(&self, key: u128) -> RequestLookup {
+        loop {
+            let flight = {
+                let map = self.request_shard(key).read().expect("cache lock");
+                match map.get(&key) {
+                    Some(RequestSlot::Ready(o)) => {
+                        self.request_hits.fetch_add(1, Ordering::Relaxed);
+                        return RequestLookup::Ready(o.clone());
+                    }
+                    Some(RequestSlot::Pending(f)) => Some(Arc::clone(f)),
+                    None => None,
+                }
+            };
+            match flight {
+                Some(f) => {
+                    let mut st = f.state.lock().expect("flight lock");
+                    while matches!(*st, RequestFlightState::Computing) {
+                        st = f.cv.wait(st).expect("flight lock");
+                    }
+                    if let RequestFlightState::Done(o) = &*st {
+                        self.request_hits.fetch_add(1, Ordering::Relaxed);
+                        return RequestLookup::Ready(o.clone());
+                    }
+                }
+                None => {
+                    let mut map = self.request_shard(key).write().expect("cache lock");
+                    if map.contains_key(&key) {
+                        continue;
+                    }
+                    map.insert(key, RequestSlot::Pending(Arc::new(RequestFlight::new())));
+                    self.request_misses.fetch_add(1, Ordering::Relaxed);
+                    return RequestLookup::Leader;
+                }
+            }
+        }
+    }
+
+    /// Creates the leader guard for a key this thread won via
+    /// [`RequestLookup::Leader`].
+    pub(crate) fn request_flight_guard(&self, key: u128) -> RequestFlightGuard<'_> {
+        RequestFlightGuard { caches: self, key, armed: true }
+    }
+
+    fn request_fill(&self, key: u128, outcome: &RequestOutcome) {
+        let old = {
+            let mut map = self.request_shard(key).write().expect("cache lock");
+            map.insert(key, RequestSlot::Ready(outcome.clone()))
+        };
+        if let Some(RequestSlot::Pending(f)) = old {
+            let mut st = f.state.lock().expect("flight lock");
+            *st = RequestFlightState::Done(outcome.clone());
+            f.cv.notify_all();
+        }
+    }
+
+    fn request_fail(&self, key: u128) {
+        let old = {
+            let mut map = self.request_shard(key).write().expect("cache lock");
+            match map.get(&key) {
+                Some(RequestSlot::Pending(_)) => map.remove(&key),
+                _ => None,
+            }
+        };
+        if let Some(RequestSlot::Pending(f)) = old {
+            let mut st = f.state.lock().expect("flight lock");
+            *st = RequestFlightState::Failed;
             f.cv.notify_all();
         }
     }
@@ -581,10 +775,18 @@ mod tests {
 
     #[test]
     fn hit_rates_derive_from_tallies() {
-        let s = CacheStats { strategy_hits: 3, strategy_misses: 1, plan_hits: 0, plan_misses: 4 };
+        let s = CacheStats {
+            strategy_hits: 3,
+            strategy_misses: 1,
+            plan_hits: 0,
+            plan_misses: 4,
+            request_hits: 1,
+            request_misses: 1,
+        };
         assert!((s.strategy_hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(s.plan_hit_rate(), 0.0);
-        assert_eq!(s.lookups(), 8);
+        assert_eq!(s.request_hit_rate(), 0.5);
+        assert_eq!(s.lookups(), 10);
     }
 
     #[test]
@@ -651,5 +853,54 @@ mod tests {
         let stats = c.stats();
         assert_eq!(stats.plan_misses, 1, "single flight: one miss for five lookups");
         assert_eq!(stats.plan_hits, 4);
+    }
+
+    #[test]
+    fn request_memo_remembers_plans_and_infeasibilities() {
+        let c = SearchCaches::new();
+        let plan = PartitionPlan {
+            workers: 2,
+            steps: Vec::new(),
+            tiling: Vec::new(),
+            search_time: std::time::Duration::ZERO,
+        };
+        match c.request_begin(1) {
+            RequestLookup::Leader => {
+                c.request_flight_guard(1).fill(&RequestOutcome::Plan(plan))
+            }
+            RequestLookup::Ready(_) => panic!("fresh memo cannot hit"),
+        }
+        assert!(matches!(
+            c.request_begin(1),
+            RequestLookup::Ready(RequestOutcome::Plan(p)) if p.workers == 2
+        ));
+
+        let err = CoreError::BadWorkerCount(7);
+        match c.request_begin(2) {
+            RequestLookup::Leader => {
+                c.request_flight_guard(2).fill(&RequestOutcome::Infeasible(err))
+            }
+            RequestLookup::Ready(_) => panic!("fresh memo cannot hit"),
+        }
+        assert!(matches!(
+            c.request_begin(2),
+            RequestLookup::Ready(RequestOutcome::Infeasible(CoreError::BadWorkerCount(7)))
+        ));
+
+        let stats = c.stats();
+        assert_eq!((stats.request_hits, stats.request_misses), (2, 2));
+        assert_eq!(c.snapshot().request_entries, 2);
+    }
+
+    #[test]
+    fn failed_request_flight_elects_a_new_leader() {
+        let c = SearchCaches::new();
+        match c.request_begin(5) {
+            RequestLookup::Leader => drop(c.request_flight_guard(5)),
+            RequestLookup::Ready(_) => panic!("fresh memo cannot hit"),
+        }
+        assert!(matches!(c.request_begin(5), RequestLookup::Leader));
+        assert_eq!(c.stats().request_misses, 2);
+        assert_eq!(c.snapshot().request_entries, 0, "a failed flight leaves nothing behind");
     }
 }

@@ -18,7 +18,7 @@ use tofu_graph::{Graph, TensorId};
 use tofu_obs::{Collector, Track};
 use tofu_tensor::Shape;
 
-use crate::cache::SearchCaches;
+use crate::cache::{request_fingerprint, RequestLookup, RequestOutcome, SearchCaches};
 use crate::coarsen::{coarsen, CoarseGraph};
 use crate::dp::{
     search_with_caches, unoptimized_search, DpOptions, ExtraInputs, NodeChoice, SearchTuning,
@@ -196,6 +196,35 @@ pub fn partition_cached(
     partition_shared(g, opts, caches, obs)
 }
 
+/// Pre-populates `caches` with finished plans for every *feasible* worker
+/// count in `widths`, returning the feasible ones in ascending order.
+///
+/// Worker counts the search cannot split — no strategy for some node
+/// ([`CoreError::NoStrategy`]) or an unusable count
+/// ([`CoreError::BadWorkerCount`]) — are skipped, not errors: an elastic
+/// runtime warming the ladder it might shrink or grow through wants the
+/// feasible subset, and wants every later `partition_cached` call at *any*
+/// probed width to be a warm request-memo hit — the infeasible widths are
+/// remembered as rejections. Any other error aborts the warm-up.
+pub fn warm_widths(
+    g: &Graph,
+    base: &PartitionOptions,
+    widths: &[usize],
+    caches: &SearchCaches,
+) -> Result<Vec<usize>> {
+    let mut feasible = Vec::new();
+    for &w in widths {
+        match partition_shared(g, &PartitionOptions { workers: w, ..*base }, caches, None) {
+            Ok(_) => feasible.push(w),
+            Err(CoreError::NoStrategy { .. } | CoreError::BadWorkerCount(_)) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    feasible.sort_unstable();
+    feasible.dedup();
+    Ok(feasible)
+}
+
 /// [`partition_cached`] over a *shared* [`SearchCaches`]: the caches are
 /// internally synchronized (sharded locks + single-flight plan
 /// deduplication), so a long-running service can call this concurrently
@@ -204,6 +233,51 @@ pub fn partition_cached(
 /// cached value is a pure function of its exact structural key, so thread
 /// interleaving only decides who computes an entry first, never its value.
 pub fn partition_shared(
+    g: &Graph,
+    opts: &PartitionOptions,
+    caches: &SearchCaches,
+    obs: Option<&Collector>,
+) -> Result<PartitionPlan> {
+    // Whole-request memo: a repeated request skips even coarsening, and a
+    // width the search already proved infeasible is rejected immediately —
+    // the warm path an elastic runtime's width-ladder probes rely on. The
+    // lookup single-flights concurrent identical requests, and respects the
+    // `plan_cache` tuning switch (reference mode must really search).
+    if !opts.tuning.plan_cache {
+        return partition_uncached(g, opts, caches, obs);
+    }
+    let key = request_fingerprint(g, opts);
+    match caches.request_begin(key) {
+        RequestLookup::Ready(RequestOutcome::Plan(plan)) => {
+            if let Some(c) = obs {
+                c.add_total("cache/request_hit", 1.0);
+            }
+            Ok(plan)
+        }
+        RequestLookup::Ready(RequestOutcome::Infeasible(e)) => {
+            if let Some(c) = obs {
+                c.add_total("cache/request_hit", 1.0);
+            }
+            Err(e)
+        }
+        RequestLookup::Leader => {
+            let guard = caches.request_flight_guard(key);
+            let result = partition_uncached(g, opts, caches, obs);
+            match &result {
+                Ok(plan) => guard.fill(&RequestOutcome::Plan(plan.clone())),
+                Err(e @ (CoreError::NoStrategy { .. } | CoreError::BadWorkerCount(_))) => {
+                    guard.fill(&RequestOutcome::Infeasible(e.clone()))
+                }
+                // Transient / circumstance-dependent failures resolve the
+                // flight without memoizing (the guard's drop wakes waiters).
+                Err(_) => drop(guard),
+            }
+            result
+        }
+    }
+}
+
+fn partition_uncached(
     g: &Graph,
     opts: &PartitionOptions,
     caches: &SearchCaches,
@@ -542,5 +616,29 @@ mod tests {
         let g = mlp(16, &[32, 16]);
         let plan = partition(&g, &PartitionOptions::default()).unwrap();
         assert!(plan.search_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn warm_widths_skips_infeasible_and_fills_the_plan_cache() {
+        // Batch 36 divides by 1/2/3/4/6 but not 5 or 7: warm-up must keep
+        // the feasible subset and skip the rest without erroring.
+        let g = mlp(36, &[72, 36]);
+        let caches = SearchCaches::new();
+        let base = PartitionOptions { workers: 6, ..Default::default() };
+        let feasible = warm_widths(&g, &base, &[7, 6, 5, 4, 3, 2, 1], &caches).unwrap();
+        assert_eq!(feasible, vec![1, 2, 3, 4, 6]);
+        // Every width — feasible plan or proven infeasibility — is now a
+        // warm request-memo hit: no repeat costs a search.
+        let h0 = caches.stats().request_hits;
+        for &w in &feasible {
+            partition_shared(&g, &PartitionOptions { workers: w, ..base }, &caches, None).unwrap();
+        }
+        for w in [5usize, 7] {
+            partition_shared(&g, &PartitionOptions { workers: w, ..base }, &caches, None)
+                .unwrap_err();
+        }
+        let stats = caches.stats();
+        assert_eq!(stats.request_hits, h0 + feasible.len() as u64 + 2);
+        assert_eq!(stats.request_misses, 7, "one leader per probed width, ever");
     }
 }

@@ -7,10 +7,11 @@
 //!    assertion; `scripts/check.sh` runs it under a timeout);
 //! 2. every concurrently produced plan is **bit-identical** to the plan a
 //!    cold single-threaded search produces for the same request;
-//! 3. single-flight exactness: the plan cache records **exactly one miss
-//!    per unique step fingerprint** — concurrent duplicate searches join
-//!    the in-flight leader instead of recomputing — and every other lookup
-//!    is a hit.
+//! 3. single-flight exactness at both levels: the request memo records
+//!    **exactly one miss per unique request** (every duplicate — concurrent
+//!    or later — joins the leader's flight or hits its memoized outcome),
+//!    and within those leaders the step-plan cache records exactly one miss
+//!    per unique step fingerprint.
 
 use std::sync::Arc;
 
@@ -68,8 +69,12 @@ fn shared_cache_is_deadlock_free_exact_and_bit_identical() {
         expected.push(canonical(&plan));
     }
     let baseline = baseline_caches.stats();
-    let lookups_per_pass = baseline.plan_hits + baseline.plan_misses;
     assert!(baseline.plan_misses > 0, "baseline must exercise the plan cache");
+    assert_eq!(
+        baseline.request_misses,
+        mix.len() as u64,
+        "each unique request misses the request memo once"
+    );
 
     // Concurrent pass: 8 threads × 3 rounds over rotated request orders.
     let shared = Arc::new(SearchCaches::new());
@@ -103,29 +108,37 @@ fn shared_cache_is_deadlock_free_exact_and_bit_identical() {
         h.join().expect("stress thread panicked");
     }
 
-    // Single-flight exactness: one miss per unique fingerprint, ever.
+    // Single-flight exactness: one request-memo miss per unique request,
+    // ever — every duplicate call (concurrent or later) is a hit — and,
+    // inside those leaders, one step-plan miss per unique fingerprint.
     let stats = shared.stats();
+    let total_requests = (THREADS * ROUNDS * mix.len()) as u64;
+    assert_eq!(
+        stats.request_misses,
+        mix.len() as u64,
+        "concurrent run must miss the request memo exactly once per unique request"
+    );
+    assert_eq!(
+        stats.request_hits,
+        total_requests - mix.len() as u64,
+        "all non-leader request lookups must be hits"
+    );
     assert_eq!(
         stats.plan_misses, baseline.plan_misses,
-        "concurrent run must miss exactly once per unique step fingerprint"
+        "request leaders must miss exactly once per unique step fingerprint"
     );
-    let total_lookups = lookups_per_pass * (THREADS * ROUNDS) as u64;
     assert_eq!(
         stats.plan_hits + stats.plan_misses,
-        total_lookups,
-        "every step search must consult the plan cache"
-    );
-    assert_eq!(
-        stats.plan_hits,
-        total_lookups - baseline.plan_misses,
-        "all non-leader lookups must be hits"
+        baseline.plan_hits + baseline.plan_misses,
+        "only request leaders consult the step-plan cache"
     );
 
     // The snapshot view agrees with the raw tallies and sees the entries.
     let snap = shared.snapshot();
     assert_eq!(snap.stats, stats);
     assert_eq!(snap.plan_entries as u64, baseline.plan_misses);
-    assert!(snap.plan_hit_rate > 0.9, "warm hit rate was {}", snap.plan_hit_rate);
+    assert_eq!(snap.request_entries, mix.len());
+    assert!(snap.request_hit_rate > 0.9, "warm hit rate was {}", snap.request_hit_rate);
 }
 
 #[test]

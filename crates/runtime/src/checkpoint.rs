@@ -30,7 +30,7 @@ use tofu_core::ShardedGraph;
 use tofu_graph::TensorId;
 use tofu_tensor::Tensor;
 
-use crate::elastic::DegradePolicy;
+use crate::elastic::ElasticPolicy;
 use crate::error::RunFailure;
 use crate::fault::FaultRng;
 use crate::RunOutput;
@@ -92,9 +92,10 @@ pub struct RecoveryOptions {
     /// reproducible run to run.
     pub jitter_seed: u64,
     /// When set, exhausting `max_attempts` shrinks the worker set per this
-    /// policy instead of giving up (elastic recovery). Ignored by plain
+    /// policy instead of giving up, and scripted rejoins grow it back
+    /// (elastic recovery). Ignored by plain
     /// [`run_with_recovery`](crate::run_with_recovery).
-    pub degrade: Option<DegradePolicy>,
+    pub elastic: Option<ElasticPolicy>,
 }
 
 impl Default for RecoveryOptions {
@@ -104,7 +105,7 @@ impl Default for RecoveryOptions {
             backoff: Duration::from_millis(10),
             max_backoff: Duration::from_secs(1),
             jitter_seed: 0,
-            degrade: None,
+            elastic: None,
         }
     }
 }
@@ -174,6 +175,10 @@ pub struct AttemptRecord {
     pub wall: Duration,
     /// Whether the attempt succeeded.
     pub ok: bool,
+    /// Set when the attempt stopped *voluntarily* at this checkpoint barrier
+    /// so the elastic ladder could grow onto a joining device (neither a
+    /// success nor a failure).
+    pub yielded: Option<usize>,
 }
 
 /// What a recovered run hands back: the (verified-resumable) output plus the

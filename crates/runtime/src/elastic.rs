@@ -1,7 +1,8 @@
-//! Elastic degraded-mode recovery: survive permanent device loss by
-//! re-partitioning onto the survivors and resharding checkpoints.
+//! Bidirectional elastic recovery: survive permanent device loss by
+//! re-partitioning onto the survivors, and grow back onto rejoining devices
+//! at a checkpoint barrier — resharding progress across every width change.
 //!
-//! The degradation ladder (DESIGN.md "Elastic recovery"):
+//! The recovery ladder (DESIGN.md "Elastic recovery"):
 //!
 //! 1. **Transient retry.** Each worker count gets `max_attempts` runs,
 //!    resuming from the latest consistent checkpoint with capped,
@@ -15,27 +16,38 @@
 //!    consistent checkpoint is reassembled into a plan-independent
 //!    [`FullSnapshot`] and resharded onto the new plan, and execution
 //!    resumes at the same original-graph barrier on the shrunk worker set.
-//!    A [`DegradePolicy`] bounds the shrinking: minimum surviving workers,
-//!    maximum shrink steps, and a per-device memory budget every new plan's
-//!    static footprint is checked against before the shrink commits.
-//! 3. **Typed surrender.** When the policy forbids further shrinking the
-//!    ladder ends with [`RuntimeError::Unrecoverable`] naming every lost
-//!    device and every width attempted — never a hang.
+//! 3. **Elastic grow.** When the [`ChurnPlan`] announces a (re)joining
+//!    device, the run *yields*: every worker stops cleanly right after
+//!    recording the next checkpoint barrier at or past the join's
+//!    `at_ckpt` plus the policy's `grow_hysteresis`. The pause barrier is
+//!    consistent by construction, so it is harvested into the carried
+//!    snapshot, the device enters the fleet, and the search re-selects the
+//!    widest feasible worker count ≤ the new capacity — resuming bit-exact
+//!    at the grown width.
+//! 4. **Capacity tracking with spares.** Not every device count is a
+//!    feasible width (no tensor dimension may divide by it) and the policy
+//!    may cap width; width selection steps down to the widest worker count
+//!    the search can actually split — surplus devices idle as *spares* and
+//!    are folded back in at the next transition.
+//! 5. **Typed surrender.** When the policy forbids any feasible width the
+//!    ladder ends with [`RuntimeError::Unrecoverable`] naming the whole
+//!    width ladder, every lost device and the terminal cause — never a
+//!    hang.
 //!
-//! Fault worker indices name **physical** devices: survivors keep their
-//! physical identity across shrinks (`devices[logical] = physical`), so a
-//! permanent fault follows its device and vanishes from the topology with
-//! it, while faults on survivors keep firing at any width.
+//! Fault worker indices name **physical** devices: active workers keep
+//! their physical identity across transitions (`devices[logical] =
+//! physical`), so a permanent fault follows its device through shrinks,
+//! spares and rejoins, while faults on survivors keep firing at any width.
 
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use tofu_core::{
-    generate, partition_cached, GenOptions, PartitionOptions, PartitionPlan, SearchCaches,
-    ShardedGraph,
+    generate, partition_cached, CoreError, GenOptions, PartitionOptions, PartitionPlan,
+    SearchCaches, ShardedGraph,
 };
 use tofu_graph::{plan_buffers, Graph, TensorId};
-use tofu_obs::Track;
+use tofu_obs::{Collector, Track};
 use tofu_tensor::Tensor;
 
 use crate::checkpoint::{
@@ -43,28 +55,100 @@ use crate::checkpoint::{
     RecoveryOptions, ResumePoint,
 };
 use crate::error::{RunFailure, RuntimeError};
-use crate::fault::FaultState;
+use crate::fault::{ChurnEvent, FaultState};
 use crate::reshard::{assemble_snapshot, scatter_snapshot, FullSnapshot};
-use crate::{run_attempt, validate, Result, RunOptions, RunOutput};
+use crate::{run_attempt, Attempt, Fault, Result, RunOptions, RunOutput};
 
-/// When and how far elastic recovery may shrink the worker set.
+/// Bounds on how far elastic recovery may reshape the worker set, in both
+/// directions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DegradePolicy {
-    /// Fewest surviving workers the run may degrade to (inclusive; values
+pub struct ElasticPolicy {
+    /// Fewest active workers the run may degrade to (inclusive; values
     /// below 1 mean 1).
     pub min_workers: usize,
+    /// Most active workers a grow may reach (inclusive). Joining devices
+    /// beyond the cap are kept as spares.
+    pub max_workers: usize,
     /// Maximum number of shrink events (device removals).
     pub max_shrink_steps: usize,
+    /// Maximum number of grow events (width increases). Joins past the cap
+    /// are absorbed as spares.
+    pub max_grow_steps: usize,
+    /// Extra checkpoint barriers to wait past a join's `at_ckpt` before
+    /// pausing the run to grow. Growing costs a yield + reshard + resume;
+    /// hysteresis keeps a flapping device from buying that cost the moment
+    /// it reappears, and — because the effective barrier is
+    /// `clamp(at_ckpt + hysteresis, next-barrier ..= last-barrier)` —
+    /// the grow point stays deterministic for a given plan.
+    pub grow_hysteresis: usize,
     /// Per-device byte budget every candidate plan's static footprint
     /// (buffer-plan peak + persistent shards, the bytes the pools will
-    /// actually hold) is checked against before a shrink commits.
+    /// actually hold) is checked against; over-budget widths are stepped
+    /// past like infeasible ones.
     pub per_device_budget: Option<u64>,
 }
 
-impl Default for DegradePolicy {
+impl Default for ElasticPolicy {
     fn default() -> Self {
-        DegradePolicy { min_workers: 1, max_shrink_steps: usize::MAX, per_device_budget: None }
+        ElasticPolicy {
+            min_workers: 1,
+            max_workers: usize::MAX,
+            max_shrink_steps: usize::MAX,
+            max_grow_steps: usize::MAX,
+            grow_hysteresis: 0,
+            per_device_budget: None,
+        }
     }
+}
+
+/// What kind of fleet transition a ladder step was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionKind {
+    /// A device was lost and the active width stepped down.
+    Shrink,
+    /// A device joined and the active width stepped up.
+    Grow,
+    /// A device joined but the width could not increase (policy cap or no
+    /// wider feasible width): it idles as a spare.
+    SpareJoin,
+    /// A scripted leave hit a device that was not active (a spare): the
+    /// fleet shrank but the running width did not change.
+    SpareLoss,
+}
+
+/// One fleet transition of an elastic run, with its recovery-latency
+/// breakdown: detect (failure observation, shrinks only) → replan
+/// (partition search at the new width, warm or cold) → reshard (snapshot
+/// scatter onto the new plan) → resume (first attempt at the new width).
+#[derive(Debug, Clone)]
+pub struct ElasticTransition {
+    /// What happened.
+    pub kind: TransitionKind,
+    /// Physical device that left or joined.
+    pub device: usize,
+    /// Active width before the transition.
+    pub from_width: usize,
+    /// Active width after it.
+    pub to_width: usize,
+    /// Checkpoint barrier the transition happened at: the yield barrier for
+    /// grows, the carried snapshot's barrier for shrinks (`None` = the new
+    /// width started from scratch).
+    pub at_ckpt: Option<usize>,
+    /// Slowest peer abort-detection latency of the triggering failure
+    /// (shrinks only; grows are voluntary).
+    pub detection: Option<Duration>,
+    /// Partition-search time for the new width (includes stepped-past
+    /// infeasible probes, excludes program lowering — lowering costs the
+    /// same warm or cold).
+    pub replan: Option<Duration>,
+    /// Whether the new width's plan came out of the warm plan cache.
+    pub replan_warm: bool,
+    /// Snapshot reshard time onto the new plan.
+    pub reshard: Option<Duration>,
+    /// Bytes of full-tensor snapshot moved by that reshard.
+    pub reshard_bytes: u64,
+    /// Wall-clock of the first attempt at the new width.
+    pub resume_wall: Option<Duration>,
 }
 
 /// What an elastic run hands back: the final output plus the whole ladder's
@@ -79,10 +163,15 @@ pub struct ElasticReport {
     pub sharded: ShardedGraph,
     /// The final partition plan.
     pub plan: PartitionPlan,
-    /// Surviving physical devices, in logical-worker order.
+    /// Active physical devices of the final width, in logical-worker order.
     pub devices: Vec<usize>,
+    /// Fleet members idling as spares at the end (in the fleet but not
+    /// active: policy caps or no feasible width used them).
+    pub spares: Vec<usize>,
     /// Physical devices classified as permanently lost, in loss order.
     pub lost: Vec<usize>,
+    /// Physical devices that (re)joined the fleet, in join order.
+    pub joined: Vec<usize>,
     /// Worker counts attempted, ladder order (full width first).
     pub widths: Vec<usize>,
     /// Total attempts consumed across all widths.
@@ -93,9 +182,12 @@ pub struct ElasticReport {
     pub resumed_from: Vec<Option<usize>>,
     /// Per attempt: worker set, resume point and latency breakdown.
     pub history: Vec<AttemptRecord>,
+    /// Every fleet transition (shrink/grow/spare) with its detect → replan
+    /// → reshard → resume latency split.
+    pub transitions: Vec<ElasticTransition>,
     /// The plan-independent snapshot the final width resumed from, if any —
     /// feed it to [`resume_from_snapshot`](crate::resume_from_snapshot) at
-    /// the surviving width to reproduce the degraded output bit for bit.
+    /// the final width to reproduce the output bit for bit.
     pub snapshot: Option<FullSnapshot>,
 }
 
@@ -112,12 +204,136 @@ fn worst_device_footprint(sharded: &ShardedGraph, buffer_reuse: bool) -> u64 {
         .unwrap_or(0)
 }
 
+/// A committed width choice: the widest feasible worker count ≤ capacity.
+struct Selection {
+    width: usize,
+    plan: PartitionPlan,
+    sharded: ShardedGraph,
+    /// Search time, stepped-past probes included.
+    replan: Duration,
+    /// The selected width's plan was a warm plan-cache hit.
+    warm: bool,
+}
+
+/// Why no width could be selected.
+enum SelectErr {
+    /// A real error (generator failure, search blowup) — propagate as-is.
+    Hard(RuntimeError),
+    /// Every width in the permitted range is infeasible (no strategy) or
+    /// over budget; carries the terminal cause.
+    Infeasible(RuntimeError),
+}
+
+/// Selects the widest feasible worker count ≤ `cap` under `policy`: worker
+/// counts the search cannot split ([`CoreError::NoStrategy`]) or whose
+/// static footprint exceeds the per-device budget are stepped past (width
+/// tracks capacity; surplus devices idle as spares). With no policy the
+/// width is exact — `cap` or error.
+fn select_width(
+    g: &Graph,
+    base: &PartitionOptions,
+    caches: &mut SearchCaches,
+    obs: Option<&Collector>,
+    policy: Option<&ElasticPolicy>,
+    cap: usize,
+    buffer_reuse: bool,
+) -> std::result::Result<Selection, SelectErr> {
+    let (floor, ceil, budget) = match policy {
+        Some(p) => (p.min_workers.max(1), cap.min(p.max_workers.max(1)), p.per_device_budget),
+        None => (cap, cap, None),
+    };
+    let t0 = Instant::now();
+    let obs_t0 = obs.map(|c| c.now_us()).unwrap_or(0.0);
+    let mut terminal: Option<RuntimeError> = None;
+    let mut w = ceil;
+    while w >= floor && w >= 1 {
+        // A replan is *warm* when the request memo answers for the selected
+        // width — a finished plan served without any search. Step-plan hits
+        // below the request level don't count: a first-ever search at this
+        // width shares step fingerprints with other widths and still pays
+        // real search work.
+        let hits_before = caches.stats().request_hits;
+        match partition_cached(g, &PartitionOptions { workers: w, ..*base }, caches, obs) {
+            Ok(plan) => {
+                let warm = caches.stats().request_hits > hits_before;
+                // Replan time is the *search* (including every stepped-past
+                // infeasible probe) — program lowering below costs the same
+                // warm or cold and would drown the cache signal.
+                let replan = t0.elapsed();
+                let sharded = match generate(g, &plan, &GenOptions::default()) {
+                    Ok(s) => s,
+                    Err(e) => return Err(SelectErr::Hard(e.into())),
+                };
+                if let Some(b) = budget {
+                    let worst = worst_device_footprint(&sharded, buffer_reuse);
+                    if worst > b {
+                        if let Some(c) = obs {
+                            c.instant(
+                                Track::control(),
+                                "elastic",
+                                &format!("width {w} over budget ({worst} > {b} bytes/device)"),
+                            );
+                        }
+                        terminal = Some(RuntimeError::Pool {
+                            worker: 0,
+                            detail: format!(
+                                "plan for {w} workers needs {worst} bytes/device, budget is {b}"
+                            ),
+                        });
+                        if w == 1 {
+                            break;
+                        }
+                        w -= 1;
+                        continue;
+                    }
+                }
+                if let Some(c) = obs {
+                    c.complete(
+                        Track::search(),
+                        "search",
+                        &format!("elastic replan ({w} workers)"),
+                        obs_t0,
+                        c.now_us(),
+                    );
+                }
+                return Ok(Selection { width: w, plan, sharded, replan, warm });
+            }
+            Err(e @ (CoreError::NoStrategy { .. } | CoreError::BadWorkerCount(_)))
+                if policy.is_some() =>
+            {
+                if let Some(c) = obs {
+                    c.instant(Track::control(), "elastic", &format!("width {w} infeasible"));
+                }
+                terminal = Some(e.into());
+                if w == 1 {
+                    break;
+                }
+                w -= 1;
+            }
+            Err(e) => return Err(SelectErr::Hard(e.into())),
+        }
+    }
+    Err(SelectErr::Infeasible(terminal.unwrap_or_else(|| {
+        RuntimeError::InvalidOptions(format!(
+            "elastic policy permits no worker count (capacity {cap})"
+        ))
+    })))
+}
+
+/// Inserts `d` into sorted `v` (active devices are always the lowest-id
+/// fleet members, so logical-worker order stays deterministic).
+fn insert_sorted(v: &mut Vec<usize>, d: usize) {
+    let i = v.partition_point(|&x| x < d);
+    v.insert(i, d);
+}
+
 /// [`run_with_recovery`](crate::run_with_recovery) extended with the elastic
 /// ladder: takes the **original** graph and full-tensor feeds (partitioning
 /// and scattering are re-done per width), retries transient failures at the
-/// current width, shrinks past permanent ones per
-/// [`RecoveryOptions::degrade`], and reshards checkpoints across plans so
-/// progress survives the shrink. See the module docs for the ladder.
+/// current width, shrinks past permanent losses, grows onto devices a
+/// [`ChurnPlan`](crate::ChurnPlan) rejoins, and reshards checkpoints across
+/// plans so progress survives every width change. See the module docs for
+/// the ladder.
 pub fn run_with_elastic_recovery(
     g: &Graph,
     feeds: &[(TensorId, Tensor)],
@@ -126,85 +342,127 @@ pub fn run_with_elastic_recovery(
     recovery: &RecoveryOptions,
     caches: &mut SearchCaches,
 ) -> Result<ElasticReport> {
-    let invalid = |m: &str| Err(RuntimeError::InvalidOptions(m.into()));
+    let invalid = |m: String| Err(RuntimeError::InvalidOptions(m));
     if recovery.max_attempts == 0 {
-        return invalid("max_attempts must be at least 1");
+        return invalid("max_attempts must be at least 1".into());
     }
     if part_opts.workers == 0 {
-        return invalid("cannot run on zero workers");
+        return invalid("cannot run on zero workers".into());
+    }
+    if opts.recv_timeout.is_zero() {
+        return invalid("recv_timeout must be positive (a zero timeout stalls instantly)".into());
+    }
+    if opts.abort_poll.is_zero() {
+        return invalid("abort_poll must be positive".into());
     }
     if let Some(cp) = opts.checkpoint {
+        if cp.every == 0 {
+            return invalid("checkpoint interval must be positive".into());
+        }
         if cp.unit != BarrierUnit::OriginalSteps {
             return invalid(
                 "elastic recovery reshards checkpoints across plans; use the plan-independent \
-                 barriers of CheckpointPolicy::every_original",
+                 barriers of CheckpointPolicy::every_original"
+                    .into(),
             );
         }
     }
-    let obs = opts.collector.as_ref();
-    let faults = FaultState::new(&opts.faults);
-    let mut backoff = BackoffSchedule::from_recovery(recovery);
+    // Fault plans address the *initial* fleet's physical ids.
+    for f in &opts.faults.faults {
+        let k = part_opts.workers;
+        match f.fault {
+            Fault::Kill { worker, .. }
+            | Fault::Panic { worker, .. }
+            | Fault::PoolOverBudget { worker, .. } => {
+                if worker >= k {
+                    return invalid(format!("fault targets worker {worker} of {k}"));
+                }
+            }
+            Fault::Message { src, dst, .. } => {
+                if src >= k || dst >= k {
+                    return invalid(format!("message fault targets link {src} -> {dst} of {k}"));
+                }
+                if src == dst {
+                    return invalid(format!("message fault targets self-link {src} -> {dst}"));
+                }
+            }
+        }
+    }
+    if let Err(m) = opts.churn.validate(part_opts.workers) {
+        return invalid(m);
+    }
+    if !opts.churn.is_empty() && recovery.elastic.is_none() {
+        return invalid(
+            "churn plans reshape the fleet; set RecoveryOptions::elastic to an ElasticPolicy"
+                .into(),
+        );
+    }
+    if opts.churn.has_joins() && opts.checkpoint.is_none() {
+        return invalid(
+            "churn joins grow the run at checkpoint barriers; set a \
+             CheckpointPolicy::every_original cadence"
+                .into(),
+        );
+    }
 
-    let mut devices: Vec<usize> = (0..part_opts.workers).collect();
+    let obs = opts.collector.as_ref();
+    let faults = FaultState::with_churn(&opts.faults, &opts.churn);
+    let mut backoff = BackoffSchedule::from_recovery(recovery);
+    let policy = recovery.elastic;
+
+    // The fleet: every present physical device, sorted. The first `width`
+    // are active; the rest idle as spares.
+    let mut available: Vec<usize> = (0..part_opts.workers).collect();
     let mut lost: Vec<usize> = Vec::new();
+    let mut joined: Vec<usize> = Vec::new();
     let mut widths: Vec<usize> = Vec::new();
     let mut failures: Vec<RunFailure> = Vec::new();
     let mut resumed_from: Vec<Option<usize>> = Vec::new();
     let mut history: Vec<AttemptRecord> = Vec::new();
+    let mut transitions: Vec<ElasticTransition> = Vec::new();
     let mut attempts = 0usize;
     let mut carried: Option<FullSnapshot> = None;
     let mut shrinks = 0usize;
+    let mut grows = 0usize;
+    // Index into `transitions` of the width change whose reshard/resume
+    // latencies are still to be measured.
+    let mut open_transition: Option<usize> = None;
 
-    loop {
-        let width = devices.len();
+    let mut selection = match select_width(
+        g,
+        part_opts,
+        caches,
+        obs,
+        policy.as_ref(),
+        part_opts.workers,
+        opts.buffer_reuse,
+    ) {
+        Ok(s) => s,
+        Err(SelectErr::Hard(e)) => return Err(e),
+        Err(SelectErr::Infeasible(cause)) => {
+            return Err(match policy {
+                // With an elastic mandate an unrunnable start is a typed
+                // surrender; without one, surface the raw error.
+                Some(_) => RuntimeError::Unrecoverable { lost, widths, cause: Box::new(cause) },
+                None => cause,
+            });
+        }
+    };
+
+    'ladder: loop {
+        let Selection { width, plan, sharded, replan, warm: _ } = selection;
         widths.push(width);
-
-        // (Re)partition for this width. `partition_cached` serves repeat
-        // widths from the warm plan cache, so replans after the first width
-        // are lookups rather than cold searches.
-        let replan_started = Instant::now();
-        let replan_t0 = obs.map(|c| c.now_us()).unwrap_or(0.0);
-        let plan = partition_cached(
-            g,
-            &PartitionOptions { workers: width, ..*part_opts },
-            caches,
-            obs,
-        )?;
-        let sharded = generate(g, &plan, &GenOptions::default())?;
-        let replan = replan_started.elapsed();
+        let devices: Vec<usize> = available[..width].to_vec();
         if let Some(c) = obs {
-            c.complete(
-                Track::search(),
-                "search",
-                &format!("elastic replan ({width} workers)"),
-                replan_t0,
-                c.now_us(),
-            );
             c.counter(Track::control(), "elastic/surviving_workers", c.now_us(), width as f64);
-            if shrinks > 0 {
+            c.counter(
+                Track::control(),
+                "elastic/spare_devices",
+                c.now_us(),
+                (available.len() - width) as f64,
+            );
+            if shrinks + grows > 0 {
                 c.add_total("elastic/replans", 1.0);
-            }
-        }
-        if width == part_opts.workers {
-            validate(&sharded, opts)?;
-        }
-
-        // Per-device budget gate: refuse to commit to a plan whose static
-        // footprint cannot fit the surviving devices.
-        if let Some(budget) = recovery.degrade.and_then(|d| d.per_device_budget) {
-            let worst = worst_device_footprint(&sharded, opts.buffer_reuse);
-            if worst > budget {
-                let cause = RuntimeError::Pool {
-                    worker: 0,
-                    detail: format!(
-                        "plan for {width} workers needs {worst} bytes/device, budget is {budget}"
-                    ),
-                };
-                return Err(RuntimeError::Unrecoverable {
-                    lost,
-                    widths,
-                    cause: Box::new(cause),
-                });
             }
         }
 
@@ -223,8 +481,7 @@ pub fn run_with_elastic_recovery(
                 let t0 = Instant::now();
                 let obs_t0 = obs.map(|c| c.now_us()).unwrap_or(0.0);
                 let point = scatter_snapshot(snap, &sharded)?;
-                let took = t0.elapsed();
-                reshard_time = Some(took);
+                reshard_time = Some(t0.elapsed());
                 reshard_bytes = snap.bytes();
                 if let Some(c) = obs {
                     c.complete(
@@ -240,6 +497,78 @@ pub fn run_with_elastic_recovery(
             }
             None => None,
         };
+        if let Some(i) = open_transition {
+            transitions[i].reshard = reshard_time;
+            transitions[i].reshard_bytes = reshard_bytes;
+        }
+
+        // Resolve armed churn events that cannot fire mid-run: a leave of a
+        // non-active device happens immediately (no worker runs on it), and
+        // a join the policy caps is absorbed as a spare without a pause.
+        loop {
+            match faults.armed_event() {
+                Some(ChurnEvent::Leave { device, .. }) if !devices.contains(&device) => {
+                    faults.advance_churn();
+                    if let Some(i) = available.iter().position(|&d| d == device) {
+                        available.remove(i);
+                        lost.push(device);
+                        transitions.push(ElasticTransition {
+                            kind: TransitionKind::SpareLoss,
+                            device,
+                            from_width: width,
+                            to_width: width,
+                            at_ckpt: None,
+                            detection: None,
+                            replan: None,
+                            replan_warm: false,
+                            reshard: None,
+                            reshard_bytes: 0,
+                            resume_wall: None,
+                        });
+                        if let Some(c) = obs {
+                            c.instant(
+                                Track::control(),
+                                "churn",
+                                &format!("spare device {device} lost (width stays {width})"),
+                            );
+                        }
+                    }
+                }
+                Some(ChurnEvent::Join { device, .. })
+                    if policy.is_none_or(|p| {
+                        width >= p.max_workers.max(1) || grows >= p.max_grow_steps
+                    }) =>
+                {
+                    faults.advance_churn();
+                    insert_sorted(&mut available, device);
+                    joined.push(device);
+                    transitions.push(ElasticTransition {
+                        kind: TransitionKind::SpareJoin,
+                        device,
+                        from_width: width,
+                        to_width: width,
+                        at_ckpt: None,
+                        detection: None,
+                        replan: None,
+                        replan_warm: false,
+                        reshard: None,
+                        reshard_bytes: 0,
+                        resume_wall: None,
+                    });
+                    if let Some(c) = obs {
+                        c.instant(
+                            Track::control(),
+                            "churn",
+                            &format!("device {device} joined as spare (policy caps width)"),
+                        );
+                        c.add_total("elastic/joins", 1.0);
+                    }
+                }
+                _ => break,
+            }
+        }
+        // A join that may trigger a grow pause during this width's attempts.
+        let grow_pending = faults.pending_join();
 
         let cuts: Vec<Vec<usize>> = match opts.checkpoint {
             Some(cp) => checkpoint_cuts(&sharded, cp),
@@ -263,6 +592,16 @@ pub fn run_with_elastic_recovery(
                 }
             };
             resumed_from.push(resume.as_ref().map(|p| p.ckpt));
+            // Where to pause for a pending join: the first barrier strictly
+            // after the resume point that honors `at_ckpt` plus hysteresis,
+            // clamped into the plan's barrier range. `None` when the resume
+            // point is already past the last barrier — the attempt then
+            // runs to completion and the join stays pending.
+            let yield_at: Option<usize> = grow_pending.and_then(|(_, at)| {
+                let hyst = policy.map(|p| p.grow_hysteresis).unwrap_or(0);
+                let lo = resume.as_ref().map(|p| p.ckpt + 1).unwrap_or(1);
+                (lo <= cuts.len()).then(|| at.saturating_add(hyst).clamp(lo, cuts.len()))
+            });
             if let Some(c) = obs {
                 let what = match &resume {
                     Some(p) => format!(
@@ -274,9 +613,22 @@ pub fn run_with_elastic_recovery(
                 c.instant(Track::control(), "recovery", &what);
             }
             let t0 = Instant::now();
-            let outcome =
-                run_attempt(&sharded, &shard_feeds, opts, &faults, &store, resume.as_ref(), &devices);
+            let outcome = run_attempt(
+                &sharded,
+                &shard_feeds,
+                opts,
+                &faults,
+                &store,
+                resume.as_ref(),
+                &devices,
+                yield_at,
+            );
             let wall = t0.elapsed();
+            if attempt == 1 {
+                if let Some(i) = open_transition.take() {
+                    transitions[i].resume_wall = Some(wall);
+                }
+            }
             let mut record = AttemptRecord {
                 width,
                 devices: devices.clone(),
@@ -287,25 +639,109 @@ pub fn run_with_elastic_recovery(
                 detection: None,
                 wall,
                 ok: false,
+                yielded: None,
             };
             match outcome {
-                Ok(output) => {
+                Ok(Attempt::Done(output)) => {
                     record.ok = true;
                     history.push(record);
                     let snapshot = carried.take();
+                    let spares: Vec<usize> =
+                        available.iter().copied().filter(|d| !devices.contains(d)).collect();
                     return Ok(ElasticReport {
                         output,
                         sharded,
                         plan,
                         devices,
+                        spares,
                         lost,
+                        joined,
                         widths,
                         attempts,
                         failures,
                         resumed_from,
                         history,
+                        transitions,
                         snapshot,
                     });
+                }
+                Ok(Attempt::Yielded { ckpt }) => {
+                    record.yielded = Some(ckpt);
+                    history.push(record);
+                    // The pause barrier is consistent by construction
+                    // (every worker recorded it before stopping): harvest
+                    // it as the carried snapshot and let the device in.
+                    let cp = opts.checkpoint.expect("yield requires a checkpoint policy");
+                    let point = {
+                        let s = store.lock();
+                        s.resume_point(ckpt, width, &cuts)
+                    };
+                    carried = Some(assemble_snapshot(&sharded, &point, cp.every)?);
+                    let (dev, _) = grow_pending.expect("yield only happens for a pending join");
+                    insert_sorted(&mut available, dev);
+                    joined.push(dev);
+                    faults.advance_churn();
+                    // Re-select over the enlarged capacity. The current
+                    // width stays feasible, so selection cannot regress
+                    // below it — but it may not *exceed* it either, in
+                    // which case the device idles as a spare.
+                    let sel = match select_width(
+                        g,
+                        part_opts,
+                        caches,
+                        obs,
+                        policy.as_ref(),
+                        available.len(),
+                        opts.buffer_reuse,
+                    ) {
+                        Ok(s) => s,
+                        Err(SelectErr::Hard(e)) => return Err(e),
+                        Err(SelectErr::Infeasible(cause)) => {
+                            return Err(RuntimeError::Unrecoverable {
+                                lost,
+                                widths,
+                                cause: Box::new(cause),
+                            });
+                        }
+                    };
+                    let kind = if sel.width > width {
+                        grows += 1;
+                        TransitionKind::Grow
+                    } else {
+                        TransitionKind::SpareJoin
+                    };
+                    if let Some(c) = obs {
+                        let what = match kind {
+                            TransitionKind::Grow => format!(
+                                "device {dev} rejoined: grow {width} → {} at checkpoint {ckpt}",
+                                sel.width
+                            ),
+                            _ => format!(
+                                "device {dev} rejoined as spare (no wider feasible width)"
+                            ),
+                        };
+                        c.instant(Track::control(), "churn", &what);
+                        c.add_total("elastic/joins", 1.0);
+                        if kind == TransitionKind::Grow {
+                            c.add_total("elastic/grows", 1.0);
+                        }
+                    }
+                    transitions.push(ElasticTransition {
+                        kind,
+                        device: dev,
+                        from_width: width,
+                        to_width: sel.width,
+                        at_ckpt: Some(ckpt),
+                        detection: None,
+                        replan: Some(sel.replan),
+                        replan_warm: sel.warm,
+                        reshard: None,
+                        reshard_bytes: 0,
+                        resume_wall: None,
+                    });
+                    open_transition = Some(transitions.len() - 1);
+                    selection = sel;
+                    continue 'ladder;
                 }
                 Err(RuntimeError::Failed(f)) => {
                     record.detection = f.max_detection();
@@ -332,23 +768,27 @@ pub fn run_with_elastic_recovery(
         if let Some(c) = obs {
             c.instant(Track::control(), "elastic", &format!("device {victim} lost (permanent)"));
         }
-        let Some(policy) = recovery.degrade else {
+        let Some(pol) = policy else {
             // No elastic mandate: behave like plain recovery and surface the
             // final failure.
             return Err(RuntimeError::Failed(Box::new(f)));
         };
         lost.push(victim);
         shrinks += 1;
-        if width <= 1 || width - 1 < policy.min_workers.max(1) || shrinks > policy.max_shrink_steps
+        // A scripted leave of this device has done its job: retire it so
+        // the next churn event arms.
+        if matches!(faults.armed_event(),
+            Some(ChurnEvent::Leave { device, .. }) if device == victim)
         {
+            faults.advance_churn();
+        }
+        if shrinks > pol.max_shrink_steps {
             return Err(RuntimeError::Unrecoverable {
                 lost,
                 widths,
                 cause: Box::new(RuntimeError::Failed(Box::new(f))),
             });
         }
-        let logical = f.worker;
-        failures.push(f);
 
         // Harvest this width's best consistent checkpoint as the carried
         // plan-independent snapshot before the store (keyed by this plan's
@@ -365,6 +805,49 @@ pub fn run_with_elastic_recovery(
                 }
             }
         }
-        devices.remove(logical);
+        let i = available.iter().position(|&d| d == victim).expect("victim is in the fleet");
+        available.remove(i);
+        let detection = f.max_detection();
+        selection = match select_width(
+            g,
+            part_opts,
+            caches,
+            obs,
+            Some(&pol),
+            available.len(),
+            opts.buffer_reuse,
+        ) {
+            Ok(s) => s,
+            Err(SelectErr::Hard(e)) => return Err(e),
+            Err(SelectErr::Infeasible(term)) => {
+                // A budget breach is more informative than the triggering
+                // failure; a bare floor/feasibility breach is not.
+                let cause = if matches!(term, RuntimeError::Pool { .. }) {
+                    term
+                } else {
+                    RuntimeError::Failed(Box::new(f))
+                };
+                return Err(RuntimeError::Unrecoverable {
+                    lost,
+                    widths,
+                    cause: Box::new(cause),
+                });
+            }
+        };
+        transitions.push(ElasticTransition {
+            kind: TransitionKind::Shrink,
+            device: victim,
+            from_width: width,
+            to_width: selection.width,
+            at_ckpt: carried.as_ref().map(|s| s.ckpt),
+            detection,
+            replan: Some(selection.replan),
+            replan_warm: selection.warm,
+            reshard: None,
+            reshard_bytes: 0,
+            resume_wall: None,
+        });
+        open_transition = Some(transitions.len() - 1);
+        failures.push(f);
     }
 }

@@ -82,7 +82,7 @@ pub enum RuntimeError {
         /// Name of the poisoned tensor.
         tensor: String,
     },
-    /// Elastic recovery exhausted its `DegradePolicy`: every attempted
+    /// Elastic recovery exhausted its `ElasticPolicy`: every attempted
     /// worker count failed and no further shrink is permitted.
     Unrecoverable {
         /// Physical devices classified as permanently lost, in loss order.
@@ -133,11 +133,36 @@ impl fmt::Display for RuntimeError {
                 }
                 write!(f, " contains a non-finite value")
             }
-            RuntimeError::Unrecoverable { lost, widths, cause } => write!(
-                f,
-                "unrecoverable: device(s) {lost:?} permanently lost after attempting \
-                 worker count(s) {widths:?}; last failure: {cause}"
-            ),
+            RuntimeError::Unrecoverable { lost, widths, cause } => {
+                // Render the whole ladder, not just the last attempt:
+                // "unrecoverable after ladder 8 → 7 → 6 (lost devices 3, 5);
+                //  terminal cause: ...".
+                write!(f, "unrecoverable after ladder ")?;
+                if widths.is_empty() {
+                    write!(f, "(no worker count ran)")?;
+                } else {
+                    for (i, w) in widths.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " \u{2192} ")?;
+                        }
+                        write!(f, "{w}")?;
+                    }
+                    write!(f, " worker(s)")?;
+                }
+                if lost.is_empty() {
+                    write!(f, " (no device lost)")?;
+                } else {
+                    write!(f, " (lost device")?;
+                    if lost.len() > 1 {
+                        write!(f, "s")?;
+                    }
+                    for (i, d) in lost.iter().enumerate() {
+                        write!(f, "{} {d}", if i > 0 { "," } else { "" })?;
+                    }
+                    write!(f, ")")?;
+                }
+                write!(f, "; terminal cause: {cause}")
+            }
             RuntimeError::InvalidOptions(m) => write!(f, "invalid run options: {m}"),
             RuntimeError::Failed(failure) => failure.fmt(f),
             RuntimeError::Internal(m) => write!(f, "internal runtime error: {m}"),

@@ -21,8 +21,23 @@
 //! [`FaultRng`] is a small deterministic generator (SplitMix64) for deriving
 //! fault sites from a seed — used by the `fault_matrix` bench and tests to
 //! sweep schedule positions without hand-picking them.
+//!
+//! # Fleet churn
+//!
+//! A [`ChurnPlan`] scripts fleet-*membership* events on top of the fault
+//! plan: a [`ChurnEvent::Leave`] makes a device die permanently at a chosen
+//! schedule position (the trigger for an elastic shrink), and a
+//! [`ChurnEvent::Join`] announces that a device (re)joins and asks the
+//! elastic ladder to grow back onto it at a chosen checkpoint barrier.
+//! Events are processed **strictly in plan order**: exactly one event is
+//! *armed* at a time, a `Leave` behaves like a permanent kill while armed
+//! and is retired when elastic recovery removes the device, and the next
+//! event arms only then. Injection sites are schedule positions and barrier
+//! ids — both deterministic for a given graph — so one seed yields one
+//! replayable fleet history: the same leave/rejoin/leave sequence, the same
+//! widths, the same bit-exact output, every run.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// What to do to one targeted cross-worker message.
@@ -141,6 +156,134 @@ impl FaultPlan {
     }
 }
 
+/// One scripted fleet-membership event. Devices are **physical** ids (the
+/// same namespace fault plans target); schedule positions and checkpoint
+/// ids are deterministic for a given graph, so a plan replays identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// Device `device` leaves the fleet for good: while this event is armed
+    /// it behaves like a permanent kill just before local schedule position
+    /// `pos` (clamped like any step fault), and elastic recovery retires the
+    /// event when it removes the device from the topology.
+    Leave {
+        /// Physical device that leaves.
+        device: usize,
+        /// Local schedule position at which it dies.
+        pos: usize,
+    },
+    /// Device `device` (re)joins the fleet: once armed, the elastic ladder
+    /// yields the run at a checkpoint barrier at or after `at_ckpt` (plus
+    /// the policy's grow hysteresis), reshards onto the enlarged device
+    /// set, and resumes at the grown width.
+    Join {
+        /// Physical device that joins; may be a brand-new id.
+        device: usize,
+        /// Earliest (1-based) checkpoint barrier the grow may happen at.
+        at_ckpt: usize,
+    },
+}
+
+/// An ordered script of fleet-membership events (see the module docs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChurnPlan {
+    /// Events, in the order they must happen.
+    pub events: Vec<ChurnEvent>,
+}
+
+impl ChurnPlan {
+    /// An empty plan (no churn).
+    pub fn none() -> ChurnPlan {
+        ChurnPlan::default()
+    }
+
+    /// Appends a leave event, builder style.
+    pub fn with_leave(mut self, device: usize, pos: usize) -> ChurnPlan {
+        self.events.push(ChurnEvent::Leave { device, pos });
+        self
+    }
+
+    /// Appends a join event, builder style.
+    pub fn with_join(mut self, device: usize, at_ckpt: usize) -> ChurnPlan {
+        self.events.push(ChurnEvent::Join { device, at_ckpt });
+        self
+    }
+
+    /// True when nothing is scripted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// True when any event is a join (joins need plan-independent
+    /// checkpoints to grow at).
+    pub fn has_joins(&self) -> bool {
+        self.events.iter().any(|e| matches!(e, ChurnEvent::Join { .. }))
+    }
+
+    /// A seeded random churn script over an initial fleet of
+    /// `fleet` devices (`0..fleet`): `events` leave/join events whose
+    /// membership is always valid (leaves target present devices and keep at
+    /// least two present; joins bring back absent ones). Equal arguments
+    /// yield the identical plan — the determinism the chaos harness replays.
+    pub fn seeded(seed: u64, events: usize, fleet: usize, max_pos: usize, max_ckpt: usize) -> ChurnPlan {
+        let mut rng = FaultRng::new(seed);
+        let mut present: Vec<bool> = vec![true; fleet];
+        let mut plan = ChurnPlan::none();
+        for _ in 0..events {
+            let here: Vec<usize> = (0..fleet).filter(|&d| present[d]).collect();
+            let gone: Vec<usize> = (0..fleet).filter(|&d| !present[d]).collect();
+            let can_leave = here.len() > 2;
+            let can_join = !gone.is_empty();
+            if !can_leave && !can_join {
+                break;
+            }
+            let leave = can_leave && (!can_join || rng.below(2) == 0);
+            if leave {
+                let d = here[rng.below(here.len() as u64) as usize];
+                present[d] = false;
+                plan = plan.with_leave(d, rng.below(max_pos.max(1) as u64) as usize);
+            } else {
+                let d = gone[rng.below(gone.len() as u64) as usize];
+                present[d] = true;
+                plan = plan.with_join(d, 1 + rng.below(max_ckpt.max(1) as u64) as usize);
+            }
+        }
+        plan
+    }
+
+    /// Checks the script against an initial fleet of `initial_workers`
+    /// devices: every leave must target a present device and every join an
+    /// absent one, in plan order.
+    pub fn validate(&self, initial_workers: usize) -> std::result::Result<(), String> {
+        let mut present: Vec<usize> = (0..initial_workers).collect();
+        for (i, e) in self.events.iter().enumerate() {
+            match *e {
+                ChurnEvent::Leave { device, .. } => {
+                    let Some(at) = present.iter().position(|&d| d == device) else {
+                        return Err(format!(
+                            "churn event {i}: device {device} leaves but is not in the fleet"
+                        ));
+                    };
+                    present.remove(at);
+                }
+                ChurnEvent::Join { device, at_ckpt } => {
+                    if at_ckpt == 0 {
+                        return Err(format!(
+                            "churn event {i}: join checkpoint ids are 1-based; 0 is invalid"
+                        ));
+                    }
+                    if present.contains(&device) {
+                        return Err(format!(
+                            "churn event {i}: device {device} joins but is already in the fleet"
+                        ));
+                    }
+                    present.push(device);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Deterministic SplitMix64 stream for deriving fault sites from a seed.
 #[derive(Debug, Clone)]
 pub struct FaultRng {
@@ -184,13 +327,43 @@ pub(crate) enum StepFault {
 #[derive(Debug)]
 pub(crate) struct FaultState {
     faults: Vec<(InjectedFault, AtomicBool)>,
+    /// Scripted membership events, processed strictly in order: index of
+    /// the currently *armed* event. An armed `Leave` acts as a permanent
+    /// kill of its device; the elastic driver retires it (and arms the next
+    /// event) when the device actually leaves the topology.
+    churn: Vec<ChurnEvent>,
+    armed: AtomicUsize,
 }
 
 impl FaultState {
     pub(crate) fn new(plan: &FaultPlan) -> FaultState {
+        FaultState::with_churn(plan, &ChurnPlan::none())
+    }
+
+    pub(crate) fn with_churn(plan: &FaultPlan, churn: &ChurnPlan) -> FaultState {
         FaultState {
             faults: plan.faults.iter().map(|f| (f.clone(), AtomicBool::new(false))).collect(),
+            churn: churn.events.clone(),
+            armed: AtomicUsize::new(0),
         }
+    }
+
+    /// The currently armed churn event, if the script has any left.
+    pub(crate) fn armed_event(&self) -> Option<ChurnEvent> {
+        self.churn.get(self.armed.load(Ordering::Acquire)).copied()
+    }
+
+    /// `(device, at_ckpt)` when the armed event is a join.
+    pub(crate) fn pending_join(&self) -> Option<(usize, usize)> {
+        match self.armed_event() {
+            Some(ChurnEvent::Join { device, at_ckpt }) => Some((device, at_ckpt)),
+            _ => None,
+        }
+    }
+
+    /// Retires the armed churn event; the next one (if any) arms.
+    pub(crate) fn advance_churn(&self) {
+        self.armed.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Whether fault `i` fires now: permanent faults always do, transient
@@ -228,6 +401,14 @@ impl FaultState {
             };
             if w == worker && p.min(last).max(start) == pos && self.fire(i) {
                 out.push(kind);
+            }
+        }
+        // An armed churn leave is a permanent kill of its device: it
+        // re-fires on every attempt that reaches the site until the elastic
+        // driver removes the device and retires the event.
+        if let Some(ChurnEvent::Leave { device, pos: p }) = self.armed_event() {
+            if device == worker && p.min(last).max(start) == pos {
+                out.push(StepFault::Kill);
             }
         }
         out
@@ -295,6 +476,59 @@ mod tests {
         assert_eq!(st.message_action(1, 2, 1), None);
         assert_eq!(st.message_action(0, 2, 1), Some(MessageFault::Drop));
         assert_eq!(st.message_action(0, 2, 1), None, "message faults are one-shot");
+    }
+
+    #[test]
+    fn churn_events_process_strictly_in_order() {
+        let plan = ChurnPlan::none().with_leave(1, 3).with_join(1, 2).with_leave(2, 5);
+        let st = FaultState::with_churn(&FaultPlan::none(), &plan);
+        // The armed leave re-fires like a permanent kill...
+        assert_eq!(st.step_faults(1, 3, 10, 0), vec![StepFault::Kill]);
+        assert_eq!(st.step_faults(1, 3, 10, 0), vec![StepFault::Kill]);
+        // ...and masks every later event: the join is not pending yet, and
+        // the second leave does not fire.
+        assert_eq!(st.pending_join(), None);
+        assert!(st.step_faults(2, 5, 10, 0).is_empty());
+        st.advance_churn();
+        assert!(st.step_faults(1, 3, 10, 0).is_empty(), "retired leave no longer fires");
+        assert_eq!(st.pending_join(), Some((1, 2)));
+        st.advance_churn();
+        assert_eq!(st.pending_join(), None);
+        assert_eq!(st.step_faults(2, 5, 10, 0), vec![StepFault::Kill], "third event armed");
+        st.advance_churn();
+        assert_eq!(st.armed_event(), None, "script exhausted");
+    }
+
+    #[test]
+    fn churn_leave_clamps_like_step_faults() {
+        let plan = ChurnPlan::none().with_leave(0, 99);
+        let st = FaultState::with_churn(&FaultPlan::none(), &plan);
+        assert!(st.step_faults(0, 4, 5, 0).is_empty());
+        assert_eq!(st.step_faults(0, 5, 5, 0), vec![StepFault::Kill]);
+        // Resumed past the site: fires at the resume position instead.
+        assert_eq!(st.step_faults(0, 7, 5, 7), vec![StepFault::Kill]);
+    }
+
+    #[test]
+    fn seeded_churn_is_deterministic_and_valid() {
+        let a = ChurnPlan::seeded(11, 6, 8, 40, 4);
+        assert_eq!(a, ChurnPlan::seeded(11, 6, 8, 40, 4), "equal seeds yield equal plans");
+        assert_ne!(a, ChurnPlan::seeded(12, 6, 8, 40, 4), "the plan depends on the seed");
+        assert_eq!(a.events.len(), 6);
+        a.validate(8).expect("seeded plans are membership-valid");
+        for seed in 0..32 {
+            ChurnPlan::seeded(seed, 10, 4, 20, 3).validate(4).expect("valid at any seed");
+        }
+    }
+
+    #[test]
+    fn churn_validate_rejects_bad_membership() {
+        assert!(ChurnPlan::none().with_leave(4, 0).validate(4).is_err(), "leave of absent device");
+        assert!(ChurnPlan::none().with_join(1, 2).validate(4).is_err(), "join of present device");
+        assert!(ChurnPlan::none().with_join(4, 0).validate(4).is_err(), "0 is not a checkpoint id");
+        let ok = ChurnPlan::none().with_leave(1, 3).with_join(1, 1).with_join(4, 2);
+        ok.validate(4).expect("leave-then-rejoin plus a new device is valid");
+        assert!(ok.has_joins());
     }
 
     #[test]

@@ -67,6 +67,7 @@ mod reshard;
 mod trace;
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -80,9 +81,14 @@ pub use abort::{AbortCause, AbortToken};
 pub use checkpoint::{
     AttemptRecord, BackoffSchedule, BarrierUnit, CheckpointPolicy, RecoveryOptions, RecoveryReport,
 };
-pub use elastic::{run_with_elastic_recovery, DegradePolicy, ElasticReport};
+pub use elastic::{
+    run_with_elastic_recovery, ElasticPolicy, ElasticReport, ElasticTransition, TransitionKind,
+};
 pub use error::{RunFailure, RuntimeError};
-pub use fault::{Fault, FaultPersistence, FaultPlan, FaultRng, InjectedFault, MessageFault};
+pub use fault::{
+    ChurnEvent, ChurnPlan, Fault, FaultPersistence, FaultPlan, FaultRng, InjectedFault,
+    MessageFault,
+};
 pub use pool::BufferPool;
 pub use reshard::{gather_shards, resume_from_snapshot, scatter_full, FullSnapshot};
 pub use trace::{LinkStat, OpEvent, RunTrace, WorkerTrace};
@@ -108,6 +114,10 @@ pub struct RunOptions {
     pub abort_poll: Duration,
     /// Faults to inject (empty by default).
     pub faults: FaultPlan,
+    /// Scripted fleet-membership events (empty by default). Only
+    /// [`run_with_elastic_recovery`] can honor leaves *and* joins; the plain
+    /// run paths reject a non-empty plan rather than silently ignore it.
+    pub churn: ChurnPlan,
     /// Snapshot cadence for checkpoint-restart (`None` = no snapshots).
     pub checkpoint: Option<CheckpointPolicy>,
     /// Optional per-worker cap on resident pool bytes; exceeding it fails
@@ -129,6 +139,7 @@ impl Default for RunOptions {
             recv_timeout: Duration::from_secs(60),
             abort_poll: Duration::from_millis(5),
             faults: FaultPlan::none(),
+            churn: ChurnPlan::none(),
             checkpoint: None,
             pool_budget: None,
             collector: None,
@@ -174,6 +185,21 @@ struct WorkerOutcome {
     error: Option<RuntimeError>,
     /// Time from the abort token tripping to this worker observing it.
     observed: Option<Duration>,
+    /// The worker stopped voluntarily at the attempt's yield barrier.
+    yielded: bool,
+}
+
+/// How one execution attempt ended (when no failure intervened).
+pub(crate) enum Attempt {
+    /// Ran to completion.
+    Done(RunOutput),
+    /// Every worker stopped cleanly right after recording checkpoint `ckpt`
+    /// — the cooperative pause [`run_with_elastic_recovery`] requests so it
+    /// can grow onto a joining device at a consistent barrier.
+    Yielded {
+        /// The (1-based) checkpoint the attempt paused at.
+        ckpt: usize,
+    },
 }
 
 /// FNV-1a over the payload's f32 bit patterns; cheap and deterministic.
@@ -209,6 +235,13 @@ fn validate(sharded: &ShardedGraph, opts: &RunOptions) -> Result<()> {
     }
     if opts.abort_poll.is_zero() {
         return invalid("abort_poll must be positive".into());
+    }
+    if !opts.churn.is_empty() {
+        return invalid(
+            "churn plans script fleet-membership changes; only run_with_elastic_recovery can \
+             honor them"
+                .into(),
+        );
     }
     if let Some(cp) = opts.checkpoint {
         if cp.every == 0 {
@@ -254,7 +287,12 @@ pub fn run_with_options(
     let faults = FaultState::new(&opts.faults);
     let store = Mutex::new(CheckpointStore::default());
     let device_map: Vec<usize> = (0..sharded.workers).collect();
-    run_attempt(sharded, feeds, opts, &faults, &store, None, &device_map)
+    match run_attempt(sharded, feeds, opts, &faults, &store, None, &device_map, None)? {
+        Attempt::Done(out) => Ok(out),
+        Attempt::Yielded { .. } => {
+            Err(RuntimeError::Internal("attempt yielded without a yield barrier".into()))
+        }
+    }
 }
 
 /// [`run_with_options`] plus retry: a faulted run is re-attempted with
@@ -307,7 +345,14 @@ pub fn run_with_recovery(
             c.instant(Track::control(), "recovery", &name);
         }
         let started = Instant::now();
-        let outcome = run_attempt(sharded, feeds, opts, &faults, &store, resume.as_ref(), &device_map);
+        let outcome =
+            run_attempt(sharded, feeds, opts, &faults, &store, resume.as_ref(), &device_map, None)
+                .and_then(|a| match a {
+                    Attempt::Done(out) => Ok(out),
+                    Attempt::Yielded { .. } => Err(RuntimeError::Internal(
+                        "attempt yielded without a yield barrier".into(),
+                    )),
+                });
         let mut record = AttemptRecord {
             width: sharded.workers,
             devices: device_map.clone(),
@@ -318,6 +363,7 @@ pub fn run_with_recovery(
             detection: None,
             wall: started.elapsed(),
             ok: false,
+            yielded: None,
         };
         match outcome {
             Ok(output) => {
@@ -355,6 +401,15 @@ pub fn run_with_recovery(
 /// is the *physical* device logical worker `w` runs on — fault plans target
 /// physical devices, so after an elastic shrink the surviving workers keep
 /// their fault histories while the dead device's faults vanish with it.
+///
+/// When `yield_at` is `Some(k)`, every worker stops cleanly right after
+/// recording checkpoint `k` (positions before its cut are fully executed,
+/// nothing after runs) and the attempt resolves to [`Attempt::Yielded`].
+/// This is sound mid-run: with plan-independent barriers a pre-cut consumer
+/// only ever needs pieces from pre-cut producers, so every worker reaches
+/// its cut without any post-cut work and no send is left owed *within* the
+/// prefix. In-flight pieces addressed to post-cut consumers are expected
+/// and simply dropped with the channels.
 #[allow(clippy::too_many_arguments)]
 fn run_attempt(
     sharded: &ShardedGraph,
@@ -364,7 +419,8 @@ fn run_attempt(
     store: &Mutex<CheckpointStore>,
     resume: Option<&ResumePoint>,
     device_map: &[usize],
-) -> Result<RunOutput> {
+    yield_at: Option<usize>,
+) -> Result<Attempt> {
     let k = sharded.workers;
     debug_assert_eq!(device_map.len(), k);
     let edges = sharded.comm_edges();
@@ -440,6 +496,11 @@ fn run_attempt(
 
     let token = AbortToken::new();
     let results: Mutex<Vec<Option<WorkerOutcome>>> = Mutex::new((0..k).map(|_| None).collect());
+    // Yield rendezvous: a worker that paused at the yield barrier keeps its
+    // receive port alive (parked, not exited) until every worker has reached
+    // its own cut — otherwise a peer's pre-cut producer pushing a piece to
+    // this worker's *post*-cut consumer would see a hung-up channel.
+    let yield_latch = AtomicUsize::new(0);
     let epoch = Instant::now();
     // The collector's clock at this run's epoch: workers translate their
     // epoch-relative `Duration`s into collector microseconds by adding this
@@ -455,10 +516,12 @@ fn run_attempt(
             let ckpts_at = &ckpts_at[w];
             let store = opts.checkpoint.map(|_| store);
             let resume_data = resume.map(|r| (r.cuts[w], &r.values[w]));
+            let yield_latch = &yield_latch;
             scope.spawn(move || {
                 let outcome = run_worker(
                     sharded, w, feeds, rx, out, epoch, obs_epoch_us, opts, faults, &token,
-                    ckpts_at, store, resume_data, startup, node_sends, device_map,
+                    ckpts_at, store, resume_data, startup, node_sends, device_map, yield_at,
+                    yield_latch,
                 );
                 if let Some(slot) = results.lock().get_mut(w) {
                     *slot = Some(outcome);
@@ -482,11 +545,13 @@ fn run_attempt(
     let mut sent_all: Vec<(usize, Vec<(u64, u64)>)> = Vec::new();
     let mut detection: Vec<(usize, Duration)> = Vec::new();
     let mut errors: Vec<(usize, RuntimeError)> = Vec::new();
+    let mut any_yielded = false;
     for (w, slot) in results.into_inner().into_iter().enumerate() {
         let Some(o) = slot else {
             errors.push((w, RuntimeError::Internal(format!("worker {w} vanished"))));
             continue;
         };
+        any_yielded |= o.yielded;
         if let Some(t) = o.trace {
             workers.push(t);
         }
@@ -513,7 +578,15 @@ fn run_attempt(
 
     let cause = token.cause();
     if cause.is_none() && errors.is_empty() {
-        return Ok(RunOutput { values, trace });
+        // A failure always wins over a yield: if any worker died before its
+        // cut we fall through to the post-mortem below and the checkpoint
+        // stays whatever was consistently recorded.
+        if any_yielded {
+            let ckpt = yield_at
+                .ok_or_else(|| RuntimeError::Internal("worker yielded without a barrier".into()))?;
+            return Ok(Attempt::Yielded { ckpt });
+        }
+        return Ok(Attempt::Done(RunOutput { values, trace }));
     }
     // The token's cause identifies the *first* failure; that worker's own
     // typed error is the root cause. Workers that stopped because of the
@@ -558,11 +631,13 @@ fn run_worker<'a>(
     startup: &[&CommEdge],
     node_sends: &BTreeMap<NodeId, Vec<&CommEdge>>,
     device_map: &'a [usize],
+    yield_at: Option<usize>,
+    yield_latch: &'a AtomicUsize,
 ) -> WorkerOutcome {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut worker = match Worker::new(
             sharded, w, feeds, rx, txs, epoch, obs_epoch_us, opts, faults, token, ckpts_at,
-            store, resume, device_map,
+            store, resume, device_map, yield_at, yield_latch,
         ) {
             Ok(worker) => worker,
             Err(e) => {
@@ -579,6 +654,7 @@ fn run_worker<'a>(
                     sent: Vec::new(),
                     error: Some(e),
                     observed: None,
+                    yielded: false,
                 };
             }
         };
@@ -602,6 +678,7 @@ fn run_worker<'a>(
                 sent: Vec::new(),
                 error: Some(RuntimeError::WorkerPanic { worker: w, message }),
                 observed: None,
+                yielded: false,
             }
         }
     }
@@ -658,6 +735,12 @@ struct Worker<'a> {
     /// Latency from abort trip to this worker observing it.
     observed: Option<Duration>,
     completed: bool,
+    /// Checkpoint barrier to stop cleanly at (elastic grow pause).
+    yield_at: Option<usize>,
+    /// Set once the yield barrier has been recorded; execution stops.
+    yielded: bool,
+    /// Rendezvous counter of paused workers (see `run_attempt`).
+    yield_latch: &'a AtomicUsize,
 }
 
 impl<'a> Worker<'a> {
@@ -677,6 +760,8 @@ impl<'a> Worker<'a> {
         store: Option<&'a Mutex<CheckpointStore>>,
         resume: Option<(usize, &'a BTreeMap<TensorId, Tensor>)>,
         device_map: &'a [usize],
+        yield_at: Option<usize>,
+        yield_latch: &'a AtomicUsize,
     ) -> Result<Worker<'a>> {
         let schedule = sharded.worker_schedule(w);
         let plan = plan_buffers(&sharded.graph, &schedule, opts.buffer_reuse);
@@ -747,7 +832,21 @@ impl<'a> Worker<'a> {
             cur_node: None,
             observed: None,
             completed: false,
+            yield_at,
+            yielded: false,
+            yield_latch,
         })
+    }
+
+    /// Parks a paused worker until every worker has reached its own yield
+    /// cut (or a failure tripped the abort token), keeping this worker's
+    /// receive port alive for peers still executing their prefixes.
+    fn yield_park(&self) {
+        let k = self.txs.len();
+        self.yield_latch.fetch_add(1, Ordering::AcqRel);
+        while self.yield_latch.load(Ordering::Acquire) < k && !self.token.is_tripped() {
+            std::thread::sleep(self.abort_poll);
+        }
     }
 
     /// Collector microseconds for an epoch-relative duration.
@@ -798,6 +897,7 @@ impl<'a> Worker<'a> {
             sent: std::mem::take(&mut self.sent),
             error: err,
             observed: self.observed,
+            yielded: self.yielded,
         }
     }
 
@@ -849,6 +949,16 @@ impl<'a> Worker<'a> {
                     buf.instant("ckpt", &format!("checkpoint {k}"));
                 }
             }
+            if let Some(y) = self.yield_at {
+                if ks.contains(&y) {
+                    // The pause barrier is recorded: stop before executing
+                    // anything past this cut.
+                    self.yielded = true;
+                    if let Some(buf) = self.obs.as_mut() {
+                        buf.instant("ckpt", &format!("yield at checkpoint {y}"));
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -894,6 +1004,15 @@ impl<'a> Worker<'a> {
             self.cur_pos = Some(pos);
             self.cur_node = Some(id);
             self.take_checkpoints(pos)?;
+            if self.yielded {
+                // Stopping here is clean: every pre-cut producer already
+                // ran and pushed its pieces, so no peer still inside its
+                // prefix can block on this worker.
+                self.cur_pos = None;
+                self.cur_node = None;
+                self.yield_park();
+                return Ok(());
+            }
             for f in self.faults.step_faults(self.phys, pos, last, self.start_pos) {
                 match f {
                     StepFault::Kill => {
@@ -954,6 +1073,14 @@ impl<'a> Worker<'a> {
         self.cur_pos = None;
         self.cur_node = None;
         self.take_checkpoints(self.schedule.len())?;
+        if self.yielded {
+            // The whole schedule happens to sit before the yield barrier.
+            // Skip the end-of-run checks: peers pausing at their own cuts
+            // may legitimately leave pieces for this attempt's unexecuted
+            // suffix in flight.
+            self.yield_park();
+            return Ok(());
+        }
 
         // End-of-run integrity: every piece addressed to this worker must
         // have been consumed — a leftover means a duplicated or misrouted

@@ -49,6 +49,23 @@ impl FullSnapshot {
     pub fn bytes(&self) -> u64 {
         self.tensors.values().map(|t| t.shape().bytes()).sum()
     }
+
+    /// Round-trips every tensor through `via`'s shard layout: scatter into
+    /// per-worker pieces, then gather them back to full shape. Because shard
+    /// regions tile (or replicate over) each tensor's full extent, the result
+    /// is bit-for-bit the original snapshot *for any plan* — shrink, grow, or
+    /// same width. This is the invariant that lets elastic recovery carry one
+    /// snapshot across arbitrary width changes, and the proptest suite pins
+    /// it down over random width pairs in both directions.
+    pub fn reshard_through(&self, via: &ShardedGraph) -> Result<FullSnapshot> {
+        let mut tensors = BTreeMap::new();
+        for (&t, full) in &self.tensors {
+            let pieces: BTreeMap<TensorId, Tensor> =
+                scatter_full(via, t, full)?.into_iter().collect();
+            tensors.insert(t, gather_shards(via, t, &pieces)?);
+        }
+        Ok(FullSnapshot { ckpt: self.ckpt, every: self.every, tensors })
+    }
 }
 
 /// The full (unsharded) extent implied by a tensor's per-worker regions:
@@ -199,5 +216,10 @@ pub fn resume_from_snapshot(
     let store = Mutex::new(CheckpointStore::default());
     let point = scatter_snapshot(snap, sharded)?;
     let device_map: Vec<usize> = (0..sharded.workers).collect();
-    crate::run_attempt(sharded, &[], opts, &faults, &store, Some(&point), &device_map)
+    match crate::run_attempt(sharded, &[], opts, &faults, &store, Some(&point), &device_map, None)? {
+        crate::Attempt::Done(out) => Ok(out),
+        crate::Attempt::Yielded { .. } => {
+            Err(RuntimeError::Internal("attempt yielded without a yield barrier".into()))
+        }
+    }
 }

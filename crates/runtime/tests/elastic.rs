@@ -12,7 +12,7 @@ use tofu_graph::{Graph, TensorId, TensorKind};
 use tofu_models::{mlp, MlpConfig};
 use tofu_runtime::{
     resume_from_snapshot, run_with_elastic_recovery, run_with_options, CheckpointPolicy,
-    DegradePolicy, ElasticReport, Fault, FaultPlan, RecoveryOptions, RunOptions, RuntimeError,
+    ElasticPolicy, ElasticReport, Fault, FaultPlan, RecoveryOptions, RunOptions, RuntimeError,
 };
 use tofu_tensor::Tensor;
 
@@ -53,7 +53,7 @@ fn elastic_recovery(max_attempts: usize) -> RecoveryOptions {
     RecoveryOptions {
         max_attempts,
         backoff: Duration::ZERO,
-        degrade: Some(DegradePolicy::default()),
+        elastic: Some(ElasticPolicy::default()),
         ..Default::default()
     }
 }
@@ -214,7 +214,7 @@ fn exhausted_policy_surfaces_typed_unrecoverable() {
     let recovery = RecoveryOptions {
         max_attempts: 1,
         backoff: Duration::ZERO,
-        degrade: Some(DegradePolicy { min_workers: 2, ..Default::default() }),
+        elastic: Some(ElasticPolicy { min_workers: 2, ..Default::default() }),
         ..Default::default()
     };
     let mut caches = SearchCaches::default();
@@ -239,7 +239,7 @@ fn exhausted_policy_surfaces_typed_unrecoverable() {
     let recovery = RecoveryOptions {
         max_attempts: 1,
         backoff: Duration::ZERO,
-        degrade: Some(DegradePolicy { max_shrink_steps: 0, ..Default::default() }),
+        elastic: Some(ElasticPolicy { max_shrink_steps: 0, ..Default::default() }),
         ..Default::default()
     };
     let part4 = PartitionOptions { workers: 4, ..Default::default() };
@@ -261,7 +261,7 @@ fn exhausted_policy_surfaces_typed_unrecoverable() {
     let recovery = RecoveryOptions {
         max_attempts: 1,
         backoff: Duration::ZERO,
-        degrade: Some(DegradePolicy { per_device_budget: Some(1), ..Default::default() }),
+        elastic: Some(ElasticPolicy { per_device_budget: Some(1), ..Default::default() }),
         ..Default::default()
     };
     let err = run_with_elastic_recovery(
@@ -289,7 +289,7 @@ fn without_degrade_policy_permanent_loss_is_a_plain_failure() {
     let recovery = RecoveryOptions {
         max_attempts: 2,
         backoff: Duration::ZERO,
-        degrade: None,
+        elastic: None,
         ..Default::default()
     };
     let mut caches = SearchCaches::default();

@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 use proptest::prelude::*;
 use tofu_core::{generate, partition, GenOptions, PartitionOptions, ShardedGraph};
 use tofu_models::{mlp, MlpConfig};
-use tofu_runtime::{gather_shards, scatter_full};
+use tofu_runtime::{gather_shards, scatter_full, FullSnapshot};
 use tofu_tensor::Tensor;
 
 /// An MLP whose batch (840 = lcm 1..8) is divisible by every tested width,
@@ -71,6 +71,54 @@ proptest! {
                 bits(&full),
                 "tensor {:?} corrupted by {} → {} reshard", t, w_old, w_new
             );
+        }
+    }
+
+    /// A whole `FullSnapshot` survives shrink-then-grow AND grow-then-shrink
+    /// resharding bit-for-bit: round-tripping every tensor through the
+    /// narrower plan's shard layout and then the wider one's (and the other
+    /// way round) reproduces the snapshot exactly. This is the invariant
+    /// elastic recovery leans on when a run shrinks onto survivors and later
+    /// grows back onto a rejoined device.
+    #[test]
+    fn snapshot_reshard_round_trips_in_both_directions(
+        w_a in 2usize..9,
+        w_b in 2usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        prop_assume!(w_a != w_b);
+        let (w_small, w_large) = (w_a.min(w_b), w_a.max(w_b));
+        let (g, small) = sharded_at(w_small);
+        let (_, large) = sharded_at(w_large);
+        let mut tensors = BTreeMap::new();
+        for (i, (&t, _)) in small.shards.iter().enumerate() {
+            let full_shape = g.tensor(t).shape.clone();
+            tensors.insert(t, Tensor::random(full_shape, seed + i as u64 + 1, 1.0));
+        }
+        let snap = FullSnapshot { ckpt: 1, every: 1, tensors };
+
+        // Shrink then grow: through the narrow layout, then the wide one.
+        let shrunk = snap.reshard_through(&small).unwrap();
+        let regrown = shrunk.reshard_through(&large).unwrap();
+        // Grow then shrink: the opposite order.
+        let grown = snap.reshard_through(&large).unwrap();
+        let reshrunk = grown.reshard_through(&small).unwrap();
+
+        for (t, want) in &snap.tensors {
+            for (name, got) in [
+                ("shrink", &shrunk.tensors[t]),
+                ("shrink→grow", &regrown.tensors[t]),
+                ("grow", &grown.tensors[t]),
+                ("grow→shrink", &reshrunk.tensors[t]),
+            ] {
+                prop_assert_eq!(got.shape(), want.shape(), "tensor {:?} changed shape", t);
+                prop_assert_eq!(
+                    bits(got),
+                    bits(want),
+                    "tensor {:?} corrupted by {} through {}/{} workers",
+                    t, name, w_small, w_large
+                );
+            }
         }
     }
 }

@@ -30,7 +30,7 @@ pub mod protocol;
 pub mod scheduler;
 pub mod server;
 
-pub use client::{ClientError, PlanClient, ServedPlan};
+pub use client::{ClientError, PlanClient, RetryOptions, ServedPlan};
 pub use protocol::{plan_to_json, ErrorCode, ProtocolError, Request, Response};
 pub use scheduler::FairScheduler;
 pub use server::{PlanServer, ServeConfig};

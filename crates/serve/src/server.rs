@@ -536,10 +536,14 @@ fn stats_response(shared: &Shared, id: u64) -> Response {
                 ("strategy_misses", Json::from(snap.stats.strategy_misses)),
                 ("plan_hits", Json::from(snap.stats.plan_hits)),
                 ("plan_misses", Json::from(snap.stats.plan_misses)),
+                ("request_hits", Json::from(snap.stats.request_hits)),
+                ("request_misses", Json::from(snap.stats.request_misses)),
                 ("strategy_entries", Json::from(snap.strategy_entries)),
                 ("plan_entries", Json::from(snap.plan_entries)),
+                ("request_entries", Json::from(snap.request_entries)),
                 ("strategy_hit_rate", Json::Num(snap.strategy_hit_rate)),
                 ("plan_hit_rate", Json::Num(snap.plan_hit_rate)),
+                ("request_hit_rate", Json::Num(snap.request_hit_rate)),
             ]),
         ),
     ]);

@@ -1,0 +1,100 @@
+//! Reconnect-with-retry semantics of [`PlanClient::connect_with_retry`]:
+//! transport failures are retried against the same address with seeded
+//! backoff, typed server errors pass through untouched, and an exhausted
+//! attempt budget surrenders with the typed `Exhausted` error.
+
+use std::net::{Shutdown, TcpListener};
+use std::time::Duration;
+
+use tofu_core::recursive::PartitionOptions;
+use tofu_models::{mlp, MlpConfig};
+use tofu_serve::client::{ClientError, PlanClient, RetryOptions};
+use tofu_serve::protocol::ErrorCode;
+use tofu_serve::server::{PlanServer, ServeConfig};
+
+fn fast_retry(attempts: usize) -> RetryOptions {
+    RetryOptions {
+        attempts,
+        backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(5),
+        jitter_seed: 42,
+        request_timeout: Some(Duration::from_secs(5)),
+    }
+}
+
+fn model() -> tofu_graph::Graph {
+    mlp(&MlpConfig { batch: 24, dims: vec![48, 24], classes: 24, with_updates: true })
+        .expect("model")
+        .graph
+}
+
+#[test]
+fn dead_server_exhausts_the_attempt_budget_with_a_typed_error() {
+    // Reserve a port, then free it: nothing listens there afterwards.
+    let addr = {
+        let l = TcpListener::bind("127.0.0.1:0").expect("reserve port");
+        l.local_addr().expect("addr").to_string()
+    };
+    match PlanClient::connect_with_retry(&addr, fast_retry(3)) {
+        Err(ClientError::Exhausted { attempts, last }) => {
+            assert_eq!(attempts, 3);
+            assert!(
+                matches!(*last, ClientError::Protocol(_)),
+                "last failure should be a transport error, got {last}"
+            );
+        }
+        Err(other) => panic!("expected Exhausted, got {other}"),
+        Ok(_) => panic!("connected to a dead address"),
+    }
+}
+
+#[test]
+fn a_dropped_connection_is_reconnected_and_the_request_resent() {
+    let server = PlanServer::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.addr().to_string();
+    let mut client = PlanClient::connect_with_retry(&addr, fast_retry(4)).expect("connect");
+    client.ping().expect("ping over the first connection");
+
+    // Sever the established connection under the client: the next request's
+    // first attempt fails at the transport layer and must transparently
+    // reconnect to the (still live) server and resend.
+    client.stream_mut().shutdown(Shutdown::Both).expect("sever connection");
+    client.ping().expect("ping resent over a fresh connection");
+
+    let g = model();
+    let opts = PartitionOptions { workers: 4, ..Default::default() };
+    let served = client.partition("tenant-a", &g, &opts, None).expect("plan after reconnect");
+    assert!(!served.fingerprint.is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn typed_server_errors_are_never_retried() {
+    let server = PlanServer::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.addr().to_string();
+    let mut client = PlanClient::connect_with_retry(&addr, fast_retry(5)).expect("connect");
+    let g = model();
+    let opts = PartitionOptions { workers: 4, ..Default::default() };
+    // A zero deadline is a *served answer* (deadline_missed), not a
+    // transport failure: it must come back as Server, not Exhausted, and
+    // the connection must stay usable (no reconnect churn).
+    match client.partition("tenant-a", &g, &opts, Some(0)) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::DeadlineMissed),
+        other => panic!("expected a typed server error, got {other:?}"),
+    }
+    client.ping().expect("connection survived the typed error");
+    server.shutdown();
+}
+
+#[test]
+fn without_retry_a_severed_connection_is_a_plain_protocol_error() {
+    let server = PlanServer::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let mut client = PlanClient::connect(server.addr()).expect("connect");
+    client.ping().expect("ping");
+    client.stream_mut().shutdown(Shutdown::Both).expect("sever connection");
+    match client.ping() {
+        Err(ClientError::Protocol(_)) => {}
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+    server.shutdown();
+}

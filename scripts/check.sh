@@ -9,10 +9,11 @@ cargo build --release
 # The fault suite must abort runs in milliseconds; a hang here means the
 # fail-fast path regressed, so cap it hard rather than stalling CI.
 timeout 300 cargo test -q -p tofu-runtime --test faults
-# Elastic degraded-mode recovery and checkpoint resharding: permanent device
-# loss must end in success or a typed Unrecoverable — never a hang — so these
-# get the same hard cap.
-timeout 300 cargo test -q -p tofu-runtime --test elastic --test reshard
+# Elastic degraded-mode recovery, fleet churn (leave/rejoin scale-up) and
+# checkpoint resharding: permanent device loss must end in success or a
+# typed Unrecoverable, and a pending join must never park workers at a
+# yield barrier forever — so these get the same hard cap.
+timeout 300 cargo test -q -p tofu-runtime --test elastic --test reshard --test churn
 # The search-optimality suites (brute-force oracle + differential fuzzing
 # against the reference engine) are exhaustive by design; cap them so a
 # search-space blowup fails CI instead of stalling it.
@@ -30,6 +31,11 @@ cargo run --release -q -p tofu-bench --bin fault_matrix
 # degraded run is bit-identical to its surviving-width baseline and warm
 # replans are no slower than cold searches).
 timeout 300 cargo run --release -q -p tofu-bench --bin elastic_recovery
+# Record the fleet-churn recovery latencies (exits non-zero unless every
+# churned run ends bit-identical to an undisturbed run at its final width
+# resumed from the same snapshot cut, at least one grow event fired, and
+# the warm passes' replans beat the cold passes' in aggregate).
+timeout 300 cargo run --release -q -p tofu-bench --bin fleet_churn
 # Record the search-engine scaling numbers (exits non-zero if the optimized
 # DP's plan cost differs from the reference engine's, or if it stops
 # exploring fewer states on the nontrivial searches).
