@@ -24,6 +24,7 @@
 //! messages, and its output is bit-identical.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 use tofu_core::ShardedGraph;
@@ -240,20 +241,34 @@ pub(crate) struct ResumePoint {
     pub ckpt: usize,
     /// Local cut per worker.
     pub cuts: Vec<usize>,
-    /// Snapshot values per worker.
-    pub values: Vec<BTreeMap<TensorId, Tensor>>,
+    /// Snapshot values per worker. Payloads are `Arc`-shared with the live
+    /// run that recorded them — a barrier clones refcounts, not tensors.
+    pub values: Vec<BTreeMap<TensorId, Arc<Tensor>>>,
 }
 
 /// Snapshots recorded so far, keyed by `(checkpoint, worker)`. Shared across
-/// the attempts of one `run_with_recovery` call.
+/// the attempts of one `run_with_recovery` call. Values are `Arc`-shared
+/// with the recording worker's live map, so a barrier costs one refcount
+/// bump per live tensor instead of a deep copy of the whole value map.
 #[derive(Debug, Default)]
 pub(crate) struct CheckpointStore {
-    snaps: BTreeMap<(usize, usize), BTreeMap<TensorId, Tensor>>,
+    snaps: BTreeMap<(usize, usize), BTreeMap<TensorId, Arc<Tensor>>>,
 }
 
 impl CheckpointStore {
-    pub(crate) fn record(&mut self, ckpt: usize, worker: usize, values: BTreeMap<TensorId, Tensor>) {
+    pub(crate) fn record(
+        &mut self,
+        ckpt: usize,
+        worker: usize,
+        values: BTreeMap<TensorId, Arc<Tensor>>,
+    ) {
         self.snaps.insert((ckpt, worker), values);
+    }
+
+    /// Drops every recorded snapshot, releasing the shared payloads so a
+    /// completed run can reclaim sole ownership of its values.
+    pub(crate) fn clear(&mut self) {
+        self.snaps.clear();
     }
 
     /// The highest checkpoint every one of `workers` workers has recorded.

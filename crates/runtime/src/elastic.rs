@@ -385,6 +385,13 @@ pub fn run_with_elastic_recovery(
                 if src == dst {
                     return invalid(format!("message fault targets self-link {src} -> {dst}"));
                 }
+                if opts.integrity != crate::IntegrityLevel::Full {
+                    return invalid(
+                        "message faults need IntegrityLevel::Full; lower levels skip the \
+                         checks that detect tampering"
+                            .into(),
+                    );
+                }
             }
         }
     }

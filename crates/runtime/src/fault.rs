@@ -333,6 +333,10 @@ pub(crate) struct FaultState {
     /// event) when the device actually leaves the topology.
     churn: Vec<ChurnEvent>,
     armed: AtomicUsize,
+    /// Whether any message fault exists in the plan at all. Computed once so
+    /// the send hot path can skip the per-message fault-table scan entirely
+    /// on fault-free runs.
+    has_message: bool,
 }
 
 impl FaultState {
@@ -345,7 +349,14 @@ impl FaultState {
             faults: plan.faults.iter().map(|f| (f.clone(), AtomicBool::new(false))).collect(),
             churn: churn.events.clone(),
             armed: AtomicUsize::new(0),
+            has_message: plan.faults.iter().any(|f| matches!(f.fault, Fault::Message { .. })),
         }
+    }
+
+    /// True when the plan contains at least one message fault (armed or
+    /// already fired) — senders consult this before scanning the table.
+    pub(crate) fn has_message_faults(&self) -> bool {
+        self.has_message
     }
 
     /// The currently armed churn event, if the script has any left.

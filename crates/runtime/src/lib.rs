@@ -39,11 +39,19 @@
 //!   [`RuntimeError::Failed`] wrapping a [`RunFailure`] that names the
 //!   first-failing worker and node and preserves the partial traces.
 //! - **Message integrity.** Every [`Msg`] carries the sending worker, a
-//!   per-link sequence number and a payload checksum; the receiver checks
-//!   all three plus the expected piece (consumer node, input index, block
-//!   shape) before stashing, so dropped, duplicated, reordered, misrouted or
+//!   per-link sequence number and a payload checksum; at
+//!   [`IntegrityLevel::Full`] (the default) the receiver checks all three
+//!   plus the expected piece (consumer node, input index, block shape)
+//!   before stashing, so dropped, duplicated, reordered, misrouted or
 //!   corrupted pieces surface as typed [`RuntimeError::Comm`] errors instead
-//!   of wrong tensors.
+//!   of wrong tensors. [`RunOptions::integrity`] relaxes the per-message
+//!   work for trusted transports; fault suites must run at `Full`.
+//! - **Zero-copy transport.** Payloads travel as reference-counted
+//!   [`PieceRef`]s cut from a per-worker [`PieceSlab`]: the producer
+//!   extracts the block once into a recycled buffer, the channel and the
+//!   receiver's stash move `Arc`s, and the buffer returns to the slab once
+//!   consumed. Send routing is pre-resolved at plan time into a
+//!   schedule-indexed table, so the send path performs no map lookups.
 //! - **Fault injection.** A [`FaultPlan`] in [`RunOptions`] deterministically
 //!   kills or panics a worker at a schedule position, tampers with a chosen
 //!   message, or forces a pool over-budget event — so every failure path
@@ -64,18 +72,20 @@ mod error;
 mod fault;
 mod pool;
 mod reshard;
+mod route;
 mod trace;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
-use tofu_core::{fetch_pieces, CommEdge, FetchPiece, ShardedGraph};
+use tofu_core::{FetchPiece, ShardedGraph};
 use tofu_graph::{execute_node, plan_buffers, BufferPlan, NodeId, TensorId, TensorKind};
 use tofu_obs::{Collector, SpanBuffer, Track};
-use tofu_tensor::Tensor;
+use tofu_tensor::{Shape, Tensor};
 
 pub use abort::{AbortCause, AbortToken};
 pub use checkpoint::{
@@ -89,15 +99,37 @@ pub use fault::{
     ChurnEvent, ChurnPlan, Fault, FaultPersistence, FaultPlan, FaultRng, InjectedFault,
     MessageFault,
 };
-pub use pool::BufferPool;
+pub use pool::{BufferPool, PieceRef, PieceSlab};
 pub use reshard::{gather_shards, resume_from_snapshot, scatter_full, FullSnapshot};
 pub use trace::{LinkStat, OpEvent, RunTrace, WorkerTrace};
 
 use checkpoint::{checkpoint_cuts, CheckpointStore, ResumePoint};
 use fault::{FaultState, StepFault};
+use route::{FetchSource, RoutePlan, SendRoute, WorkerRoutes};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+/// How much per-message verification the receive path performs.
+///
+/// Payload and byte accounting are identical at every level — only the
+/// *checks* differ, so a `Fast` run moves exactly the bytes a `Full` run
+/// moves and produces bit-identical output on a healthy transport.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum IntegrityLevel {
+    /// Route-slot bounds and double-delivery checks only; trusts the
+    /// transport. The per-message cost is two array index checks.
+    Fast,
+    /// `Fast` plus per-link sequence numbers: detects dropped, duplicated
+    /// and reordered pieces, but not payload corruption.
+    Sequenced,
+    /// Everything: sequence numbers, payload checksums and the plan-time
+    /// consumer/input/shape cross-check per message. Required whenever the
+    /// fault plan injects message faults — the checks are what turn
+    /// tampering into typed errors.
+    #[default]
+    Full,
+}
 
 /// Knobs of a run.
 #[derive(Debug, Clone)]
@@ -123,6 +155,9 @@ pub struct RunOptions {
     /// Optional per-worker cap on resident pool bytes; exceeding it fails
     /// the run with a typed over-budget pool error.
     pub pool_budget: Option<u64>,
+    /// Per-message verification level (default [`IntegrityLevel::Full`]).
+    /// Plans that inject message faults are rejected at any other level.
+    pub integrity: IntegrityLevel,
     /// Optional trace sink. When set, every worker emits per-op spans (with
     /// recv-waits nested inside fetch spans), cumulative per-link byte
     /// counters, a pool-occupancy timeline and abort/checkpoint markers onto
@@ -142,6 +177,7 @@ impl Default for RunOptions {
             churn: ChurnPlan::none(),
             checkpoint: None,
             pool_budget: None,
+            integrity: IntegrityLevel::default(),
             collector: None,
         }
     }
@@ -160,28 +196,30 @@ pub struct RunOutput {
 
 /// One cross-worker message: the extracted piece input `input_index` of
 /// `consumer` is waiting for, stamped with the integrity metadata the
-/// receiver verifies (sender, per-link sequence number, payload checksum).
+/// receiver verifies (sender, per-link sequence number, payload checksum)
+/// and the pre-resolved receive slot it lands in. The payload is a shared
+/// [`PieceRef`] — sending moves a refcount, never bytes.
 struct Msg {
     src: usize,
     seq: u64,
+    slot: u32,
     consumer: NodeId,
     input_index: usize,
     checksum: u64,
-    piece: Tensor,
+    piece: PieceRef,
 }
-
-/// A worker's end of the interconnect: its own receiver plus a sender clone
-/// for every other worker (`None` at its own slot).
-type Ports = (Receiver<Msg>, Vec<Option<Sender<Msg>>>);
 
 /// What one worker thread hands back, success or not.
 struct WorkerOutcome {
     /// The (possibly partial) trace; `None` when a panic unwound the worker
     /// before one could be assembled.
     trace: Option<WorkerTrace>,
-    values: BTreeMap<TensorId, Tensor>,
+    values: BTreeMap<TensorId, Arc<Tensor>>,
     /// Per destination: (bytes, messages) pushed.
     sent: Vec<(u64, u64)>,
+    /// Transport-slab counters: fresh allocations and freelist reuses.
+    slab_allocs: u64,
+    slab_reuses: u64,
     error: Option<RuntimeError>,
     /// Time from the abort token tripping to this worker observing it.
     observed: Option<Duration>,
@@ -263,6 +301,13 @@ fn validate(sharded: &ShardedGraph, opts: &RunOptions) -> Result<()> {
                 }
                 if src == dst {
                     return invalid(format!("message fault targets self-link {src} -> {dst}"));
+                }
+                if opts.integrity != IntegrityLevel::Full {
+                    return invalid(
+                        "message faults need IntegrityLevel::Full; lower levels skip the \
+                         checks that detect tampering"
+                            .into(),
+                    );
                 }
             }
         }
@@ -423,7 +468,6 @@ fn run_attempt(
 ) -> Result<Attempt> {
     let k = sharded.workers;
     debug_assert_eq!(device_map.len(), k);
-    let edges = sharded.comm_edges();
 
     // Local schedule position of every node within its own worker.
     let mut local_pos = vec![0usize; sharded.graph.num_nodes()];
@@ -432,6 +476,12 @@ fn run_attempt(
             local_pos[id.0] = i;
         }
     }
+
+    // Every send pre-resolved into a schedule-indexed routing table (slot
+    // assignment, per-position route spans, receiver-side expectations and
+    // pre-decoded fetch assemblies); the hot loops below never consult the
+    // graph for routing again.
+    let routes = RoutePlan::new(sharded, &local_pos, resume.map(|r| r.cuts.as_slice()));
 
     // Checkpoint barriers: per worker, which checkpoint ids to record at
     // which local schedule position.
@@ -446,37 +496,10 @@ fn run_attempt(
         }
     }
 
-    // Producer-side send lists: leaf shards go out at startup (their owner
-    // has them before any node runs); computed tensors go out right after
-    // their producing node executes. On resume, pieces whose consumer
-    // already ran before the checkpoint are skipped, and pieces produced
-    // before the sender's cut are *owed* — replayed from the snapshot at
-    // startup.
-    let mut startup_sends: Vec<Vec<&CommEdge>> = vec![Vec::new(); k];
-    let mut node_sends: BTreeMap<NodeId, Vec<&CommEdge>> = BTreeMap::new();
-    for e in &edges {
-        if let Some(r) = resume {
-            if local_pos[e.consumer.0] < r.cuts[e.dst] {
-                continue; // consumer ran before the checkpoint; piece not needed
-            }
-            match sharded.graph.producer(e.tensor) {
-                Some(p) if local_pos[p.0] >= r.cuts[e.src] => {
-                    node_sends.entry(p).or_default().push(e)
-                }
-                // Leaf shard, or produced before the sender's cut: owed.
-                _ => startup_sends[e.src].push(e),
-            }
-        } else {
-            match sharded.graph.producer(e.tensor) {
-                Some(p) => node_sends.entry(p).or_default().push(e),
-                None => startup_sends[e.src].push(e),
-            }
-        }
-    }
-
-    // One channel per worker; worker `w` keeps receiver `w` and a sender
-    // clone for every *other* worker (holding one's own sender would keep
-    // the channel alive and turn a dead-peer stall into a hang).
+    // One channel per worker. Workers share one immutable sender slice —
+    // no per-run clone fan-out; a dead worker drops its *receiver*, so a
+    // send to it still fails fast, and the abort token (not channel
+    // disconnection) is the primary dead-peer signal.
     let mut txs: Vec<Sender<Msg>> = Vec::with_capacity(k);
     let mut rxs: Vec<Receiver<Msg>> = Vec::with_capacity(k);
     for _ in 0..k {
@@ -484,15 +507,6 @@ fn run_attempt(
         txs.push(tx);
         rxs.push(rx);
     }
-    let ports: Vec<Ports> = rxs
-        .into_iter()
-        .enumerate()
-        .map(|(w, rx)| {
-            let out = (0..k).map(|d| if d != w { Some(txs[d].clone()) } else { None }).collect();
-            (rx, out)
-        })
-        .collect();
-    drop(txs);
 
     let token = AbortToken::new();
     let results: Mutex<Vec<Option<WorkerOutcome>>> = Mutex::new((0..k).map(|_| None).collect());
@@ -508,9 +522,9 @@ fn run_attempt(
     let obs_epoch_us = opts.collector.as_ref().map(|c| c.now_us()).unwrap_or(0.0);
 
     std::thread::scope(|scope| {
-        for (w, (rx, out)) in ports.into_iter().enumerate() {
-            let startup = &startup_sends[w];
-            let node_sends = &node_sends;
+        for (w, rx) in rxs.into_iter().enumerate() {
+            let txs = txs.as_slice();
+            let worker_routes = &routes.workers[w];
             let results = &results;
             let token = token.clone();
             let ckpts_at = &ckpts_at[w];
@@ -519,8 +533,8 @@ fn run_attempt(
             let yield_latch = &yield_latch;
             scope.spawn(move || {
                 let outcome = run_worker(
-                    sharded, w, feeds, rx, out, epoch, obs_epoch_us, opts, faults, &token,
-                    ckpts_at, store, resume_data, startup, node_sends, device_map, yield_at,
+                    sharded, w, feeds, rx, txs, epoch, obs_epoch_us, opts, faults, &token,
+                    ckpts_at, store, resume_data, worker_routes, device_map, yield_at,
                     yield_latch,
                 );
                 if let Some(slot) = results.lock().get_mut(w) {
@@ -529,6 +543,7 @@ fn run_attempt(
             });
         }
     });
+    drop(txs);
 
     let wall = epoch.elapsed();
     if let Some(c) = &opts.collector {
@@ -541,17 +556,20 @@ fn run_attempt(
         );
     }
     let mut workers = Vec::new();
-    let mut values = BTreeMap::new();
+    let mut values: BTreeMap<TensorId, Arc<Tensor>> = BTreeMap::new();
     let mut sent_all: Vec<(usize, Vec<(u64, u64)>)> = Vec::new();
     let mut detection: Vec<(usize, Duration)> = Vec::new();
     let mut errors: Vec<(usize, RuntimeError)> = Vec::new();
     let mut any_yielded = false;
+    let (mut slab_allocs, mut slab_reuses) = (0u64, 0u64);
     for (w, slot) in results.into_inner().into_iter().enumerate() {
         let Some(o) = slot else {
             errors.push((w, RuntimeError::Internal(format!("worker {w} vanished"))));
             continue;
         };
         any_yielded |= o.yielded;
+        slab_allocs += o.slab_allocs;
+        slab_reuses += o.slab_reuses;
         if let Some(t) = o.trace {
             workers.push(t);
         }
@@ -575,6 +593,12 @@ fn run_attempt(
         }
     }
     let trace = RunTrace { workers, links, wall };
+    if let Some(c) = &opts.collector {
+        let copies: u64 = trace.workers.iter().map(|w| w.transport_copy_bytes).sum();
+        c.add_total("runtime/transport_copy_bytes", copies as f64);
+        c.add_total("runtime/slab_allocs", slab_allocs as f64);
+        c.add_total("runtime/slab_reuses", slab_reuses as f64);
+    }
 
     let cause = token.cause();
     if cause.is_none() && errors.is_empty() {
@@ -586,6 +610,16 @@ fn run_attempt(
                 .ok_or_else(|| RuntimeError::Internal("worker yielded without a barrier".into()))?;
             return Ok(Attempt::Yielded { ckpt });
         }
+        // Success terminates the whole recovery ladder: the store's `Arc`
+        // clones are dead weight, and dropping them lets the conversion
+        // below reclaim most payloads by move instead of copy.
+        if opts.checkpoint.is_some() {
+            store.lock().clear();
+        }
+        let values = values
+            .into_iter()
+            .map(|(t, v)| (t, Arc::try_unwrap(v).unwrap_or_else(|a| (*a).clone())))
+            .collect();
         return Ok(Attempt::Done(RunOutput { values, trace }));
     }
     // The token's cause identifies the *first* failure; that worker's own
@@ -619,7 +653,7 @@ fn run_worker<'a>(
     w: usize,
     feeds: &[(TensorId, Tensor)],
     rx: Receiver<Msg>,
-    txs: Vec<Option<Sender<Msg>>>,
+    txs: &'a [Sender<Msg>],
     epoch: Instant,
     obs_epoch_us: f64,
     opts: &RunOptions,
@@ -627,9 +661,8 @@ fn run_worker<'a>(
     token: &AbortToken,
     ckpts_at: &'a BTreeMap<usize, Vec<usize>>,
     store: Option<&'a Mutex<CheckpointStore>>,
-    resume: Option<(usize, &'a BTreeMap<TensorId, Tensor>)>,
-    startup: &[&CommEdge],
-    node_sends: &BTreeMap<NodeId, Vec<&CommEdge>>,
+    resume: Option<(usize, &'a BTreeMap<TensorId, Arc<Tensor>>)>,
+    routes: &'a WorkerRoutes,
     device_map: &'a [usize],
     yield_at: Option<usize>,
     yield_latch: &'a AtomicUsize,
@@ -637,7 +670,7 @@ fn run_worker<'a>(
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut worker = match Worker::new(
             sharded, w, feeds, rx, txs, epoch, obs_epoch_us, opts, faults, token, ckpts_at,
-            store, resume, device_map, yield_at, yield_latch,
+            store, resume, routes, device_map, yield_at, yield_latch,
         ) {
             Ok(worker) => worker,
             Err(e) => {
@@ -652,13 +685,15 @@ fn run_worker<'a>(
                     trace: None,
                     values: BTreeMap::new(),
                     sent: Vec::new(),
+                    slab_allocs: 0,
+                    slab_reuses: 0,
                     error: Some(e),
                     observed: None,
                     yielded: false,
                 };
             }
         };
-        let err = worker.run_inner(startup, node_sends).err();
+        let err = worker.run_inner().err();
         worker.finish(err)
     }));
     match result {
@@ -676,6 +711,8 @@ fn run_worker<'a>(
                 trace: None,
                 values: BTreeMap::new(),
                 sent: Vec::new(),
+                slab_allocs: 0,
+                slab_reuses: 0,
                 error: Some(RuntimeError::WorkerPanic { worker: w, message }),
                 observed: None,
                 yielded: false,
@@ -698,12 +735,35 @@ struct Worker<'a> {
     poison_check: bool,
     schedule: Vec<NodeId>,
     plan: BufferPlan,
-    values: BTreeMap<TensorId, Tensor>,
-    /// Remote pieces that arrived before their consumer needed them, keyed
-    /// by `(consumer node, input index)`.
-    pending: BTreeMap<(usize, usize), Tensor>,
+    /// Values are shared: checkpoints and resume snapshots hold `Arc`
+    /// clones of the same payloads instead of deep copies.
+    values: BTreeMap<TensorId, Arc<Tensor>>,
+    /// Per tensor: the last local schedule position that reads it
+    /// (`usize::MAX` when it stays live to run end — persistent leaves,
+    /// comm-edge sources, unconsumed outputs). The checkpoint poison scan
+    /// skips tensors dead before the barrier: they cannot influence a
+    /// resumed run, and the snapshot still *records* them (bit-identity of
+    /// recovered value maps requires every key).
+    scan_floor: Vec<usize>,
+    /// Remote pieces that arrived before their consumer needed them,
+    /// indexed by the plan-time receive slot.
+    pending: Vec<Option<PieceRef>>,
     rx: Receiver<Msg>,
-    txs: Vec<Option<Sender<Msg>>>,
+    /// The attempt-wide shared sender slice (own slot included; the run
+    /// scope owns the senders, so no per-run clone fan-out).
+    txs: &'a [Sender<Msg>],
+    /// This worker's pre-resolved routing table.
+    routes: &'a WorkerRoutes,
+    /// Recycling allocator for outgoing message payloads.
+    slab: PieceSlab,
+    /// Per-message verification level.
+    integrity: IntegrityLevel,
+    /// Cached: the fault plan contains at least one message fault, so the
+    /// per-send fault scan is worth running at all.
+    has_message_faults: bool,
+    /// Payload bytes the transport copied beyond the producer's single
+    /// block extraction (zero on the fault-free fast path).
+    transport_copy_bytes: u64,
     /// Per destination: (bytes, messages) pushed.
     sent: Vec<(u64, u64)>,
     /// Per destination: next sequence number to stamp.
@@ -750,7 +810,7 @@ impl<'a> Worker<'a> {
         w: usize,
         feeds: &[(TensorId, Tensor)],
         rx: Receiver<Msg>,
-        txs: Vec<Option<Sender<Msg>>>,
+        txs: &'a [Sender<Msg>],
         epoch: Instant,
         obs_epoch_us: f64,
         opts: &RunOptions,
@@ -758,7 +818,8 @@ impl<'a> Worker<'a> {
         token: &AbortToken,
         ckpts_at: &'a BTreeMap<usize, Vec<usize>>,
         store: Option<&'a Mutex<CheckpointStore>>,
-        resume: Option<(usize, &'a BTreeMap<TensorId, Tensor>)>,
+        resume: Option<(usize, &'a BTreeMap<TensorId, Arc<Tensor>>)>,
+        routes: &'a WorkerRoutes,
         device_map: &'a [usize],
         yield_at: Option<usize>,
         yield_latch: &'a AtomicUsize,
@@ -767,7 +828,8 @@ impl<'a> Worker<'a> {
         let plan = plan_buffers(&sharded.graph, &schedule, opts.buffer_reuse);
         let (start_pos, values) = match resume {
             // The snapshot already holds the feeds plus everything the
-            // prefix computed; re-feeding would be redundant.
+            // prefix computed; re-feeding would be redundant. Cloning an
+            // `Arc` map shares the payloads with the checkpoint store.
             Some((cut, snap)) => (cut, snap.clone()),
             None => {
                 let mut values = BTreeMap::new();
@@ -790,11 +852,26 @@ impl<'a> Worker<'a> {
                             meta.shape
                         )));
                     }
-                    values.insert(*t, v.clone());
+                    values.insert(*t, Arc::new(v.clone()));
                 }
                 (0, values)
             }
         };
+        // Liveness floor for the checkpoint poison scan: last local read per
+        // tensor, forced to "live forever" for persistent leaves and
+        // comm-edge sources (their values feed resumes and owed sends).
+        let mut scan_floor = vec![usize::MAX; sharded.graph.num_tensors()];
+        for (pos, id) in schedule.iter().enumerate() {
+            for t in &sharded.graph.node(*id).inputs {
+                scan_floor[t.0] = pos;
+            }
+        }
+        for t in &plan.persistent {
+            scan_floor[t.0] = usize::MAX;
+        }
+        for r in routes.startup.iter().chain(routes.sends.iter()) {
+            scan_floor[r.tensor.0] = usize::MAX;
+        }
         let k = txs.len();
         let mut pool = BufferPool::new(w);
         pool.set_budget(opts.pool_budget);
@@ -807,9 +884,15 @@ impl<'a> Worker<'a> {
             schedule,
             plan,
             values,
-            pending: BTreeMap::new(),
+            scan_floor,
+            pending: vec![None; routes.slots.len()],
             rx,
             txs,
+            routes,
+            slab: PieceSlab::default(),
+            integrity: opts.integrity,
+            has_message_faults: faults.has_message_faults(),
+            transport_copy_bytes: 0,
             sent: vec![(0, 0); k],
             next_seq: vec![0; k],
             expect_seq: vec![0; k],
@@ -888,6 +971,7 @@ impl<'a> Worker<'a> {
             persistent_bytes: self.persistent_bytes,
             bytes_sent: self.sent.iter().map(|&(b, _)| b).sum(),
             bytes_received: self.bytes_received,
+            transport_copy_bytes: self.transport_copy_bytes,
             completed: self.completed,
             resumed_from: if self.start_pos > 0 { Some(self.start_pos) } else { None },
         };
@@ -895,6 +979,8 @@ impl<'a> Worker<'a> {
             trace: Some(trace),
             values: std::mem::take(&mut self.values),
             sent: std::mem::take(&mut self.sent),
+            slab_allocs: self.slab.allocs(),
+            slab_reuses: self.slab.reuses(),
             error: err,
             observed: self.observed,
             yielded: self.yielded,
@@ -917,14 +1003,22 @@ impl<'a> Worker<'a> {
     }
 
     /// Records every checkpoint whose local cut is `pos` (positions
-    /// `[0, pos)` are done). With `poison_check` on, every value is scanned
-    /// for NaN/Inf first and a poisoned snapshot is *never* committed — a
-    /// checkpoint exists to be restored from, and restoring non-finite state
-    /// would silently poison every later attempt.
+    /// `[0, pos)` are done). With `poison_check` on, every value still live
+    /// at the barrier is scanned for NaN/Inf first and a poisoned snapshot
+    /// is *never* committed — a checkpoint exists to be restored from, and
+    /// restoring non-finite state would silently poison every later attempt.
+    /// Tensors whose last local read precedes the barrier are skipped by the
+    /// scan (a resume can never observe them) but stay in the snapshot: the
+    /// recorded map is an `Arc` clone of the live one — refcount bumps, no
+    /// payload copies — and bit-identity of recovered runs requires every
+    /// key to survive.
     fn take_checkpoints(&mut self, pos: usize) -> Result<()> {
         if let (Some(store), Some(ks)) = (self.store, self.ckpts_at.get(&pos)) {
             if self.poison_check {
                 for (t, v) in &self.values {
+                    if self.scan_floor[t.0] < pos {
+                        continue; // dead before the barrier: unobservable on resume
+                    }
                     if v.data().iter().any(|x| !x.is_finite()) {
                         return Err(RuntimeError::PoisonedCheckpoint {
                             worker: self.w,
@@ -963,11 +1057,7 @@ impl<'a> Worker<'a> {
         Ok(())
     }
 
-    fn run_inner(
-        &mut self,
-        startup: &[&CommEdge],
-        node_sends: &BTreeMap<NodeId, Vec<&CommEdge>>,
-    ) -> Result<()> {
+    fn run_inner(&mut self) -> Result<()> {
         // On resume, bring the pool to its pre-failure state by replaying
         // the plan's prefix (output sizes are static graph metadata).
         for pos in 0..self.start_pos {
@@ -990,8 +1080,9 @@ impl<'a> Worker<'a> {
 
         // Owned leaf shards other devices fetch go out before any compute;
         // on resume this list also carries the owed snapshot sends.
-        for e in startup {
-            self.send_edge(e)?;
+        let routes = self.routes;
+        for r in &routes.startup {
+            self.send_route(r)?;
         }
 
         let last = self.schedule.len().saturating_sub(1);
@@ -1035,15 +1126,17 @@ impl<'a> Worker<'a> {
             let node = self.sharded.graph.node(id);
             let start = self.epoch.elapsed();
             let out = if node.op == "multi_fetch" {
-                self.assemble_fetch(id)?
+                self.assemble_fetch(pos, id)?
             } else {
                 let inputs: Vec<&Tensor> = node
                     .inputs
                     .iter()
                     .map(|t| {
-                        self.values.get(t).ok_or_else(|| RuntimeError::MissingFeed {
-                            worker: self.w,
-                            tensor: self.sharded.graph.tensor(*t).name.clone(),
+                        self.values.get(t).map(|v| v.as_ref()).ok_or_else(|| {
+                            RuntimeError::MissingFeed {
+                                worker: self.w,
+                                tensor: self.sharded.graph.tensor(*t).name.clone(),
+                            }
                         })
                     })
                     .collect::<Result<_>>()?;
@@ -1063,11 +1156,10 @@ impl<'a> Worker<'a> {
                     buf.counter("pool bytes", e_us, pool_now);
                 }
             }
-            self.values.insert(node.output, out);
-            if let Some(list) = node_sends.get(&id) {
-                for e in list {
-                    self.send_edge(e)?;
-                }
+            self.values.insert(node.output, Arc::new(out));
+            let (lo, hi) = routes.spans[pos];
+            for r in &routes.sends[lo as usize..hi as usize] {
+                self.send_route(r)?;
             }
         }
         self.cur_pos = None;
@@ -1084,67 +1176,103 @@ impl<'a> Worker<'a> {
 
         // End-of-run integrity: every piece addressed to this worker must
         // have been consumed — a leftover means a duplicated or misrouted
-        // message survived to the end.
-        self.drain_check()?;
+        // message survived to the end. `Fast` skips the sweep entirely: the
+        // routing table guarantees a fault-free run sends exactly the pieces
+        // the plan owes, so the sweep only ever fires under injected faults
+        // (which require `Full` anyway).
+        if self.integrity != IntegrityLevel::Fast {
+            self.drain_check()?;
+        }
         self.pool.verify_against(&self.plan)?;
         self.completed = true;
         Ok(())
     }
 
-    /// Pushes the piece of `e.tensor` that `e.consumer` needs, applying any
-    /// injected message fault targeting this link position.
-    fn send_edge(&mut self, e: &CommEdge) -> Result<()> {
-        let src = self.values.get(&e.tensor).ok_or_else(|| {
-            RuntimeError::Internal(format!(
-                "worker {}: comm edge reads unevaluated tensor {:?}",
-                self.w, e.tensor
-            ))
-        })?;
-        let mut piece = extract_piece(src, &e.piece)?;
-        let bytes = piece.shape().bytes();
+    /// Pushes the pre-routed piece `r` (extract into a slab buffer, seal,
+    /// stamp, send), applying any injected message fault targeting this link
+    /// position. The fast path performs exactly one copy — tensor to slab
+    /// buffer — and the channel then carries only the `Arc`.
+    fn send_route(&mut self, r: &SendRoute) -> Result<()> {
+        let len_elems: usize = r.piece.len.iter().map(|&l| l.max(0) as usize).product();
+        let mut buf = self.slab.alloc(len_elems);
+        {
+            let src = self.values.get(&r.tensor).ok_or_else(|| {
+                RuntimeError::Internal(format!(
+                    "worker {}: comm edge reads unevaluated tensor {:?}",
+                    self.w, r.tensor
+                ))
+            })?;
+            extract_piece_into(src, &r.piece, &mut buf)?;
+        }
+        let dims: Vec<usize> = r.piece.len.iter().map(|&l| l.max(0) as usize).collect();
+        let mut piece = self.slab.seal(Shape::new(dims), buf);
+        let bytes = piece.bytes();
         // The checksum covers the *intended* payload; corruption injected
-        // below is therefore detectable at the receiver.
-        let checksum = payload_checksum(piece.data());
-        let index = self.sent[e.dst].1;
-        let seq = self.next_seq[e.dst];
-        self.next_seq[e.dst] += 1;
-        self.sent[e.dst].0 += bytes;
-        self.sent[e.dst].1 += 1;
+        // below is therefore detectable at the receiver. Lower integrity
+        // levels send 0 — the receiver doesn't look at it.
+        let checksum = if self.integrity == IntegrityLevel::Full {
+            payload_checksum(piece.data())
+        } else {
+            0
+        };
+        let index = self.sent[r.dst].1;
+        let seq = self.next_seq[r.dst];
+        self.next_seq[r.dst] += 1;
+        self.sent[r.dst].0 += bytes;
+        self.sent[r.dst].1 += 1;
         if self.obs.is_some() {
             let ts = self.obs_ts(self.epoch.elapsed());
-            let total = self.sent[e.dst].0 as f64;
-            let name = format!("link {}->{} bytes", self.w, e.dst);
+            let total = self.sent[r.dst].0 as f64;
+            let name = format!("link {}->{} bytes", self.w, r.dst);
             if let Some(buf) = self.obs.as_mut() {
                 buf.counter(&name, ts, total);
             }
         }
-        let action = self.faults.message_action(self.phys, self.device_map[e.dst], index);
+        // The linear fault-table scan only runs when a message fault is
+        // actually armed; fault-free runs skip it per message.
+        let action = if self.has_message_faults {
+            self.faults.message_action(self.phys, self.device_map[r.dst], index)
+        } else {
+            None
+        };
         match action {
             // Lost on the wire: the sequence number is consumed, so the next
             // message on this link exposes the gap.
             Some(MessageFault::Drop) => return Ok(()),
             Some(MessageFault::Delay(d)) => std::thread::sleep(d),
             Some(MessageFault::Corrupt) => {
-                let data = piece.data_mut();
+                // The sealed payload may be aliased (a duplicate in flight,
+                // the slab's reclamation handle) — corrupting it in place
+                // would tamper with every holder. Divert through an owned,
+                // untracked buffer instead; the copy is charged to the
+                // transport-copy counter like any other fault-path copy.
+                let mut data = piece.data().to_vec();
                 if let Some(v) = data.first_mut() {
                     *v = f32::from_bits(v.to_bits() ^ 0x0040_0000);
                 }
+                self.transport_copy_bytes += bytes;
+                piece = PieceRef::from_vec(piece.shape().clone(), data);
             }
             Some(MessageFault::Duplicate) | None => {}
         }
-        let tx = self.txs[e.dst].as_ref().ok_or_else(|| {
-            RuntimeError::Internal("comm edge addressed to the sending worker".into())
-        })?;
+        if r.dst == self.w {
+            return Err(RuntimeError::Internal(
+                "comm edge addressed to the sending worker".into(),
+            ));
+        }
+        let tx = &self.txs[r.dst];
         let hung_up = |_| RuntimeError::Comm {
             worker: self.w,
-            detail: format!("worker {} hung up", e.dst),
+            detail: format!("worker {} hung up", r.dst),
         };
         if action == Some(MessageFault::Duplicate) {
+            // Cloning a `PieceRef` bumps a refcount; the payload stays shared.
             tx.send(Msg {
                 src: self.w,
                 seq,
-                consumer: e.consumer,
-                input_index: e.input_index,
+                slot: r.slot,
+                consumer: r.consumer,
+                input_index: r.input_index,
                 checksum,
                 piece: piece.clone(),
             })
@@ -1153,8 +1281,9 @@ impl<'a> Worker<'a> {
         tx.send(Msg {
             src: self.w,
             seq,
-            consumer: e.consumer,
-            input_index: e.input_index,
+            slot: r.slot,
+            consumer: r.consumer,
+            input_index: r.input_index,
             checksum,
             piece,
         })
@@ -1163,127 +1292,143 @@ impl<'a> Worker<'a> {
     }
 
     /// Executes a `multi_fetch` node: local inputs are copied out of the
-    /// worker's own values; remote inputs block on the receive port until
-    /// their (already-extracted) piece arrives.
-    fn assemble_fetch(&mut self, id: NodeId) -> Result<Tensor> {
-        let node = self.sharded.graph.node(id);
-        let pieces = fetch_pieces(&self.sharded.graph, id)
+    /// worker's own values; remote inputs block on their pre-assigned
+    /// receive slot until the (already-extracted) piece arrives. The
+    /// assembly plan was decoded once at plan time — no attribute parsing
+    /// or graph lookups happen here.
+    fn assemble_fetch(&mut self, pos: usize, id: NodeId) -> Result<Tensor> {
+        let routes = self.routes;
+        let plan = routes.fetches[pos]
+            .as_ref()
             .ok_or_else(|| RuntimeError::Internal("assemble on non-fetch node".into()))?;
+        let node = self.sharded.graph.node(id);
         let out_shape = self.sharded.graph.tensor(node.output).shape.clone();
         let mut out = Tensor::zeros(out_shape);
-        let inputs = node.inputs.clone();
-        for (i, &t) in inputs.iter().enumerate() {
-            let p = &pieces[i];
-            if self.sharded.device_of_tensor[t.0] == Some(self.w) {
-                let src = self.values.get(&t).ok_or_else(|| {
-                    RuntimeError::Internal(format!(
-                        "worker {}: fetch reads unevaluated local {t:?}",
-                        self.w
-                    ))
-                })?;
-                copy_block(&mut out, src, &p.src_begin, &p.dst_begin, &p.len);
-            } else {
-                // Time the blocking receive separately so a trace splits a
-                // fetch node's span into recv-wait vs assembly.
-                let wait_start = self.obs.as_ref().map(|_| self.epoch.elapsed());
-                let piece = self.recv_piece(id, i)?;
-                if let Some(ws) = wait_start {
-                    let (s_us, e_us) = (self.obs_ts(ws), self.obs_ts(self.epoch.elapsed()));
-                    let name = format!("recv {}[{i}]", self.sharded.graph.node(id).name);
-                    if let Some(buf) = self.obs.as_mut() {
-                        buf.complete("wait", &name, s_us, e_us);
-                    }
+        for (i, input) in plan.inputs.iter().enumerate() {
+            let p = &input.piece;
+            match input.source {
+                FetchSource::Local(t) => {
+                    let src = self.values.get(&t).ok_or_else(|| {
+                        RuntimeError::Internal(format!(
+                            "worker {}: fetch reads unevaluated local {t:?}",
+                            self.w
+                        ))
+                    })?;
+                    copy_block(&mut out, src.as_ref(), &p.src_begin, &p.dst_begin, &p.len);
                 }
-                self.bytes_received += piece.shape().bytes();
-                // The producer already extracted the block: source offsets
-                // are zero in the received piece's coordinates.
-                let zeros = vec![0i64; p.len.len()];
-                copy_block(&mut out, &piece, &zeros, &p.dst_begin, &p.len);
+                FetchSource::Remote { slot } => {
+                    // Time the blocking receive separately so a trace splits
+                    // a fetch node's span into recv-wait vs assembly.
+                    let wait_start = self.obs.as_ref().map(|_| self.epoch.elapsed());
+                    let piece = self.recv_piece(slot, id, i)?;
+                    if let Some(ws) = wait_start {
+                        let (s_us, e_us) = (self.obs_ts(ws), self.obs_ts(self.epoch.elapsed()));
+                        let name = format!("recv {}[{i}]", self.sharded.graph.node(id).name);
+                        if let Some(buf) = self.obs.as_mut() {
+                            buf.complete("wait", &name, s_us, e_us);
+                        }
+                    }
+                    self.bytes_received += piece.bytes();
+                    // The producer already extracted the block: source
+                    // offsets are zero in the received piece's coordinates.
+                    copy_piece_block(&mut out, &piece, &p.dst_begin, &p.len);
+                }
             }
         }
         Ok(out)
     }
 
     /// Validates an arriving message (link sequence, payload checksum,
-    /// expected piece) and stashes it.
+    /// expected piece — depending on the configured integrity level) and
+    /// stashes it in its receive slot. At [`IntegrityLevel::Fast`] only the
+    /// slot-occupancy check remains, and that is required for correctness,
+    /// not integrity: a slot holds exactly one piece per attempt.
     fn accept(&mut self, msg: Msg) -> Result<()> {
+        let routes = self.routes;
         let comm = |detail: String| RuntimeError::Comm { worker: self.w, detail };
-        let expected = self.expect_seq[msg.src];
-        if msg.seq != expected {
+        let slot = msg.slot as usize;
+        let Some(expect) = routes.slots.get(slot) else {
             return Err(comm(format!(
-                "link {} -> {}: message carries seq {} but {} was expected ({})",
-                msg.src,
-                self.w,
-                msg.seq,
-                expected,
-                if msg.seq < expected {
-                    "a piece was duplicated or reordered"
-                } else {
-                    "a piece was dropped"
-                }
+                "link {} -> {}: piece carries unknown receive slot {slot}",
+                msg.src, self.w
             )));
+        };
+        if self.integrity != IntegrityLevel::Fast {
+            let expected = self.expect_seq[msg.src];
+            if msg.seq != expected {
+                return Err(comm(format!(
+                    "link {} -> {}: message carries seq {} but {} was expected ({})",
+                    msg.src,
+                    self.w,
+                    msg.seq,
+                    expected,
+                    if msg.seq < expected {
+                        "a piece was duplicated or reordered"
+                    } else {
+                        "a piece was dropped"
+                    }
+                )));
+            }
+            self.expect_seq[msg.src] = expected + 1;
         }
-        self.expect_seq[msg.src] = expected + 1;
-        if payload_checksum(msg.piece.data()) != msg.checksum {
-            return Err(comm(format!(
-                "link {} -> {}: piece for node {} input {} failed its checksum \
-                 (payload corrupted in transit)",
-                msg.src, self.w, msg.consumer.0, msg.input_index
-            )));
+        if self.integrity == IntegrityLevel::Full {
+            if payload_checksum(msg.piece.data()) != msg.checksum {
+                return Err(comm(format!(
+                    "link {} -> {}: piece for node {} input {} failed its checksum \
+                     (payload corrupted in transit)",
+                    msg.src, self.w, msg.consumer.0, msg.input_index
+                )));
+            }
+            // Expected-piece check against the plan-time routing table: the
+            // stamped sender, consumer and input index must match what the
+            // slot was assigned to carry, and the payload must be exactly
+            // the block shape the generator planned.
+            if msg.src != expect.src
+                || msg.consumer != expect.consumer
+                || msg.input_index != expect.input_index
+            {
+                return Err(comm(format!(
+                    "link {} -> {}: piece stamped for node {} input {} landed in slot \
+                     {slot}, which expects node {} input {} from worker {}",
+                    msg.src,
+                    self.w,
+                    msg.consumer.0,
+                    msg.input_index,
+                    expect.consumer.0,
+                    expect.input_index,
+                    expect.src
+                )));
+            }
+            if msg.piece.shape().dims() != expect.dims.as_slice() {
+                return Err(comm(format!(
+                    "link {} -> {}: piece for node {} input {} has shape {} but block \
+                     {:?} was expected",
+                    msg.src,
+                    self.w,
+                    msg.consumer.0,
+                    msg.input_index,
+                    msg.piece.shape(),
+                    expect.dims
+                )));
+            }
         }
-        // Expected-piece check: the addressed consumer must be one of this
-        // worker's fetch nodes, the input index in range, and the payload
-        // exactly the block shape the generator planned.
-        if self.sharded.device_of(msg.consumer) != self.w {
-            return Err(comm(format!(
-                "link {} -> {}: piece addressed to node {} which lives on worker {}",
-                msg.src,
-                self.w,
-                msg.consumer.0,
-                self.sharded.device_of(msg.consumer)
-            )));
-        }
-        let pieces = fetch_pieces(&self.sharded.graph, msg.consumer).ok_or_else(|| {
-            comm(format!(
-                "link {} -> {}: piece addressed to non-fetch node {}",
-                msg.src, self.w, msg.consumer.0
-            ))
-        })?;
-        let expect = pieces.get(msg.input_index).ok_or_else(|| {
-            comm(format!(
-                "link {} -> {}: input index {} out of range for node {}",
-                msg.src, self.w, msg.input_index, msg.consumer.0
-            ))
-        })?;
-        let want: Vec<usize> = expect.len.iter().map(|&l| l as usize).collect();
-        if msg.piece.shape().dims() != want.as_slice() {
-            return Err(comm(format!(
-                "link {} -> {}: piece for node {} input {} has shape {} but block {:?} \
-                 was expected",
-                msg.src,
-                self.w,
-                msg.consumer.0,
-                msg.input_index,
-                msg.piece.shape(),
-                want
-            )));
-        }
-        if self.pending.insert((msg.consumer.0, msg.input_index), msg.piece).is_some() {
+        if self.pending[slot].is_some() {
             return Err(comm(format!(
                 "link {} -> {}: second piece for node {} input {} (duplicate)",
-                msg.src, self.w, msg.consumer.0, msg.input_index
+                msg.src, self.w, expect.consumer.0, expect.input_index
             )));
         }
+        self.pending[slot] = Some(msg.piece);
         Ok(())
     }
 
-    /// The piece for `(consumer, input_index)`, from the stash or the wire.
-    /// Polls the abort token at `abort_poll` granularity while waiting, so a
-    /// peer failure is observed in milliseconds rather than `recv_timeout`.
-    fn recv_piece(&mut self, consumer: NodeId, input_index: usize) -> Result<Tensor> {
+    /// The piece for `slot`, from the stash or the wire. Polls the abort
+    /// token at `abort_poll` granularity while waiting, so a peer failure is
+    /// observed in milliseconds rather than `recv_timeout`.
+    fn recv_piece(&mut self, slot: u32, consumer: NodeId, input_index: usize) -> Result<PieceRef> {
         let deadline = Instant::now() + self.recv_timeout;
         loop {
-            if let Some(v) = self.pending.remove(&(consumer.0, input_index)) {
+            if let Some(v) = self.pending[slot as usize].take() {
                 return Ok(v);
             }
             self.check_abort()?;
@@ -1311,19 +1456,21 @@ impl<'a> Worker<'a> {
         }
     }
 
-    /// End-of-run check: the receive port and the stash must be empty.
+    /// End-of-run check: the receive port and every stash slot must be empty.
     fn drain_check(&mut self) -> Result<()> {
         while let Ok(msg) = self.rx.try_recv() {
             // A late arrival still goes through the integrity checks — a
             // duplicate trips the sequence check right here.
             self.accept(msg)?;
         }
-        if let Some((&(node, input), _)) = self.pending.iter().next() {
+        if let Some(slot) = self.pending.iter().position(|p| p.is_some()) {
+            let e = &self.routes.slots[slot];
             return Err(RuntimeError::Comm {
                 worker: self.w,
                 detail: format!(
-                    "piece for node {node} input {input} was never consumed \
-                     (duplicated or misrouted message)"
+                    "piece for node {} input {} was never consumed \
+                     (duplicated or misrouted message)",
+                    e.consumer.0, e.input_index
                 ),
             });
         }
@@ -1331,44 +1478,109 @@ impl<'a> Worker<'a> {
     }
 }
 
-/// Slices the block `[src_begin, src_begin + len)` out of `src`.
-pub fn extract_piece(src: &Tensor, p: &FetchPiece) -> Result<Tensor> {
-    let mut out = src.clone();
-    for (d, (&b, &l)) in p.src_begin.iter().zip(&p.len).enumerate() {
-        out = out
-            .slice(d, b as usize, (b + l) as usize)
-            .map_err(|e| RuntimeError::Internal(format!("piece extraction: {e}")))?;
+/// Row-major strides for `dims` (innermost stride 1).
+fn row_major_strides(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; dims.len()];
+    for d in (0..dims.len().saturating_sub(1)).rev() {
+        strides[d] = strides[d + 1] * dims[d + 1];
     }
-    Ok(out)
+    strides
 }
 
-/// Copies the `len`-sized block at `src_begin` of `src` to `dst_begin` of
-/// `dst`. Both tensors are dense row-major, so the block's innermost
-/// dimension is contiguous in both and is moved with one slice copy per row
-/// (this is the hot path of every `multi_fetch` assembly).
-///
-/// The block must lie within both tensors' bounds; offsets and extents are
-/// element counts per dimension, matching [`FetchPiece`]'s encoding.
-pub fn copy_block(dst: &mut Tensor, src: &Tensor, src_begin: &[i64], dst_begin: &[i64], len: &[i64]) {
+/// Slices the block `[src_begin, src_begin + len)` of `src` into `out`,
+/// appending rows with `extend_from_slice`. `out` should arrive empty with
+/// capacity for the whole block — the send path reuses slab buffers here, so
+/// extraction never clones the source tensor.
+fn extract_piece_into(src: &Tensor, p: &FetchPiece, out: &mut Vec<f32>) -> Result<()> {
+    let dims = src.shape().dims().to_vec();
+    if p.src_begin.len() != dims.len() || p.len.len() != dims.len() {
+        return Err(RuntimeError::Internal(format!(
+            "piece extraction: rank mismatch (tensor rank {}, piece rank {})",
+            dims.len(),
+            p.len.len()
+        )));
+    }
+    for (d, (&b, &l)) in p.src_begin.iter().zip(&p.len).enumerate() {
+        if b < 0 || l < 0 || (b + l) as usize > dims[d] {
+            return Err(RuntimeError::Internal(format!(
+                "piece extraction: block [{b}, {}) exceeds dimension {d} of extent {}",
+                b + l,
+                dims[d]
+            )));
+        }
+    }
+    let data = src.data();
+    let rank = dims.len();
+    if rank == 0 {
+        out.push(data[0]);
+        return Ok(());
+    }
+    if p.len.contains(&0) {
+        return Ok(());
+    }
+    let strides = src.shape().strides();
+    let row = p.len[rank - 1] as usize;
+    let mut off: usize = p.src_begin.iter().zip(&strides).map(|(&b, &s)| b as usize * s).sum();
+    let mut idx = vec![0usize; rank - 1];
+    'rows: loop {
+        out.extend_from_slice(&data[off..off + row]);
+        // Odometer over the outer dimensions.
+        let mut d = rank - 1;
+        while d > 0 {
+            d -= 1;
+            idx[d] += 1;
+            off += strides[d];
+            if idx[d] < p.len[d] as usize {
+                continue 'rows;
+            }
+            idx[d] = 0;
+            off -= strides[d] * p.len[d] as usize;
+        }
+        break;
+    }
+    Ok(())
+}
+
+/// Slices the block `[src_begin, src_begin + len)` out of `src` into a
+/// freshly shaped tensor. Copies only the block — never the whole source.
+pub fn extract_piece(src: &Tensor, p: &FetchPiece) -> Result<Tensor> {
+    let volume: usize = p.len.iter().map(|&l| l.max(0) as usize).product();
+    let mut out = Vec::with_capacity(volume);
+    extract_piece_into(src, p, &mut out)?;
+    let dims: Vec<usize> = p.len.iter().map(|&l| l.max(0) as usize).collect();
+    Tensor::from_vec(Shape::new(dims), out)
+        .map_err(|e| RuntimeError::Internal(format!("piece extraction: {e}")))
+}
+
+/// The shared row-copy core of [`copy_block`] / [`copy_piece_block`]: moves
+/// the `len`-sized block at `src_begin` of the `src_strides`-shaped buffer to
+/// `dst_begin` of the `dst_strides`-shaped one, one contiguous innermost row
+/// per `copy_from_slice`.
+fn copy_block_raw(
+    dst: &mut [f32],
+    dst_strides: &[usize],
+    src: &[f32],
+    src_strides: &[usize],
+    src_begin: &[i64],
+    dst_begin: &[i64],
+    len: &[i64],
+) {
     let rank = len.len();
     if rank == 0 {
-        dst.data_mut()[0] = src.data()[0];
+        let dst_off: usize = dst_begin.iter().zip(dst_strides).map(|(&b, &s)| b as usize * s).sum();
+        let src_off: usize = src_begin.iter().zip(src_strides).map(|(&b, &s)| b as usize * s).sum();
+        dst[dst_off] = src[src_off];
         return;
     }
     if len.iter().any(|&l| l <= 0) {
         return;
     }
     let row = len[rank - 1] as usize;
-    let src_strides = src.shape().strides();
-    let dst_strides = dst.shape().strides();
-    let mut src_off: usize =
-        src_begin.iter().zip(&src_strides).map(|(&b, &s)| b as usize * s).sum();
-    let mut dst_off: usize =
-        dst_begin.iter().zip(&dst_strides).map(|(&b, &s)| b as usize * s).sum();
+    let mut src_off: usize = src_begin.iter().zip(src_strides).map(|(&b, &s)| b as usize * s).sum();
+    let mut dst_off: usize = dst_begin.iter().zip(dst_strides).map(|(&b, &s)| b as usize * s).sum();
     let mut idx = vec![0usize; rank - 1];
     'rows: loop {
-        dst.data_mut()[dst_off..dst_off + row]
-            .copy_from_slice(&src.data()[src_off..src_off + row]);
+        dst[dst_off..dst_off + row].copy_from_slice(&src[src_off..src_off + row]);
         // Odometer over the outer dimensions.
         let mut d = rank - 1;
         while d > 0 {
@@ -1385,4 +1597,42 @@ pub fn copy_block(dst: &mut Tensor, src: &Tensor, src_begin: &[i64], dst_begin: 
         }
         break;
     }
+}
+
+/// Copies the `len`-sized block at `src_begin` of `src` to `dst_begin` of
+/// `dst`. Both tensors are dense row-major, so the block's innermost
+/// dimension is contiguous in both and is moved with one slice copy per row
+/// (this is the hot path of every `multi_fetch` assembly).
+///
+/// The block must lie within both tensors' bounds; offsets and extents are
+/// element counts per dimension, matching [`FetchPiece`]'s encoding.
+pub fn copy_block(dst: &mut Tensor, src: &Tensor, src_begin: &[i64], dst_begin: &[i64], len: &[i64]) {
+    let src_strides = src.shape().strides();
+    let dst_strides = dst.shape().strides();
+    copy_block_raw(
+        dst.data_mut(),
+        &dst_strides,
+        src.data(),
+        &src_strides,
+        src_begin,
+        dst_begin,
+        len,
+    );
+}
+
+/// Copies a received piece (a whole extracted block, offsets zero in its own
+/// coordinates) into `dst` at `dst_begin`.
+fn copy_piece_block(dst: &mut Tensor, piece: &PieceRef, dst_begin: &[i64], len: &[i64]) {
+    let src_strides = row_major_strides(piece.shape().dims());
+    let dst_strides = dst.shape().strides();
+    let zeros = vec![0i64; len.len()];
+    copy_block_raw(
+        dst.data_mut(),
+        &dst_strides,
+        piece.data(),
+        &src_strides,
+        &zeros,
+        dst_begin,
+        len,
+    );
 }

@@ -80,11 +80,13 @@ fn full_dims(regions: &[Region]) -> Vec<usize> {
 /// Gathers the per-worker shard values of original tensor `t` (looked up in
 /// `values`, a map over *sharded-graph* tensor ids) into the full original
 /// value. Block-copy based — the fast path [`ShardedGraph::gather`]'s
-/// per-element loop is not.
-pub fn gather_shards(
+/// per-element loop is not. Generic over the map's value type so both plain
+/// tensors and the checkpoint store's `Arc`-shared payloads gather without
+/// an intermediate deep copy.
+pub fn gather_shards<V: std::borrow::Borrow<Tensor>>(
     sharded: &ShardedGraph,
     t: TensorId,
-    values: &BTreeMap<TensorId, Tensor>,
+    values: &BTreeMap<TensorId, V>,
 ) -> Result<Tensor> {
     let regions = sharded
         .regions
@@ -96,9 +98,12 @@ pub fn gather_shards(
         .ok_or_else(|| RuntimeError::Internal(format!("gather_shards: {t:?} has no shards")))?;
     let mut full = Tensor::zeros(Shape::new(full_dims(regions)));
     for (w, region) in regions.iter().enumerate() {
-        let piece = values.get(&shards[w]).ok_or_else(|| {
-            RuntimeError::Internal(format!("gather_shards: worker {w} shard of {t:?} missing"))
-        })?;
+        let piece = values
+            .get(&shards[w])
+            .ok_or_else(|| {
+                RuntimeError::Internal(format!("gather_shards: worker {w} shard of {t:?} missing"))
+            })?
+            .borrow();
         let len: Vec<i64> = region.iter().map(|&(lo, hi)| hi - lo).collect();
         let expect: Vec<usize> = len.iter().map(|&l| l.max(0) as usize).collect();
         if piece.shape().dims() != expect.as_slice() {
@@ -155,7 +160,8 @@ pub(crate) fn assemble_snapshot(
 ) -> Result<FullSnapshot> {
     // One merged view over all workers' snapshots; shard ids are disjoint
     // across workers except for values each worker holds of its own shards.
-    let mut merged: BTreeMap<TensorId, Tensor> = BTreeMap::new();
+    // Snapshot payloads are `Arc`-shared, so the merge clones refcounts.
+    let mut merged: BTreeMap<TensorId, std::sync::Arc<Tensor>> = BTreeMap::new();
     for per_worker in &point.values {
         for (t, v) in per_worker {
             merged.entry(*t).or_insert_with(|| v.clone());
@@ -186,10 +192,11 @@ pub(crate) fn scatter_snapshot(
             cuts.len()
         ))
     })?;
-    let mut values: Vec<BTreeMap<TensorId, Tensor>> = vec![BTreeMap::new(); sharded.workers];
+    let mut values: Vec<BTreeMap<TensorId, std::sync::Arc<Tensor>>> =
+        vec![BTreeMap::new(); sharded.workers];
     for (&t, full) in &snap.tensors {
         for (w, (shard, piece)) in scatter_full(sharded, t, full)?.into_iter().enumerate() {
-            values[w].insert(shard, piece);
+            values[w].insert(shard, std::sync::Arc::new(piece));
         }
     }
     Ok(ResumePoint { ckpt: snap.ckpt, cuts: cut.clone(), values })

@@ -1,0 +1,206 @@
+//! Plan-time send routing.
+//!
+//! The old data plane resolved every push at send time: a `BTreeMap` lookup
+//! per executed node to find its outgoing comm edges, a per-run clone fan-out
+//! of every channel sender, and a `fetch_pieces` re-decode per received
+//! message to learn what the payload should look like. [`RoutePlan`] hoists
+//! all of that to plan time, once per attempt:
+//!
+//! - every cross-device edge gets a dense receiver-side **slot** (numbered in
+//!   [`ShardedGraph::comm_edges`] order, so the assignment is a pure function
+//!   of the graph and identical across attempts and resumes);
+//! - each sender's routes are grouped by producing schedule position into a
+//!   flat array with per-position spans, so the send path is an indexed slice
+//!   walk with no map lookups;
+//! - each receiver gets a [`SlotExpect`] per slot — the full-integrity
+//!   cross-check data the old path re-derived from the graph per message —
+//!   and a pre-decoded [`FetchPlan`] per `multi_fetch` position, so assembly
+//!   never re-parses node attributes.
+//!
+//! Resume filtering reproduces the original send-list logic exactly: edges
+//! whose consumer ran before the checkpoint are dropped, and edges produced
+//! before the sender's cut (or by leaves) are owed as startup sends. Slots
+//! are graph-static, so a resumed attempt's slot numbering matches the
+//! original run's.
+
+use std::collections::BTreeMap;
+
+use tofu_core::{fetch_pieces, FetchPiece, ShardedGraph};
+use tofu_graph::{NodeId, TensorId};
+
+/// One pre-resolved push: everything the sender needs to extract, stamp and
+/// address a piece without consulting the graph.
+#[derive(Debug, Clone)]
+pub(crate) struct SendRoute {
+    /// Receiving worker.
+    pub(crate) dst: usize,
+    /// Tensor the piece is cut from (must be in the sender's values).
+    pub(crate) tensor: TensorId,
+    /// The consuming `multi_fetch` node (for failure attribution).
+    pub(crate) consumer: NodeId,
+    /// Position of `tensor` in the consumer's input list.
+    pub(crate) input_index: usize,
+    /// Receiver-side slot the piece lands in.
+    pub(crate) slot: u32,
+    /// The block to extract.
+    pub(crate) piece: FetchPiece,
+}
+
+/// What must arrive in one receive slot — the receiver's full-integrity
+/// cross-check, resolved at plan time.
+#[derive(Debug, Clone)]
+pub(crate) struct SlotExpect {
+    /// Worker the piece must come from.
+    pub(crate) src: usize,
+    /// Consuming `multi_fetch` node.
+    pub(crate) consumer: NodeId,
+    /// Input index within the consumer.
+    pub(crate) input_index: usize,
+    /// Block shape of the payload.
+    pub(crate) dims: Vec<usize>,
+}
+
+/// One input of a pre-decoded `multi_fetch` assembly.
+#[derive(Debug, Clone)]
+pub(crate) enum FetchSource {
+    /// Read from the worker's own values.
+    Local(TensorId),
+    /// Wait for the piece in this receive slot.
+    Remote {
+        /// Receive slot the piece arrives in.
+        slot: u32,
+    },
+}
+
+/// A pre-decoded `multi_fetch` input: where the block comes from and where
+/// it lands in the output.
+#[derive(Debug, Clone)]
+pub(crate) struct FetchInput {
+    pub(crate) source: FetchSource,
+    pub(crate) piece: FetchPiece,
+}
+
+/// All inputs of one `multi_fetch` node, pre-decoded.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FetchPlan {
+    pub(crate) inputs: Vec<FetchInput>,
+}
+
+/// One worker's routing table.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerRoutes {
+    /// Routes pushed before any compute: leaf shards, plus (on resume) owed
+    /// snapshot sends.
+    pub(crate) startup: Vec<SendRoute>,
+    /// Producer-side routes, grouped by producing local schedule position.
+    pub(crate) sends: Vec<SendRoute>,
+    /// Per local schedule position: half-open `[lo, hi)` range into `sends`.
+    pub(crate) spans: Vec<(u32, u32)>,
+    /// Per receive slot: the expected arrival.
+    pub(crate) slots: Vec<SlotExpect>,
+    /// Per local schedule position: the pre-decoded assembly of a
+    /// `multi_fetch` node (`None` for every other op).
+    pub(crate) fetches: Vec<Option<FetchPlan>>,
+}
+
+/// The full interconnect routing of one attempt.
+#[derive(Debug, Default)]
+pub(crate) struct RoutePlan {
+    pub(crate) workers: Vec<WorkerRoutes>,
+}
+
+impl RoutePlan {
+    /// Resolves every route of `sharded` for an attempt starting at
+    /// `resume_cuts` (`None` = from scratch). `local_pos[node]` is the
+    /// node's position within its own worker's schedule.
+    pub(crate) fn new(
+        sharded: &ShardedGraph,
+        local_pos: &[usize],
+        resume_cuts: Option<&[usize]>,
+    ) -> RoutePlan {
+        let k = sharded.workers;
+        let mut workers: Vec<WorkerRoutes> = (0..k).map(|_| WorkerRoutes::default()).collect();
+        let edges = sharded.comm_edges();
+
+        // Slot numbering: dense per receiver, in comm_edges order — a pure
+        // function of the graph, independent of any resume cut.
+        let mut slot_of: BTreeMap<(usize, usize), u32> = BTreeMap::new();
+        for e in &edges {
+            let slot = workers[e.dst].slots.len() as u32;
+            slot_of.insert((e.consumer.0, e.input_index), slot);
+            workers[e.dst].slots.push(SlotExpect {
+                src: e.src,
+                consumer: e.consumer,
+                input_index: e.input_index,
+                dims: e.piece.len.iter().map(|&l| l.max(0) as usize).collect(),
+            });
+        }
+
+        // Sender side: group routes by producing position, honoring the
+        // resume filter (see the module docs).
+        let mut by_pos: Vec<BTreeMap<usize, Vec<SendRoute>>> = vec![BTreeMap::new(); k];
+        for e in &edges {
+            let route = SendRoute {
+                dst: e.dst,
+                tensor: e.tensor,
+                consumer: e.consumer,
+                input_index: e.input_index,
+                slot: slot_of[&(e.consumer.0, e.input_index)],
+                piece: e.piece.clone(),
+            };
+            let producer = sharded.graph.producer(e.tensor);
+            match resume_cuts {
+                Some(cuts) => {
+                    if local_pos[e.consumer.0] < cuts[e.dst] {
+                        continue; // consumer ran before the checkpoint
+                    }
+                    match producer {
+                        Some(p) if local_pos[p.0] >= cuts[e.src] => {
+                            by_pos[e.src].entry(local_pos[p.0]).or_default().push(route)
+                        }
+                        // Leaf shard, or produced before the sender's cut:
+                        // owed — replayed from the snapshot at startup.
+                        _ => workers[e.src].startup.push(route),
+                    }
+                }
+                None => match producer {
+                    Some(p) => by_pos[e.src].entry(local_pos[p.0]).or_default().push(route),
+                    None => workers[e.src].startup.push(route),
+                },
+            }
+        }
+
+        for w in 0..k {
+            let schedule = sharded.worker_schedule(w);
+            let routes = &mut workers[w];
+            routes.spans = Vec::with_capacity(schedule.len());
+            routes.fetches = Vec::with_capacity(schedule.len());
+            for (pos, &id) in schedule.iter().enumerate() {
+                let lo = routes.sends.len() as u32;
+                if let Some(list) = by_pos[w].remove(&pos) {
+                    routes.sends.extend(list);
+                }
+                routes.spans.push((lo, routes.sends.len() as u32));
+                routes.fetches.push(fetch_pieces(&sharded.graph, id).map(|pieces| {
+                    let node = sharded.graph.node(id);
+                    let inputs = node
+                        .inputs
+                        .iter()
+                        .zip(pieces)
+                        .enumerate()
+                        .map(|(i, (&t, piece))| {
+                            let source = if sharded.device_of_tensor[t.0] == Some(w) {
+                                FetchSource::Local(t)
+                            } else {
+                                FetchSource::Remote { slot: slot_of[&(id.0, i)] }
+                            };
+                            FetchInput { source, piece }
+                        })
+                        .collect();
+                    FetchPlan { inputs }
+                }));
+            }
+        }
+        RoutePlan { workers }
+    }
+}

@@ -36,6 +36,11 @@ pub struct WorkerTrace {
     pub bytes_sent: u64,
     /// Bytes this worker received from other devices.
     pub bytes_received: u64,
+    /// Transport payload bytes *copied* between producer send and consumer
+    /// stash (beyond the one extraction into a slab buffer). Zero on the
+    /// fault-free zero-copy path — pieces travel by refcount; only injected
+    /// corruption faults divert through an owned buffer and charge here.
+    pub transport_copy_bytes: u64,
     /// False when the worker stopped early (its own failure or a peer's
     /// abort); `ops` then holds only the prefix it completed.
     pub completed: bool,

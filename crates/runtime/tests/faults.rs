@@ -14,8 +14,8 @@ use tofu_core::{generate, partition, GenOptions, PartitionOptions, ShardedGraph}
 use tofu_graph::{Graph, TensorId, TensorKind};
 use tofu_models::{mlp, MlpConfig};
 use tofu_runtime::{
-    run_with_options, run_with_recovery, CheckpointPolicy, Fault, FaultPlan, MessageFault,
-    RecoveryOptions, RunFailure, RunOptions, RuntimeError,
+    run_with_options, run_with_recovery, CheckpointPolicy, Fault, FaultPlan, IntegrityLevel,
+    MessageFault, RecoveryOptions, RunFailure, RunOptions, RuntimeError,
 };
 use tofu_tensor::Tensor;
 
@@ -344,6 +344,18 @@ fn invalid_options_fail_before_spawning() {
                 index: 0,
                 action: MessageFault::Drop,
             }),
+            ..Default::default()
+        },
+        // Message faults rely on the integrity checks to be detected; a
+        // lowered integrity level must be rejected, not silently miss them.
+        RunOptions {
+            faults: FaultPlan::single(Fault::Message {
+                src: 0,
+                dst: 1,
+                index: 0,
+                action: MessageFault::Drop,
+            }),
+            integrity: IntegrityLevel::Fast,
             ..Default::default()
         },
     ];

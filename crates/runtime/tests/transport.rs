@@ -1,0 +1,181 @@
+//! Zero-copy transport accounting and slab-allocator property tests.
+//!
+//! The data plane's contract after the hot-path overhaul: a fault-free run
+//! moves every cross-worker piece by refcount — the only payload copy is the
+//! one extraction into a slab buffer at send, so the per-worker
+//! `transport_copy_bytes` counter must read zero. The slab itself must never
+//! alias two live pieces and must recycle buffers only once every holder of
+//! a payload has dropped it.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use tofu_core::{generate, partition, GenOptions, PartitionOptions, ShardedGraph};
+use tofu_graph::{Graph, TensorId, TensorKind};
+use tofu_models::{mlp, MlpConfig};
+use tofu_runtime::{run_with_options, FaultRng, IntegrityLevel, PieceRef, PieceSlab, RunOptions};
+use tofu_tensor::{Shape, Tensor};
+
+fn feeds(g: &Graph) -> Vec<(TensorId, Tensor)> {
+    let mut out = Vec::new();
+    for t in g.tensor_ids() {
+        let meta = g.tensor(t);
+        if meta.kind == TensorKind::Intermediate {
+            continue;
+        }
+        let v = if meta.name == "labels" {
+            let b = meta.shape.dim(0);
+            Tensor::from_vec(meta.shape.clone(), (0..b).map(|i| (i % 3) as f32).collect())
+                .unwrap()
+        } else {
+            Tensor::random(meta.shape.clone(), t.0 as u64 + 1, 0.5)
+        };
+        out.push((t, v));
+    }
+    out
+}
+
+fn shard(workers: usize) -> (ShardedGraph, Vec<(TensorId, Tensor)>) {
+    let m = mlp(&MlpConfig { batch: 8, dims: vec![16, 16], classes: 8, with_updates: true })
+        .unwrap();
+    let plan = partition(&m.graph, &PartitionOptions { workers, ..Default::default() }).unwrap();
+    let sharded = generate(&m.graph, &plan, &GenOptions::default()).unwrap();
+    let mut shard_feeds = Vec::new();
+    for (t, v) in feeds(&m.graph) {
+        shard_feeds.extend(sharded.scatter(t, &v).unwrap());
+    }
+    (sharded, shard_feeds)
+}
+
+/// The fault-free transport performs zero payload copies between producer
+/// send and consumer stash, at every integrity level — integrity checks
+/// read the payload, they never copy it.
+#[test]
+fn fault_free_transport_copies_zero_bytes() {
+    for workers in [2, 4] {
+        let (sharded, shard_feeds) = shard(workers);
+        for integrity in [IntegrityLevel::Fast, IntegrityLevel::Sequenced, IntegrityLevel::Full] {
+            let opts = RunOptions { integrity, ..Default::default() };
+            let out = run_with_options(&sharded, &shard_feeds, &opts).expect("run");
+            let messages: u64 = out.trace.links.iter().map(|l| l.messages).sum();
+            let copied: u64 = out.trace.workers.iter().map(|w| w.transport_copy_bytes).sum();
+            assert!(messages > 0, "w={workers}: expected cross-worker traffic");
+            assert!(out.trace.comm_bytes() > 0, "w={workers}: expected comm bytes");
+            assert_eq!(
+                copied, 0,
+                "w={workers} {integrity:?}: transport copied {copied} payload bytes"
+            );
+        }
+    }
+}
+
+/// Skipping the integrity checks must not change a single output bit — the
+/// levels gate verification, never the data path.
+#[test]
+fn fast_integrity_output_matches_full_bit_identically() {
+    let (sharded, shard_feeds) = shard(4);
+    let full = run_with_options(
+        &sharded,
+        &shard_feeds,
+        &RunOptions { integrity: IntegrityLevel::Full, ..Default::default() },
+    )
+    .expect("full run");
+    let fast = run_with_options(
+        &sharded,
+        &shard_feeds,
+        &RunOptions { integrity: IntegrityLevel::Fast, ..Default::default() },
+    )
+    .expect("fast run");
+    let bits = |m: &BTreeMap<TensorId, Tensor>| -> Vec<(TensorId, Vec<u32>)> {
+        m.iter().map(|(t, v)| (*t, v.data().iter().map(|x| x.to_bits()).collect())).collect()
+    };
+    assert_eq!(bits(&full.values), bits(&fast.values), "integrity level changed outputs");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Live pieces sealed from one slab never alias: each keeps the bytes it
+    /// was sealed with, no matter how allocation, sealing, cloning and
+    /// reclamation interleave.
+    #[test]
+    fn slab_pieces_never_alias(
+        high_water in 1usize..8,
+        lens in prop::collection::vec(1usize..32, 1..24),
+        seed in 0u64..1_000_000_000,
+    ) {
+        let mut rng = FaultRng::new(seed);
+        let mut slab = PieceSlab::new(high_water);
+        let mut live: Vec<(PieceRef, f32)> = Vec::new();
+        for (i, &len) in lens.iter().enumerate() {
+            let tag = i as f32 + 1.0;
+            let mut buf = slab.alloc(len);
+            buf.extend(std::iter::repeat_n(tag, len));
+            let piece = slab.seal(Shape::new(vec![len]), buf);
+            // Clones share the payload; dropping one must not free it.
+            let clone = piece.clone();
+            prop_assert_eq!(clone.data().as_ptr(), piece.data().as_ptr());
+            drop(clone);
+            live.push((piece, tag));
+            // Randomly drop a live piece and force reclamation, so freed
+            // buffers re-enter the freelist mid-sequence.
+            if rng.below(3) == 0 && !live.is_empty() {
+                let victim = rng.below(live.len() as u64) as usize;
+                live.swap_remove(victim);
+                slab.reclaim();
+            }
+        }
+        for (piece, tag) in &live {
+            prop_assert!(
+                piece.data().iter().all(|v| v == tag),
+                "piece tagged {} was overwritten (slab aliased a live payload)", tag
+            );
+        }
+    }
+
+    /// Reclamation accounting: only fully released payloads return to the
+    /// freelist, every seal is an alloc or a reuse, and once every piece is
+    /// dropped the slab recovers all of them.
+    #[test]
+    fn slab_reclaims_exactly_the_released_buffers(
+        high_water in 1usize..6,
+        lens in prop::collection::vec(1usize..16, 1..20),
+        keep_mask in prop::collection::vec(0u32..2, 20..21),
+    ) {
+        let mut slab = PieceSlab::new(high_water);
+        let mut kept: Vec<PieceRef> = Vec::new();
+        for (i, &len) in lens.iter().enumerate() {
+            let mut buf = slab.alloc(len);
+            buf.extend(std::iter::repeat_n(0.5, len));
+            let piece = slab.seal(Shape::new(vec![len]), buf);
+            if keep_mask[i] == 1 {
+                kept.push(piece);
+            }
+            // Sealing past the high-water mark triggers reclamation, so the
+            // tracking list stays bounded by high_water plus the live count.
+            prop_assert!(
+                slab.outstanding() <= high_water.max(1) + kept.len(),
+                "outstanding {} exceeds high-water {} + {} live pieces",
+                slab.outstanding(), high_water, kept.len()
+            );
+        }
+        prop_assert_eq!(slab.allocs() + slab.reuses(), lens.len() as u64);
+        let dropped = lens.len() - kept.len();
+        // Dropping the survivors releases every payload; one sweep must
+        // recover them all.
+        kept.clear();
+        slab.reclaim();
+        prop_assert_eq!(slab.outstanding(), 0);
+        prop_assert_eq!(slab.reclaimed(), lens.len() as u64);
+        prop_assert!(slab.free_buffers() >= 1);
+        // Reuse actually happens once something was freed before a later
+        // alloc — sanity-check the counter is wired at all when every piece
+        // was dropped immediately and the sequence is long enough.
+        if dropped == lens.len() && lens.len() > high_water + 1 {
+            prop_assert!(
+                slab.reuses() > 0,
+                "no buffer reuse across {} seals with everything droppable", lens.len()
+            );
+        }
+    }
+}

@@ -78,21 +78,33 @@ impl Tensor {
         }
         let ox = conv_out_extent(x, dx, p.stride, p.pad);
         let mut out = Tensor::zeros(Shape::new(vec![b, co, ox]));
+        let dd = self.data();
+        let fd = filters.data();
+        let od = out.data_mut();
+        // The padded-boundary test is hoisted out of the inner loop by
+        // clipping the tap range per output position; the remaining inner
+        // loop is a dot product of two contiguous slices. The surviving
+        // terms and their order (ici outer, idx ascending) are exactly the
+        // scalar loop's, so outputs stay bit-identical.
         for ib in 0..b {
             for ico in 0..co {
                 for iox in 0..ox {
+                    let base = iox * p.stride;
+                    let lo = p.pad.saturating_sub(base);
+                    let hi = dx.min((x + p.pad).saturating_sub(base));
                     let mut acc = 0.0;
-                    for ici in 0..ci {
-                        for idx in 0..dx {
-                            let src = (iox * p.stride + idx) as isize - p.pad as isize;
-                            if src < 0 || src as usize >= x {
-                                continue;
+                    if lo < hi {
+                        let s0 = base + lo - p.pad;
+                        let taps = hi - lo;
+                        for ici in 0..ci {
+                            let drow = &dd[(ib * ci + ici) * x + s0..][..taps];
+                            let frow = &fd[(ici * co + ico) * dx + lo..][..taps];
+                            for (dv, fv) in drow.iter().zip(frow) {
+                                acc += dv * fv;
                             }
-                            acc += self.at(&[ib, ici, src as usize])
-                                * filters.at(&[ici, ico, idx]);
                         }
                     }
-                    out.set(&[ib, ico, iox], acc);
+                    od[(ib * co + ico) * ox + iox] = acc;
                 }
             }
         }
@@ -118,28 +130,79 @@ impl Tensor {
         let oh = conv_out_extent(h, kh, p.stride, p.pad);
         let ow = conv_out_extent(w, kw, p.stride, p.pad);
         let mut out = Tensor::zeros(Shape::new(vec![b, co, oh, ow]));
+        let dd = self.data();
+        let fd = filters.data();
+        let od = out.data_mut();
+        if p.stride == 1 && p.pad == 0 && kh == 1 && kw == 1 {
+            // Pointwise convolution is a per-pixel channel matmul. Packing
+            // the filter (ci, co) and each data block (ci, s) transposed —
+            // O(ci·co + b·ci·s) against O(b·ci·co·s) compute — turns every
+            // output element into a dot of two contiguous rows over `ci`,
+            // which the autovectorizer widens; the general loop below walks
+            // `taps`-long runs (here: 1) instead. Accumulation over `ici`
+            // stays ascending, so outputs are bit-identical.
+            let s = h * w;
+            let mut ft = vec![0.0f32; ci * co];
+            for ici in 0..ci {
+                for ico in 0..co {
+                    ft[ico * ci + ici] = fd[ici * co + ico];
+                }
+            }
+            let mut dt = vec![0.0f32; s * ci];
+            for ib in 0..b {
+                let dblock = &dd[ib * ci * s..(ib + 1) * ci * s];
+                for ici in 0..ci {
+                    for (is, &v) in dblock[ici * s..(ici + 1) * s].iter().enumerate() {
+                        dt[is * ci + ici] = v;
+                    }
+                }
+                let oblock = &mut od[ib * co * s..(ib + 1) * co * s];
+                for ico in 0..co {
+                    let frow = &ft[ico * ci..(ico + 1) * ci];
+                    let orow = &mut oblock[ico * s..(ico + 1) * s];
+                    for (is, o) in orow.iter_mut().enumerate() {
+                        let drow = &dt[is * ci..(is + 1) * ci];
+                        let mut acc = 0.0;
+                        for (dv, fv) in drow.iter().zip(frow) {
+                            acc += dv * fv;
+                        }
+                        *o = acc;
+                    }
+                }
+            }
+            return Ok(out);
+        }
+        // Same restructuring as conv1d: both spatial boundary tests are
+        // hoisted into clipped tap ranges, leaving a contiguous slice dot
+        // over ikw. Term order (ici, ikh, ikw ascending) matches the scalar
+        // loop's, so outputs stay bit-identical.
         for ib in 0..b {
             for ico in 0..co {
                 for ioh in 0..oh {
+                    let hbase = ioh * p.stride;
+                    let kh_lo = p.pad.saturating_sub(hbase);
+                    let kh_hi = kh.min((h + p.pad).saturating_sub(hbase));
                     for iow in 0..ow {
+                        let wbase = iow * p.stride;
+                        let kw_lo = p.pad.saturating_sub(wbase);
+                        let kw_hi = kw.min((w + p.pad).saturating_sub(wbase));
                         let mut acc = 0.0;
-                        for ici in 0..ci {
-                            for ikh in 0..kh {
-                                let sh = (ioh * p.stride + ikh) as isize - p.pad as isize;
-                                if sh < 0 || sh as usize >= h {
-                                    continue;
-                                }
-                                for ikw in 0..kw {
-                                    let sw = (iow * p.stride + ikw) as isize - p.pad as isize;
-                                    if sw < 0 || sw as usize >= w {
-                                        continue;
+                        if kh_lo < kh_hi && kw_lo < kw_hi {
+                            let sw0 = wbase + kw_lo - p.pad;
+                            let taps = kw_hi - kw_lo;
+                            for ici in 0..ci {
+                                for ikh in kh_lo..kh_hi {
+                                    let sh = hbase + ikh - p.pad;
+                                    let drow = &dd[((ib * ci + ici) * h + sh) * w + sw0..][..taps];
+                                    let frow =
+                                        &fd[((ici * co + ico) * kh + ikh) * kw + kw_lo..][..taps];
+                                    for (dv, fv) in drow.iter().zip(frow) {
+                                        acc += dv * fv;
                                     }
-                                    acc += self.at(&[ib, ici, sh as usize, sw as usize])
-                                        * filters.at(&[ici, ico, ikh, ikw]);
                                 }
                             }
                         }
-                        out.set(&[ib, ico, ioh, iow], acc);
+                        od[((ib * co + ico) * oh + ioh) * ow + iow] = acc;
                     }
                 }
             }
@@ -169,30 +232,79 @@ impl Tensor {
         if co != fco {
             return Err(TensorError::Incompatible(format!("channels {co} vs {fco}")));
         }
-        let (h, w) = (data_shape.dim(2), data_shape.dim(3));
+        let (dci, h, w) = (data_shape.dim(1), data_shape.dim(2), data_shape.dim(3));
         let mut grad = Tensor::zeros(data_shape.clone());
+        let ogd = out_grad.data();
+        let fd = filters.data();
+        let gd = grad.data_mut();
+        if p.stride == 1 && p.pad == 0 && kh == 1 && kw == 1 {
+            // Pointwise fast path, mirroring `conv2d`'s: pack the output
+            // gradient block transposed to (s, co) so each data-gradient
+            // element is a dot over `co` of two contiguous rows (the filter
+            // row (ci, co) is already contiguous over `ico`). Each gradient
+            // element collects its terms over `ico` ascending with the same
+            // `g == 0.0` skip, so results are bit-identical to the general
+            // loop below.
+            let s = oh * ow;
+            let mut gt = vec![0.0f32; s * co];
+            for ib in 0..b {
+                let oblock = &ogd[ib * co * s..(ib + 1) * co * s];
+                for ico in 0..co {
+                    for (is, &v) in oblock[ico * s..(ico + 1) * s].iter().enumerate() {
+                        gt[is * co + ico] = v;
+                    }
+                }
+                let gblock = &mut gd[ib * dci * s..(ib + 1) * dci * s];
+                for ici in 0..ci {
+                    let frow = &fd[ici * co..(ici + 1) * co];
+                    let grow_out = &mut gblock[ici * s..(ici + 1) * s];
+                    for (is, o) in grow_out.iter_mut().enumerate() {
+                        let grow = &gt[is * co..(is + 1) * co];
+                        let mut acc = 0.0;
+                        for (gv, fv) in grow.iter().zip(frow) {
+                            if *gv != 0.0 {
+                                acc += gv * fv;
+                            }
+                        }
+                        *o = acc;
+                    }
+                }
+            }
+            return Ok(grad);
+        }
+        // Same restructuring as the forward kernels: boundary tests hoisted
+        // into clipped tap ranges, per-element `at`/`set` index arithmetic
+        // replaced by contiguous row slices. Loop order — and therefore the
+        // order of additions into each gradient element — is unchanged, so
+        // gradients stay bit-identical. The data-dependent `g == 0.0` skip
+        // is preserved (zero-heavy gradients genuinely do less work here).
         for ib in 0..b {
             for ico in 0..co {
                 for ioh in 0..oh {
+                    let hbase = ioh * p.stride;
+                    let kh_lo = p.pad.saturating_sub(hbase);
+                    let kh_hi = kh.min((h + p.pad).saturating_sub(hbase));
                     for iow in 0..ow {
-                        let g = out_grad.at(&[ib, ico, ioh, iow]);
+                        let g = ogd[((ib * co + ico) * oh + ioh) * ow + iow];
                         if g == 0.0 {
                             continue;
                         }
+                        let wbase = iow * p.stride;
+                        let kw_lo = p.pad.saturating_sub(wbase);
+                        let kw_hi = kw.min((w + p.pad).saturating_sub(wbase));
+                        if kh_lo >= kh_hi || kw_lo >= kw_hi {
+                            continue;
+                        }
+                        let sw0 = wbase + kw_lo - p.pad;
+                        let taps = kw_hi - kw_lo;
                         for ici in 0..ci {
-                            for ikh in 0..kh {
-                                let sh = (ioh * p.stride + ikh) as isize - p.pad as isize;
-                                if sh < 0 || sh as usize >= h {
-                                    continue;
-                                }
-                                for ikw in 0..kw {
-                                    let sw = (iow * p.stride + ikw) as isize - p.pad as isize;
-                                    if sw < 0 || sw as usize >= w {
-                                        continue;
-                                    }
-                                    let idx = [ib, ici, sh as usize, sw as usize];
-                                    let v = grad.at(&idx) + g * filters.at(&[ici, ico, ikh, ikw]);
-                                    grad.set(&idx, v);
+                            for ikh in kh_lo..kh_hi {
+                                let sh = hbase + ikh - p.pad;
+                                let grow = &mut gd[((ib * dci + ici) * h + sh) * w + sw0..][..taps];
+                                let frow =
+                                    &fd[((ici * co + ico) * kh + ikh) * kw + kw_lo..][..taps];
+                                for (gv, fv) in grow.iter_mut().zip(frow) {
+                                    *gv += g * fv;
                                 }
                             }
                         }
@@ -216,33 +328,69 @@ impl Tensor {
             out_grad.shape().dim(2),
             out_grad.shape().dim(3),
         );
-        let (ci, _fco, kh, kw) =
+        let (ci, fco, kh, kw) =
             (filter_shape.dim(0), filter_shape.dim(1), filter_shape.dim(2), filter_shape.dim(3));
-        let (h, w) = (data.shape().dim(2), data.shape().dim(3));
+        let (dci, h, w) = (data.shape().dim(1), data.shape().dim(2), data.shape().dim(3));
         let mut grad = Tensor::zeros(filter_shape.clone());
+        let ogd = out_grad.data();
+        let dd = data.data();
+        let gd = grad.data_mut();
+        if p.stride == 1 && p.pad == 0 && kh == 1 && kw == 1 {
+            // Pointwise fast path: each filter-gradient element is a dot
+            // over the spatial extent of two rows that are already
+            // contiguous (out-grad (b, co, s) and data (b, ci, s)) — no
+            // packing needed. The running value is threaded through `acc`
+            // so every element still collects its terms in (ib, s) order
+            // with the `g == 0.0` skip, bit-identical to the general loop.
+            let s = oh * ow;
+            for ib in 0..b {
+                for ico in 0..co {
+                    let ogrow = &ogd[(ib * co + ico) * s..][..s];
+                    for ici in 0..ci {
+                        let drow = &dd[(ib * dci + ici) * s..][..s];
+                        let idx = ici * fco + ico;
+                        let mut acc = gd[idx];
+                        for (gv, dv) in ogrow.iter().zip(drow) {
+                            if *gv != 0.0 {
+                                acc += gv * dv;
+                            }
+                        }
+                        gd[idx] = acc;
+                    }
+                }
+            }
+            return Ok(grad);
+        }
+        // Mirrors conv2d_backward_data's restructuring; see the comment
+        // there. Addition order into each filter-gradient element matches
+        // the scalar loop's, so results stay bit-identical.
         for ib in 0..b {
             for ico in 0..co {
                 for ioh in 0..oh {
+                    let hbase = ioh * p.stride;
+                    let kh_lo = p.pad.saturating_sub(hbase);
+                    let kh_hi = kh.min((h + p.pad).saturating_sub(hbase));
                     for iow in 0..ow {
-                        let g = out_grad.at(&[ib, ico, ioh, iow]);
+                        let g = ogd[((ib * co + ico) * oh + ioh) * ow + iow];
                         if g == 0.0 {
                             continue;
                         }
+                        let wbase = iow * p.stride;
+                        let kw_lo = p.pad.saturating_sub(wbase);
+                        let kw_hi = kw.min((w + p.pad).saturating_sub(wbase));
+                        if kh_lo >= kh_hi || kw_lo >= kw_hi {
+                            continue;
+                        }
+                        let sw0 = wbase + kw_lo - p.pad;
+                        let taps = kw_hi - kw_lo;
                         for ici in 0..ci {
-                            for ikh in 0..kh {
-                                let sh = (ioh * p.stride + ikh) as isize - p.pad as isize;
-                                if sh < 0 || sh as usize >= h {
-                                    continue;
-                                }
-                                for ikw in 0..kw {
-                                    let sw = (iow * p.stride + ikw) as isize - p.pad as isize;
-                                    if sw < 0 || sw as usize >= w {
-                                        continue;
-                                    }
-                                    let idx = [ici, ico, ikh, ikw];
-                                    let v = grad.at(&idx)
-                                        + g * data.at(&[ib, ici, sh as usize, sw as usize]);
-                                    grad.set(&idx, v);
+                            for ikh in kh_lo..kh_hi {
+                                let sh = hbase + ikh - p.pad;
+                                let drow = &dd[((ib * dci + ici) * h + sh) * w + sw0..][..taps];
+                                let grow =
+                                    &mut gd[((ici * fco + ico) * kh + ikh) * kw + kw_lo..][..taps];
+                                for (gv, dv) in grow.iter_mut().zip(drow) {
+                                    *gv += g * dv;
                                 }
                             }
                         }

@@ -47,22 +47,52 @@ fn matmul_impl(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Result<Tensor> {
     let bc = b.shape().dim(1);
     let ad = a.data();
     let bd = b.data();
+    // Transposed operands are packed once into contiguous row-major buffers
+    // (O(m·k + k·n) extra work against O(m·k·n) compute), so every inner
+    // loop below walks unit-stride rows the autovectorizer turns into FMA
+    // lanes — the strided `bd[j * bc + p]` gather this replaces defeated
+    // both the cache and the vectorizer. Per-output-element accumulation
+    // order over `p` is unchanged, so results stay bit-identical.
+    let a_packed: Vec<f32>;
+    let a_rows: &[f32] = if ta {
+        a_packed = {
+            let mut t = vec![0.0f32; m * k1];
+            for (p, arow) in ad.chunks_exact(ac).enumerate() {
+                for (i, &v) in arow.iter().enumerate() {
+                    t[i * k1 + p] = v;
+                }
+            }
+            t
+        };
+        &a_packed
+    } else {
+        ad
+    };
+    let b_packed: Vec<f32>;
+    let b_rows: &[f32] = if tb {
+        b_packed = {
+            let mut t = vec![0.0f32; k1 * n];
+            for (j, brow) in bd.chunks_exact(bc).enumerate() {
+                for (p, &v) in brow.iter().enumerate() {
+                    t[p * n + j] = v;
+                }
+            }
+            t
+        };
+        &b_packed
+    } else {
+        bd
+    };
     // No zero-skip here: kernel time must depend only on shapes, not data,
     // so per-op trace spans stay comparable (zero-heavy gradients would
     // otherwise run artificially fast).
     for i in 0..m {
-        for p in 0..k1 {
-            let av = if ta { ad[p * ac + i] } else { ad[i * ac + p] };
-            let row = &mut out[i * n..(i + 1) * n];
-            if tb {
-                for (j, r) in row.iter_mut().enumerate() {
-                    *r += av * bd[j * bc + p];
-                }
-            } else {
-                let brow = &bd[p * bc..p * bc + n];
-                for (r, &bv) in row.iter_mut().zip(brow) {
-                    *r += av * bv;
-                }
+        let arow = &a_rows[i * k1..(i + 1) * k1];
+        let row = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            let brow = &b_rows[p * n..p * n + n];
+            for (r, &bv) in row.iter_mut().zip(brow) {
+                *r += av * bv;
             }
         }
     }

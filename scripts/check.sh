@@ -7,7 +7,10 @@ cd "$(dirname "$0")/.."
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 # The fault suite must abort runs in milliseconds; a hang here means the
-# fail-fast path regressed, so cap it hard rather than stalling CI.
+# fail-fast path regressed, so cap it hard rather than stalling CI. The
+# fault suites run at IntegrityLevel::Full (the default) — lowering the
+# level disables the checks the injected message faults rely on, and the
+# runtime rejects such plans outright.
 timeout 300 cargo test -q -p tofu-runtime --test faults
 # Elastic degraded-mode recovery, fleet churn (leave/rejoin scale-up) and
 # checkpoint resharding: permanent device loss must end in success or a
@@ -24,6 +27,11 @@ timeout 600 cargo test -q -p tofu-core --test oracle --test differential
 timeout 300 cargo test -q -p tofu-core --test concurrent_cache
 timeout 300 cargo test -q -p tofu-serve
 cargo test --workspace -q
+# Record the runtime scaling numbers (exits non-zero if us-per-op regresses
+# more than 25% against the committed BENCH_runtime.json, or if the
+# transport copies more payload bytes per message than the baseline — the
+# zero-copy data plane must stay zero-copy).
+timeout 600 cargo run --release -q -p tofu-bench --bin runtime_scaling
 # Record the fault-matrix detection latencies and recovery outcomes
 # (exits non-zero unless every injected fault recovers bit-identically).
 cargo run --release -q -p tofu-bench --bin fault_matrix
