@@ -1,0 +1,256 @@
+//! Transformer decoder scaling sweep (Fig. 8-11 style, on the workload the
+//! paper predates): simulated throughput and OOM curves for a GPT-style
+//! decoder block at paper-scale sequence lengths, across 1/2/4/8 simulated
+//! GPUs, written to `BENCH_transformer.json`.
+//!
+//! Besides the curves, the run is a regression gate on two properties:
+//!
+//! 1. **Strategy structure** — at every multi-worker point the plan must be
+//!    genuinely multi-axis: different ops split along different TDL axes,
+//!    with at least one head-parallel or reduction split (`split:h`,
+//!    `reduce:h`, `split:j`, `reduce:k`) in use — never a degenerate
+//!    single-axis data-parallel plan. At seq=512 (where the seq/width ratio
+//!    makes the megatron partition globally optimal) the gate further
+//!    requires the exact megatron-style ids on every structure node; at
+//!    longer sequences the DP legitimately mixes in sequence-parallel steps
+//!    (`split:n`), which the curves record.
+//! 2. **Comm bytes** — the simulated inter-GPU traffic of every point must
+//!    match the committed `BENCH_transformer.json` exactly (the simulator is
+//!    deterministic; any drift is a real partitioning or codegen change and
+//!    must be re-committed deliberately).
+
+use tofu_bench::{bench_report, write_report, Json};
+use tofu_core::{partition, NodeChoice, PartitionOptions, PartitionPlan};
+use tofu_graph::{Graph, NodeId};
+use tofu_models::{decoder_block, DecoderConfig};
+use tofu_obs::json::parse;
+use tofu_sim::{Machine, TofuSimOptions};
+
+/// Paper-scale sequence lengths (tokens per step; batch folded in).
+const SEQS: [usize; 5] = [512, 1024, 2048, 4096, 8192];
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+const D_MODEL: usize = 1024;
+const HEADS: usize = 16;
+const D_FF: usize = 4096;
+const CLASSES: usize = 1024;
+/// At this sequence length the megatron partition is globally optimal and
+/// the gate requires it exactly; longer sequences may mix sequence splits.
+const MEGATRON_SEQ: usize = 512;
+
+/// Forward nodes whose chosen strategy defines the megatron structure.
+const STRUCTURE: [(&str, &str); 5] = [
+    ("q_proj", "split:h"),
+    ("attn_out", "reduce:h"),
+    ("ffn1", "split:j"),
+    ("ffn2", "reduce:k"),
+    ("scores", "split:b"),
+];
+
+/// Per-recursion-step strategy ids of the named node.
+fn chosen(g: &Graph, plan: &PartitionPlan, name: &str) -> Vec<String> {
+    let Some(id) = (0..g.num_nodes()).map(NodeId).find(|&n| g.node(n).name == name) else {
+        return Vec::new();
+    };
+    plan.steps
+        .iter()
+        .map(|step| match &step.plan.node_choice[id.0] {
+            NodeChoice::Strategy(s) => s.id.clone(),
+            NodeChoice::Ewise(spec) => format!("ewise:{spec:?}"),
+        })
+        .collect()
+}
+
+/// Collapses per-step ids for display: "split:h" or "split:n|split:h".
+fn display_ids(ids: &[String]) -> String {
+    let mut out: Vec<&str> = Vec::new();
+    for id in ids {
+        if out.last() != Some(&id.as_str()) {
+            out.push(id);
+        }
+    }
+    out.join("|")
+}
+
+fn committed_comm(doc: &Json, seq: usize, workers: usize) -> Option<f64> {
+    let rows = doc.get("results")?.as_array()?;
+    rows.iter()
+        .find(|r| {
+            r.get("seq").and_then(Json::as_f64) == Some(seq as f64)
+                && r.get("workers").and_then(Json::as_f64) == Some(workers as f64)
+        })?
+        .get("comm_bytes")
+        .and_then(Json::as_f64)
+}
+
+fn main() {
+    let machine = Machine::p2_8xlarge();
+    let committed = std::fs::read_to_string("BENCH_transformer.json")
+        .ok()
+        .and_then(|s| parse(&s).ok());
+    let mut results: Vec<Json> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    println!(
+        "Transformer decoder scaling: d_model={D_MODEL}, heads={HEADS}, d_ff={D_FF} \
+         on {} simulated GPUs ({} GB each)",
+        machine.gpus,
+        machine.mem_capacity as f64 / 1e9,
+    );
+    println!(
+        "{:<6} {:<8} {:>14} {:>12} {:>10} {:>10}  structure",
+        "seq", "workers", "tokens/s", "comm bytes", "peak GB", "search ms"
+    );
+    println!("{}", "-".repeat(100));
+
+    for seq in SEQS {
+        let cfg = DecoderConfig {
+            seq,
+            d_model: D_MODEL,
+            heads: HEADS,
+            d_ff: D_FF,
+            classes: CLASSES,
+            with_updates: true,
+        };
+        let m = decoder_block(&cfg).expect("decoder builds");
+        for workers in WORKERS {
+            let plan =
+                match partition(&m.graph, &PartitionOptions { workers, ..Default::default() }) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        failures.push(format!("seq={seq} w={workers}: partition failed: {e}"));
+                        continue;
+                    }
+                };
+            let run = match tofu_sim::run_partitioned(
+                &m.graph,
+                &plan,
+                seq,
+                &machine,
+                &TofuSimOptions::default(),
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    failures.push(format!("seq={seq} w={workers}: simulation failed: {e}"));
+                    continue;
+                }
+            };
+
+            let structure: Vec<(String, Vec<String>)> = STRUCTURE
+                .iter()
+                .map(|&(node, _)| (node.to_string(), chosen(&m.graph, &plan, node)))
+                .collect();
+            if workers > 1 {
+                let all: Vec<&str> = structure
+                    .iter()
+                    .flat_map(|(_, ids)| ids.iter().map(String::as_str))
+                    .collect();
+                let distinct: std::collections::BTreeSet<&str> = all.iter().copied().collect();
+                // Non-token-axis splits: head splits on the projections
+                // (`split:h`/`reduce:h`), feature splits on the MLP
+                // (`split:j`/`reduce:k`), or the batched attention matmuls'
+                // batch axis (`split:b`), which for this graph IS the head
+                // dimension. Pure token-data-parallelism would pick
+                // `split:n`/`split:i` everywhere and contains none of these.
+                let model_parallel = ["split:h", "reduce:h", "split:j", "reduce:k", "split:b"]
+                    .iter()
+                    .any(|a| distinct.contains(a));
+                if distinct.len() < 2 || !model_parallel {
+                    failures.push(format!(
+                        "seq={seq} w={workers}: plan is not multi-axis (ids {distinct:?}) — \
+                         the search degenerated to single-axis parallelism"
+                    ));
+                }
+                if seq == MEGATRON_SEQ {
+                    for &(node, want) in &STRUCTURE {
+                        let ids = &structure.iter().find(|(n, _)| n == node).unwrap().1;
+                        if !ids.iter().all(|id| id == want) {
+                            failures.push(format!(
+                                "seq={seq} w={workers}: node {node} chose {}, expected the \
+                                 megatron-style {want} at this scale",
+                                display_ids(ids)
+                            ));
+                        }
+                    }
+                }
+            }
+
+            let peak = run.per_device_gb.iter().copied().fold(0.0, f64::max);
+            let (tokens_per_sec, oom) = match run.outcome.throughput() {
+                Some(t) => (t, false),
+                None => (0.0, true),
+            };
+            let summary = if workers == 1 {
+                "single device (replicated)".to_string()
+            } else {
+                structure
+                    .iter()
+                    .map(|(n, ids)| format!("{n}={}", display_ids(ids)))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            println!(
+                "{:<6} {:<8} {:>14} {:>12.0} {:>10.2} {:>10.1}  {}",
+                seq,
+                workers,
+                if oom { "OOM".to_string() } else { format!("{tokens_per_sec:.1}") },
+                run.comm_bytes,
+                peak,
+                plan.search_time.as_secs_f64() * 1e3,
+                summary,
+            );
+
+            if let Some(base) =
+                committed.as_ref().and_then(|d| committed_comm(d, seq, workers))
+            {
+                if (run.comm_bytes - base).abs() > 1e-6 * base.max(1.0) {
+                    failures.push(format!(
+                        "seq={seq} w={workers}: comm bytes {:.0} drifted from committed {:.0}",
+                        run.comm_bytes, base
+                    ));
+                }
+            }
+
+            results.push(Json::obj(vec![
+                ("seq", Json::from(seq)),
+                ("workers", Json::from(workers)),
+                ("tokens_per_sec", Json::from(tokens_per_sec)),
+                ("oom", Json::Bool(oom)),
+                ("comm_bytes", Json::from(run.comm_bytes)),
+                ("plan_comm_bytes", Json::from(plan.total_comm_bytes())),
+                ("peak_gb", Json::from(peak)),
+                ("compute_only_seconds", Json::from(run.compute_only_seconds)),
+                (
+                    "structure",
+                    Json::obj(
+                        structure
+                            .iter()
+                            .map(|(n, ids)| (n.as_str(), Json::from(display_ids(ids).as_str())))
+                            .collect(),
+                    ),
+                ),
+            ]));
+        }
+    }
+
+    write_report(
+        "BENCH_transformer.json",
+        &bench_report(
+            "transformer_scaling",
+            vec![
+                ("d_model", Json::from(D_MODEL)),
+                ("heads", Json::from(HEADS)),
+                ("d_ff", Json::from(D_FF)),
+                ("classes", Json::from(CLASSES)),
+            ],
+            results,
+        ),
+    );
+    if !failures.is_empty() {
+        eprintln!("\ntransformer_scaling FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nBENCH_transformer.json written; megatron structure and comm bytes verified.");
+}

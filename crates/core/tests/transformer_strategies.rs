@@ -1,0 +1,117 @@
+//! Strategy-discovery regression tests for the transformer decoder workload.
+//!
+//! The known-good hand partition of a decoder block is megatron-style:
+//! head-parallel attention (split the QKV projections along the head
+//! dimension, keep the attention matmuls head-local, allreduce the output
+//! projection) and column/row-parallel MLP (split the first matmul's output
+//! columns, reduce the second matmul's inner dimension). These tests pin down
+//! that Tofu's interval-analysis + DP search *discovers* that structure from
+//! the TDL descriptions alone, at every recursion depth, and that an
+//! unpartitionable configuration surfaces the typed [`CoreError::NoStrategy`]
+//! instead of panicking.
+
+use tofu_core::{partition, CoreError, NodeChoice, PartitionOptions, PartitionPlan};
+use tofu_graph::{Graph, NodeId};
+use tofu_models::{decoder_block, DecoderConfig};
+
+/// The chosen strategy id of the named node in one recursion step, or a
+/// description of its elementwise co-partition.
+fn chosen(g: &Graph, plan: &PartitionPlan, step: usize, name: &str) -> String {
+    let id = (0..g.num_nodes())
+        .map(NodeId)
+        .find(|&n| g.node(n).name == name)
+        .unwrap_or_else(|| panic!("no node named {name}"));
+    match &plan.steps[step].plan.node_choice[id.0] {
+        NodeChoice::Strategy(s) => s.id.clone(),
+        NodeChoice::Ewise(spec) => format!("ewise:{spec:?}"),
+    }
+}
+
+/// Megatron-style expectations that must hold in *every* recursion step.
+const MEGATRON: &[(&str, &str)] = &[
+    ("q_proj", "split:h"),   // column-parallel QKV: weight split by head
+    ("k_proj", "split:h"),
+    ("v_proj", "split:h"),
+    ("scores", "split:b"),   // attention stays head-local
+    ("probs", "split:d0"),   // softmax over keys, split across heads
+    ("ctx", "split:b"),
+    ("attn_out", "reduce:h"), // row-parallel output projection (allreduce)
+    ("ffn1", "split:j"),      // column-parallel first MLP matmul
+    ("ffn2", "reduce:k"),     // row-parallel second MLP matmul
+];
+
+#[test]
+fn search_discovers_megatron_splits_at_2_4_8_workers() {
+    let cfg = DecoderConfig { with_updates: false, ..DecoderConfig::default() };
+    let m = decoder_block(&cfg).unwrap();
+    for workers in [2usize, 4, 8] {
+        let plan =
+            partition(&m.graph, &PartitionOptions { workers, ..Default::default() }).unwrap();
+        assert_eq!(plan.workers, workers);
+        assert_eq!(plan.steps.len(), workers.trailing_zeros() as usize);
+        for step in 0..plan.steps.len() {
+            for &(node, want) in MEGATRON {
+                let got = chosen(&m.graph, &plan, step, node);
+                assert_eq!(
+                    got, want,
+                    "workers={workers} step={step}: node {node} chose {got}, \
+                     expected the megatron-style {want}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn backward_pass_mirrors_the_forward_split() {
+    // The gradient ops must inherit the head-parallel structure: weight
+    // gradients stay split by head, activation gradients allreduce over
+    // heads (the mirror image of the forward reduce).
+    let cfg = DecoderConfig { with_updates: false, ..DecoderConfig::default() };
+    let m = decoder_block(&cfg).unwrap();
+    let plan = partition(&m.graph, &PartitionOptions { workers: 4, ..Default::default() }).unwrap();
+    for step in 0..plan.steps.len() {
+        for proj in ["q_proj", "k_proj", "v_proj"] {
+            assert_eq!(chosen(&m.graph, &plan, step, &format!("grad/{proj}/proj_heads_grad_w_1")), "split:h");
+            assert_eq!(chosen(&m.graph, &plan, step, &format!("grad/{proj}/proj_heads_grad_x_0")), "reduce:h");
+        }
+        assert_eq!(chosen(&m.graph, &plan, step, "grad/attn_out/unproj_heads_grad_w_1"), "split:h");
+        assert_eq!(chosen(&m.graph, &plan, step, "grad/attn_out/unproj_heads_grad_c_0"), "split:h");
+    }
+}
+
+#[test]
+fn unpartitionable_decoder_reports_no_strategy() {
+    // heads=1 < workers and every tensor extent odd: no dimension anywhere
+    // is divisible by 2, so the search must fail with the typed NoStrategy
+    // error — never a panic, never a silent fallback.
+    let cfg = DecoderConfig {
+        seq: 3,
+        d_model: 3,
+        heads: 1,
+        d_ff: 3,
+        classes: 3,
+        with_updates: false,
+    };
+    let m = decoder_block(&cfg).unwrap();
+    for workers in [2usize, 4] {
+        let err = partition(&m.graph, &PartitionOptions { workers, ..Default::default() })
+            .unwrap_err();
+        assert!(
+            matches!(err, CoreError::NoStrategy { .. }),
+            "workers={workers}: expected NoStrategy, got {err}"
+        );
+    }
+}
+
+#[test]
+fn fewer_heads_than_workers_still_partitions_via_other_axes() {
+    // heads=2 at 8 workers: the head axis runs out after one halving, but
+    // the sequence and feature axes keep the model partitionable — the
+    // search must degrade gracefully rather than fail.
+    let cfg = DecoderConfig { heads: 2, with_updates: false, ..DecoderConfig::default() };
+    let m = decoder_block(&cfg).unwrap();
+    let plan = partition(&m.graph, &PartitionOptions { workers: 8, ..Default::default() }).unwrap();
+    assert_eq!(plan.steps.len(), 3);
+    assert!(plan.total_comm_bytes() > 0.0);
+}

@@ -152,6 +152,48 @@ fn drop_h(t: &Tensor) -> Result<Tensor> {
     Ok(t.reshape(Shape::new(vec![d[0], d[1], d[3]]))?)
 }
 
+/// Layer-norm variance epsilon — fixed, so forward/backward kernels agree.
+const LN_EPS: f32 = 1e-5;
+
+/// Normalized axis of the softmax/layer-norm family: `axis` attr, defaulting
+/// to the last dimension.
+fn norm_axis(attrs: &Attrs, rank: usize) -> usize {
+    attrs.int_or("axis", rank as i64 - 1).max(0) as usize
+}
+
+/// Slice head `h` of a rank-3 tensor down to its rank-2 matrix.
+fn head2(t: &Tensor, h: usize) -> Result<Tensor> {
+    let s = t.slice(0, h, h + 1)?;
+    let dims = s.shape().dims()[1..].to_vec();
+    Ok(s.reshape(Shape::new(dims))?)
+}
+
+/// Lift a rank-2 matrix to rank 3 with a unit leading (head) dimension.
+fn lift3(m: &Tensor) -> Result<Tensor> {
+    let mut dims = vec![1];
+    dims.extend_from_slice(m.shape().dims());
+    Ok(m.reshape(Shape::new(dims))?)
+}
+
+/// `Σ_h f(A[h], B[h])` — the head-contraction shared by `unproj_heads` and
+/// `proj_heads_grad_x`.
+fn head_sum(
+    a3: &Tensor,
+    b3: &Tensor,
+    f: impl Fn(&Tensor, &Tensor) -> Result<Tensor>,
+) -> Result<Tensor> {
+    let heads = a3.shape().dim(0);
+    let mut acc: Option<Tensor> = None;
+    for h in 0..heads {
+        let term = f(&head2(a3, h)?, &head2(b3, h)?)?;
+        acc = Some(match acc {
+            None => term,
+            Some(prev) => prev.add(&term)?,
+        });
+    }
+    acc.ok_or_else(|| GraphError::Exec("head contraction over zero heads".into()))
+}
+
 fn dispatch(op: &str, ins: &[&Tensor], attrs: &Attrs, out_shape: &Shape) -> Result<Tensor> {
     // Element-wise families first.
     if let Some(&(_, f)) = UNARY_KERNELS.iter().find(|(n, _)| *n == op) {
@@ -177,18 +219,54 @@ fn dispatch(op: &str, ins: &[&Tensor], attrs: &Attrs, out_shape: &Shape) -> Resu
         "matmul_tn" => Ok(ins[0].matmul_tn(ins[1])?),
         "matmul_nt" => Ok(ins[0].matmul_nt(ins[1])?),
         "transpose" => Ok(ins[0].transpose()?),
-        "batch_matmul" => {
-            let b = ins[0].shape().dim(0);
-            let mut parts = Vec::with_capacity(b);
-            for i in 0..b {
-                let a = ins[0].slice(0, i, i + 1)?;
-                let a = a.reshape(Shape::new(a.shape().dims()[1..].to_vec()))?;
-                let c = ins[1].slice(0, i, i + 1)?;
-                let c = c.reshape(Shape::new(c.shape().dims()[1..].to_vec()))?;
-                let m = a.matmul(&c)?;
-                let mut dims = vec![1];
-                dims.extend_from_slice(m.shape().dims());
-                parts.push(m.reshape(Shape::new(dims))?);
+        // The dedicated rank-3 kernels accumulate in the same ascending-k
+        // order as the per-batch slice + matmul loop they replaced, so
+        // results are bit-identical.
+        "batch_matmul" => Ok(ins[0].matmul_b(ins[1])?),
+        "batch_matmul_tn" => Ok(ins[0].matmul_b_tn(ins[1])?),
+        "batch_matmul_nt" => Ok(ins[0].matmul_b_nt(ins[1])?),
+        "proj_heads" => {
+            // out[h] = X · W[h]; per-head rank-2 matmuls over the shard's
+            // heads, so every TDL split (h, n, k, reduce:d) runs unchanged.
+            let heads = ins[1].shape().dim(0);
+            let mut parts = Vec::with_capacity(heads);
+            for h in 0..heads {
+                parts.push(lift3(&ins[0].matmul(&head2(ins[1], h)?)?)?);
+            }
+            Ok(Tensor::concat(&parts, 0)?)
+        }
+        "unproj_heads" => {
+            // out = Σ_h C[h] · W[h].
+            head_sum(ins[0], ins[1], |c, w| Ok(c.matmul(w)?))
+        }
+        "proj_heads_grad_x" => {
+            // dX = Σ_h dO[h] · W[h]ᵀ.
+            head_sum(ins[0], ins[1], |d, w| Ok(d.matmul_nt(w)?))
+        }
+        "proj_heads_grad_w" => {
+            // dW[h] = Xᵀ · dO[h].
+            let heads = ins[1].shape().dim(0);
+            let mut parts = Vec::with_capacity(heads);
+            for h in 0..heads {
+                parts.push(lift3(&ins[0].matmul_tn(&head2(ins[1], h)?)?)?);
+            }
+            Ok(Tensor::concat(&parts, 0)?)
+        }
+        "unproj_heads_grad_c" => {
+            // dC[h] = dY · W[h]ᵀ.
+            let heads = ins[1].shape().dim(0);
+            let mut parts = Vec::with_capacity(heads);
+            for h in 0..heads {
+                parts.push(lift3(&ins[0].matmul_nt(&head2(ins[1], h)?)?)?);
+            }
+            Ok(Tensor::concat(&parts, 0)?)
+        }
+        "unproj_heads_grad_w" => {
+            // dW[h] = C[h]ᵀ · dY.
+            let heads = ins[0].shape().dim(0);
+            let mut parts = Vec::with_capacity(heads);
+            for h in 0..heads {
+                parts.push(lift3(&head2(ins[0], h)?.matmul_tn(ins[1])?)?);
             }
             Ok(Tensor::concat(&parts, 0)?)
         }
@@ -271,7 +349,28 @@ fn dispatch(op: &str, ins: &[&Tensor], attrs: &Attrs, out_shape: &Shape) -> Resu
         "max_axis" => Ok(ins[0].reduce_axis(attrs.int_or("axis", 1) as usize, ReduceKind::Max)?),
         "min_axis" => Ok(ins[0].reduce_axis(attrs.int_or("axis", 1) as usize, ReduceKind::Min)?),
         "prod_axis" => Ok(ins[0].reduce_axis(attrs.int_or("axis", 1) as usize, ReduceKind::Prod)?),
-        "softmax" => Ok(ins[0].softmax()?),
+        "softmax" => {
+            let axis = norm_axis(attrs, ins[0].shape().rank());
+            Ok(ins[0].softmax_axis(axis)?)
+        }
+        "softmax_grad" => {
+            let axis = norm_axis(attrs, ins[0].shape().rank());
+            Ok(ins[0].softmax_grad_axis(ins[1], axis)?)
+        }
+        "layer_norm" => {
+            let axis = norm_axis(attrs, ins[0].shape().rank());
+            Ok(ins[0].layer_norm_axis(ins[1], ins[2], axis, LN_EPS)?)
+        }
+        "layer_norm_xhat" => {
+            let axis = norm_axis(attrs, ins[0].shape().rank());
+            Ok(ins[0].layer_norm_xhat_axis(axis, LN_EPS)?)
+        }
+        "layer_norm_x_grad" => {
+            let axis = norm_axis(attrs, ins[0].shape().rank());
+            Ok(ins[0].layer_norm_x_grad_axis(ins[1], ins[2], axis, LN_EPS)?)
+        }
+        "sum_all" => Ok(Tensor::scalar(ins[0].sum_all())),
+        "bcast_like" => Ok(Tensor::full(ins[1].shape().clone(), ins[0].data()[0])),
         "softmax_ce" => {
             // Summed (not mean) cross-entropy so that batch-split partial
             // losses combine exactly by addition under output reduction.

@@ -214,6 +214,15 @@ fn grad_scalar_mul(ctx: &mut GradCtx<'_>) -> Result<Vec<Option<TensorId>>> {
     Ok(vec![Some(dx)])
 }
 
+/// `y = x / k` ⇒ `dx = dy / k`. (Sharing `grad_scalar_mul` here would scale
+/// the gradient by `k²`; the finite-difference oracle in
+/// `tests/gradcheck.rs` guards this.)
+fn grad_scalar_div(ctx: &mut GradCtx<'_>) -> Result<Vec<Option<TensorId>>> {
+    let k = ctx.attrs.float("scalar").unwrap_or(1.0);
+    let dx = ctx.op("div_scalar", &[ctx.out_grad], Attrs::new().with_float("scalar", k))?;
+    Ok(vec![Some(dx)])
+}
+
 fn grad_add_n(ctx: &mut GradCtx<'_>) -> Result<Vec<Option<TensorId>>> {
     Ok(vec![Some(ctx.out_grad); ctx.inputs.len()])
 }
@@ -272,7 +281,8 @@ pub fn defs() -> Vec<OpDef> {
     for &(name, _) in SCALAR_KERNELS {
         let gradient: Option<crate::registry::GradFn> = match name {
             "add_scalar" | "sub_scalar" => Some(grad_identity),
-            "mul_scalar" | "div_scalar" => Some(grad_scalar_mul),
+            "mul_scalar" => Some(grad_scalar_mul),
+            "div_scalar" => Some(grad_scalar_div),
             _ => None,
         };
         out.push(def(name, OpCategory::Elementwise, shape_like_first, Some(tdl_ewise1), gradient));

@@ -64,6 +64,26 @@ fn shape_batch_matmul(ins: &[Shape], _: &Attrs) -> std::result::Result<Shape, St
     Ok(Shape::new(vec![ins[0].dim(0), ins[0].dim(1), ins[1].dim(2)]))
 }
 
+fn shape_batch_matmul_tn(ins: &[Shape], _: &Attrs) -> std::result::Result<Shape, String> {
+    if ins.len() != 2 || ins[0].rank() != 3 || ins[1].rank() != 3 {
+        return Err("batch_matmul_tn expects two rank-3 inputs".into());
+    }
+    if ins[0].dim(0) != ins[1].dim(0) || ins[0].dim(1) != ins[1].dim(1) {
+        return Err(format!("incompatible batch matmul_tn shapes {} and {}", ins[0], ins[1]));
+    }
+    Ok(Shape::new(vec![ins[0].dim(0), ins[0].dim(2), ins[1].dim(2)]))
+}
+
+fn shape_batch_matmul_nt(ins: &[Shape], _: &Attrs) -> std::result::Result<Shape, String> {
+    if ins.len() != 2 || ins[0].rank() != 3 || ins[1].rank() != 3 {
+        return Err("batch_matmul_nt expects two rank-3 inputs".into());
+    }
+    if ins[0].dim(0) != ins[1].dim(0) || ins[0].dim(2) != ins[1].dim(2) {
+        return Err(format!("incompatible batch matmul_nt shapes {} and {}", ins[0], ins[1]));
+    }
+    Ok(Shape::new(vec![ins[0].dim(0), ins[0].dim(1), ins[1].dim(1)]))
+}
+
 // ---- TDL descriptions ------------------------------------------------------
 
 fn tdl_matmul(_: &[Shape], _: &Attrs) -> Option<TdlDesc> {
@@ -107,6 +127,24 @@ fn tdl_batch_matmul(_: &[Shape], _: &Attrs) -> Option<TdlDesc> {
     b.build_reduce(Reducer::Sum, body).ok()
 }
 
+fn tdl_batch_matmul_tn(_: &[Shape], _: &Attrs) -> Option<TdlDesc> {
+    // out[b, i, j] = Σ_k A[b, k, i] · B[b, k, j].
+    let mut b = DescBuilder::new("batch_matmul_tn", &[3, 3]);
+    let (bb, i, j) = (b.output_var("b"), b.output_var("i"), b.output_var("j"));
+    let k = b.reduce_var("k");
+    let body = b.input(0, &[bb.at(), k.at(), i.at()]) * b.input(1, &[bb.at(), k.at(), j.at()]);
+    b.build_reduce(Reducer::Sum, body).ok()
+}
+
+fn tdl_batch_matmul_nt(_: &[Shape], _: &Attrs) -> Option<TdlDesc> {
+    // out[b, i, j] = Σ_k A[b, i, k] · B[b, j, k].
+    let mut b = DescBuilder::new("batch_matmul_nt", &[3, 3]);
+    let (bb, i, j) = (b.output_var("b"), b.output_var("i"), b.output_var("j"));
+    let k = b.reduce_var("k");
+    let body = b.input(0, &[bb.at(), i.at(), k.at()]) * b.input(1, &[bb.at(), j.at(), k.at()]);
+    b.build_reduce(Reducer::Sum, body).ok()
+}
+
 // ---- Gradients --------------------------------------------------------------
 
 fn grad_matmul(ctx: &mut GradCtx<'_>) -> Result<Vec<Option<TensorId>>> {
@@ -117,9 +155,49 @@ fn grad_matmul(ctx: &mut GradCtx<'_>) -> Result<Vec<Option<TensorId>>> {
     Ok(vec![Some(da), Some(db)])
 }
 
+fn grad_matmul_tn(ctx: &mut GradCtx<'_>) -> Result<Vec<Option<TensorId>>> {
+    // C = Aᵀ·B: dA = B·dCᵀ, dB = A·dC.
+    let (a, b) = (ctx.inputs[0], ctx.inputs[1]);
+    let da = ctx.op("matmul_nt", &[b, ctx.out_grad], Attrs::new())?;
+    let db = ctx.op("matmul", &[a, ctx.out_grad], Attrs::new())?;
+    Ok(vec![Some(da), Some(db)])
+}
+
+fn grad_matmul_nt(ctx: &mut GradCtx<'_>) -> Result<Vec<Option<TensorId>>> {
+    // C = A·Bᵀ: dA = dC·B, dB = dCᵀ·A.
+    let (a, b) = (ctx.inputs[0], ctx.inputs[1]);
+    let da = ctx.op("matmul", &[ctx.out_grad, b], Attrs::new())?;
+    let db = ctx.op("matmul_tn", &[ctx.out_grad, a], Attrs::new())?;
+    Ok(vec![Some(da), Some(db)])
+}
+
 fn grad_transpose(ctx: &mut GradCtx<'_>) -> Result<Vec<Option<TensorId>>> {
     let dx = ctx.op("transpose", &[ctx.out_grad], Attrs::new())?;
     Ok(vec![Some(dx)])
+}
+
+fn grad_batch_matmul(ctx: &mut GradCtx<'_>) -> Result<Vec<Option<TensorId>>> {
+    // C[b] = A[b]·B[b]: dA[b] = dC[b]·B[b]ᵀ, dB[b] = A[b]ᵀ·dC[b].
+    let (a, b) = (ctx.inputs[0], ctx.inputs[1]);
+    let da = ctx.op("batch_matmul_nt", &[ctx.out_grad, b], Attrs::new())?;
+    let db = ctx.op("batch_matmul_tn", &[a, ctx.out_grad], Attrs::new())?;
+    Ok(vec![Some(da), Some(db)])
+}
+
+fn grad_batch_matmul_tn(ctx: &mut GradCtx<'_>) -> Result<Vec<Option<TensorId>>> {
+    // C[b] = A[b]ᵀ·B[b]: dA[b] = B[b]·dC[b]ᵀ, dB[b] = A[b]·dC[b].
+    let (a, b) = (ctx.inputs[0], ctx.inputs[1]);
+    let da = ctx.op("batch_matmul_nt", &[b, ctx.out_grad], Attrs::new())?;
+    let db = ctx.op("batch_matmul", &[a, ctx.out_grad], Attrs::new())?;
+    Ok(vec![Some(da), Some(db)])
+}
+
+fn grad_batch_matmul_nt(ctx: &mut GradCtx<'_>) -> Result<Vec<Option<TensorId>>> {
+    // C[b] = A[b]·B[b]ᵀ: dA[b] = dC[b]·B[b], dB[b] = dC[b]ᵀ·A[b].
+    let (a, b) = (ctx.inputs[0], ctx.inputs[1]);
+    let da = ctx.op("batch_matmul", &[ctx.out_grad, b], Attrs::new())?;
+    let db = ctx.op("batch_matmul_tn", &[ctx.out_grad, a], Attrs::new())?;
+    Ok(vec![Some(da), Some(db)])
 }
 
 // ---- Flops -------------------------------------------------------------------
@@ -155,7 +233,7 @@ pub fn defs() -> Vec<OpDef> {
             category: OpCategory::Linalg,
             infer_shape: shape_matmul_tn,
             tdl: Some(tdl_matmul_tn),
-            gradient: None,
+            gradient: Some(grad_matmul_tn),
             flops: flops_matmul,
         },
         OpDef {
@@ -163,7 +241,7 @@ pub fn defs() -> Vec<OpDef> {
             category: OpCategory::Linalg,
             infer_shape: shape_matmul_nt,
             tdl: Some(tdl_matmul_nt),
-            gradient: None,
+            gradient: Some(grad_matmul_nt),
             flops: flops_matmul,
         },
         OpDef {
@@ -179,8 +257,24 @@ pub fn defs() -> Vec<OpDef> {
             category: OpCategory::Linalg,
             infer_shape: shape_batch_matmul,
             tdl: Some(tdl_batch_matmul),
-            gradient: None,
+            gradient: Some(grad_batch_matmul),
             flops: flops_batch_matmul,
+        },
+        OpDef {
+            name: "batch_matmul_tn",
+            category: OpCategory::Linalg,
+            infer_shape: shape_batch_matmul_tn,
+            tdl: Some(tdl_batch_matmul_tn),
+            gradient: Some(grad_batch_matmul_tn),
+            flops: |ins, out, _| 2.0 * out.volume() as f64 * ins[0].dim(1) as f64,
+        },
+        OpDef {
+            name: "batch_matmul_nt",
+            category: OpCategory::Linalg,
+            infer_shape: shape_batch_matmul_nt,
+            tdl: Some(tdl_batch_matmul_nt),
+            gradient: Some(grad_batch_matmul_nt),
+            flops: |ins, out, _| 2.0 * out.volume() as f64 * ins[0].dim(2) as f64,
         },
     ]
 }
@@ -233,6 +327,35 @@ mod tests {
         let desc = tdl_batch_matmul(&[], &Attrs::new()).unwrap();
         let s = discover_strategies(&desc).unwrap();
         assert_eq!(s.len(), 4); // b, i, j, and reduce-k.
+    }
+
+    #[test]
+    fn batch_matmul_transposed_variants_have_four_strategies() {
+        for tdl in [tdl_batch_matmul_tn, tdl_batch_matmul_nt] {
+            let desc = tdl(&[], &Attrs::new()).unwrap();
+            let s = discover_strategies(&desc).unwrap();
+            assert_eq!(s.len(), 4);
+            assert!(s.iter().any(|st| st.output.is_reduce()));
+            assert!(s.iter().any(|st| st.id == "split:b"), "batch dim splits");
+        }
+    }
+
+    #[test]
+    fn batch_matmul_transposed_shapes() {
+        let a = Shape::new(vec![2, 4, 3]);
+        let b = Shape::new(vec![2, 4, 5]);
+        assert_eq!(
+            shape_batch_matmul_tn(&[a.clone(), b], &Attrs::new()).unwrap(),
+            Shape::new(vec![2, 3, 5])
+        );
+        let c = Shape::new(vec![2, 6, 3]);
+        assert_eq!(
+            shape_batch_matmul_nt(&[a.clone(), c], &Attrs::new()).unwrap(),
+            Shape::new(vec![2, 4, 6])
+        );
+        assert!(shape_batch_matmul_nt(&[a.clone(), Shape::new(vec![2, 6, 4])], &Attrs::new())
+            .is_err());
+        assert!(shape_batch_matmul_tn(&[a, Shape::new(vec![3, 4, 5])], &Attrs::new()).is_err());
     }
 
     #[test]

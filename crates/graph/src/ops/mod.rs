@@ -5,6 +5,7 @@
 //! convolution core with output-reduction strategies, two opaque-function
 //! operators, and a handful of sparse operators that TDL cannot describe.
 
+pub mod attention;
 pub mod conv;
 pub mod data;
 pub mod elementwise;
@@ -22,6 +23,7 @@ pub fn builtins() -> Vec<OpDef> {
     let mut ops = Vec::new();
     ops.extend(elementwise::defs());
     ops.extend(linalg::defs());
+    ops.extend(attention::defs());
     ops.extend(conv::defs());
     ops.extend(reduce::defs());
     ops.extend(data::defs());

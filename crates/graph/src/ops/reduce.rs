@@ -60,11 +60,38 @@ fn shape_sum_axis(ins: &[Shape], attrs: &Attrs) -> std::result::Result<Shape, St
     Ok(Shape::new(dims))
 }
 
-fn shape_softmax(ins: &[Shape], _: &Attrs) -> std::result::Result<Shape, String> {
-    if ins.len() != 1 || ins[0].rank() != 2 {
-        return Err("softmax expects one rank-2 input".into());
+fn shape_softmax(ins: &[Shape], attrs: &Attrs) -> std::result::Result<Shape, String> {
+    // Rank 2 (the original op) or rank 3 (batched attention scores), with an
+    // `axis` attr defaulting to the last dimension — which for rank-2 input
+    // is axis 1, the historical behaviour.
+    if ins.len() != 1 || !(2..=3).contains(&ins[0].rank()) {
+        return Err("softmax expects one rank-2 or rank-3 input".into());
     }
+    softmax_axis_of(&ins[0], attrs)?;
     Ok(ins[0].clone())
+}
+
+/// The normalized axis of softmax: `axis` attr, defaulting to the last dim.
+fn softmax_axis_of(x: &Shape, attrs: &Attrs) -> std::result::Result<usize, String> {
+    let axis = attrs.int_or("axis", x.rank() as i64 - 1);
+    if axis < 0 || axis as usize >= x.rank() {
+        return Err(format!("axis {axis} out of range for rank {}", x.rank()));
+    }
+    Ok(axis as usize)
+}
+
+fn shape_sum_all(ins: &[Shape], _: &Attrs) -> std::result::Result<Shape, String> {
+    if ins.len() != 1 {
+        return Err("sum_all expects one input".into());
+    }
+    Ok(Shape::scalar())
+}
+
+fn shape_bcast_like(ins: &[Shape], _: &Attrs) -> std::result::Result<Shape, String> {
+    if ins.len() != 2 || ins[0].rank() != 0 {
+        return Err("bcast_like expects (scalar, like)".into());
+    }
+    Ok(ins[1].clone())
 }
 
 fn shape_softmax_ce(ins: &[Shape], _: &Attrs) -> std::result::Result<Shape, String> {
@@ -183,13 +210,56 @@ fn tdl_sum_axis(ins: &[Shape], attrs: &Attrs) -> Option<TdlDesc> {
     b.build_reduce(Reducer::Sum, body).ok()
 }
 
-fn tdl_softmax(_: &[Shape], _: &Attrs) -> Option<TdlDesc> {
-    // Softmax normalizes each row: out[b, i] = Opaque(x[b, :])[i]. The row
-    // dimension is unsplittable; only the batch dimension partitions.
-    let mut b = DescBuilder::new("softmax", &[2]);
-    let (bb, i) = (b.output_var("b"), b.output_var("i"));
-    let row = b.input(0, &[bb.at(), tofu_tdl::builder::Idx::full()]);
-    let body = b.opaque("softmax_row", vec![row], &[i]);
+fn tdl_softmax(ins: &[Shape], attrs: &Attrs) -> Option<TdlDesc> {
+    // Softmax normalizes each row along `axis`: the normalized dimension is
+    // an opaque function of the whole row and is unsplittable; every other
+    // dimension partitions. The rank-2 description is kept verbatim (same
+    // variable names, hence the same "split:b" strategy id) so existing
+    // models see bit-identical plans.
+    let rank = ins.first().map_or(2, |s| s.rank());
+    let axis = ins
+        .first()
+        .and_then(|s| softmax_axis_of(s, attrs).ok())
+        .unwrap_or(rank - 1);
+    if rank == 2 && axis == 1 {
+        let mut b = DescBuilder::new("softmax", &[2]);
+        let (bb, i) = (b.output_var("b"), b.output_var("i"));
+        let row = b.input(0, &[bb.at(), tofu_tdl::builder::Idx::full()]);
+        let body = b.opaque("softmax_row", vec![row], &[i]);
+        return b.build(body).ok();
+    }
+    let mut b = DescBuilder::new("softmax", &[rank]);
+    let vars: Vec<_> = (0..rank)
+        .map(|d| b.output_var(if d == axis { "i".to_string() } else { format!("d{d}") }))
+        .collect();
+    let coords: Vec<_> = (0..rank)
+        .map(|d| if d == axis { tofu_tdl::builder::Idx::full() } else { vars[d].at() })
+        .collect();
+    let row = b.input(0, &coords);
+    let body = b.opaque("softmax_row", vec![row], &[vars[axis]]);
+    b.build(body).ok()
+}
+
+fn tdl_sum_all(ins: &[Shape], _: &Attrs) -> Option<TdlDesc> {
+    // out[] = Σ_everything x[...]: every input dimension is a reduction
+    // variable, so any axis may split with output reduction.
+    let rank = ins.first()?.rank();
+    if rank == 0 {
+        return None;
+    }
+    let mut b = DescBuilder::new("sum_all", &[rank]);
+    let coords: Vec<_> = (0..rank).map(|d| b.reduce_var(format!("r{d}")).at()).collect();
+    let body = b.input(0, &coords);
+    b.build_reduce(Reducer::Sum, body).ok()
+}
+
+fn tdl_bcast_like(ins: &[Shape], _: &Attrs) -> Option<TdlDesc> {
+    // out[...] = s[] — the scalar is replicated to every shard.
+    let rank = ins.get(1)?.rank();
+    let mut b = DescBuilder::new("bcast_like", &[0, rank]);
+    let vars: Vec<_> = (0..rank).map(|d| b.output_var(format!("d{d}"))).collect();
+    let coords: Vec<_> = vars.iter().map(|v| v.at()).collect();
+    let body = b.input(0, &[]) + b.input(1, &coords) * tofu_tdl::Exp::constant(0.0);
     b.build(body).ok()
 }
 
@@ -239,11 +309,30 @@ fn grad_scale_shift(ctx: &mut GradCtx<'_>) -> Result<Vec<Option<TensorId>>> {
     Ok(vec![Some(dx), Some(dgamma), Some(dbeta)])
 }
 
+fn grad_softmax(ctx: &mut GradCtx<'_>) -> Result<Vec<Option<TensorId>>> {
+    // dx = y ⊙ (dy − Σ_axis dy·y), computed by a fused row kernel so the
+    // normalized axis stays a single opaque TDL function.
+    let attrs = ctx.attrs.clone();
+    let dx = ctx.op("softmax_grad", &[ctx.out_grad, ctx.output], attrs)?;
+    Ok(vec![Some(dx)])
+}
+
+fn grad_sum_all(ctx: &mut GradCtx<'_>) -> Result<Vec<Option<TensorId>>> {
+    let x = ctx.inputs[0];
+    let dx = ctx.op("bcast_like", &[ctx.out_grad, x], Attrs::new())?;
+    Ok(vec![Some(dx)])
+}
+
 fn grad_softmax_ce(ctx: &mut GradCtx<'_>) -> Result<Vec<Option<TensorId>>> {
-    // d(loss)/d(logits) = softmax(logits) - onehot(labels); the incoming
-    // scalar out-grad is folded in by scaling.
+    // d(loss)/d(logits) = out_grad · (softmax(logits) - onehot(labels)). The
+    // out-grad is the scalar cotangent of the loss; dropping it is only
+    // correct when the loss is the terminal node and seeded with 1 — the
+    // finite-difference oracle in `tests/gradcheck.rs` scales the loss and
+    // catches that shortcut.
     let (logits, labels) = (ctx.inputs[0], ctx.inputs[1]);
-    let g = ctx.op("softmax_ce_grad", &[logits, labels], Attrs::new())?;
+    let g0 = ctx.op("softmax_ce_grad", &[logits, labels], Attrs::new())?;
+    let scale = ctx.op("bcast_like", &[ctx.out_grad, g0], Attrs::new())?;
+    let g = ctx.op("mul", &[g0, scale], Attrs::new())?;
     Ok(vec![Some(g), None])
 }
 
@@ -321,8 +410,24 @@ pub fn defs() -> Vec<OpDef> {
             category: OpCategory::Reduction,
             infer_shape: shape_softmax,
             tdl: Some(tdl_softmax),
-            gradient: None,
+            gradient: Some(grad_softmax),
             flops: |_, out, _| 5.0 * out.volume() as f64,
+        },
+        OpDef {
+            name: "sum_all",
+            category: OpCategory::Reduction,
+            infer_shape: shape_sum_all,
+            tdl: Some(tdl_sum_all),
+            gradient: Some(grad_sum_all),
+            flops: |ins, _, _| ins[0].volume() as f64,
+        },
+        OpDef {
+            name: "bcast_like",
+            category: OpCategory::Data,
+            infer_shape: shape_bcast_like,
+            tdl: Some(tdl_bcast_like),
+            gradient: None,
+            flops: |_, out, _| out.volume() as f64,
         },
         OpDef {
             name: "softmax_ce",
@@ -385,6 +490,36 @@ mod tests {
         let s = discover_strategies(&desc).unwrap();
         assert_eq!(s.len(), 1, "only the batch dimension may split");
         assert_eq!(s[0].id, "split:b");
+    }
+
+    #[test]
+    fn softmax_rank3_splits_batch_and_row_dims() {
+        let x = Shape::new(vec![4, 8, 8]);
+        assert_eq!(shape_softmax(std::slice::from_ref(&x), &Attrs::new()).unwrap(), x);
+        let desc = tdl_softmax(&[x], &Attrs::new()).unwrap();
+        let s = discover_strategies(&desc).unwrap();
+        // Head and token dims split; the normalized axis is opaque.
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].id, "split:d0");
+        assert_eq!(s[1].id, "split:d1");
+    }
+
+    #[test]
+    fn softmax_rejects_bad_axis_and_rank() {
+        assert!(shape_softmax(&[Shape::new(vec![4])], &Attrs::new()).is_err());
+        assert!(
+            shape_softmax(&[Shape::new(vec![4, 4])], &Attrs::new().with_int("axis", 2)).is_err()
+        );
+    }
+
+    #[test]
+    fn sum_all_reduces_every_axis() {
+        let x = Shape::new(vec![4, 8]);
+        assert_eq!(shape_sum_all(std::slice::from_ref(&x), &Attrs::new()).unwrap().rank(), 0);
+        let desc = tdl_sum_all(&[x], &Attrs::new()).unwrap();
+        let s = discover_strategies(&desc).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.iter().all(|st| st.output.is_reduce()));
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   that tags timesteps and cell positions the way MXNet/PyTorch unrolling
 //!   does — which is what Tofu's coarsening detects (§5.1);
 //! - [`small_cnn`]: a stride-1 CNN used for numeric validation of
-//!   partitioned convolution execution.
+//!   partitioned convolution execution;
+//! - [`decoder_block`]: a GPT-style transformer decoder block whose clean
+//!   TDL descriptions let the search rediscover megatron-style splits.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,11 +23,13 @@
 pub mod cnn;
 pub mod mlp;
 pub mod rnn;
+pub mod transformer;
 pub mod wresnet;
 
 pub use cnn::{small_cnn, SmallCnnConfig};
 pub use mlp::{mlp, MlpConfig};
 pub use rnn::{rnn, RnnConfig};
+pub use transformer::{decoder_block, DecoderConfig};
 pub use wresnet::{wresnet, WResNetConfig};
 
 use tofu_graph::{Graph, TensorId};

@@ -5,7 +5,7 @@
 
 use tofu_core::{generate, partition, GenOptions, PartitionOptions, ShardedGraph};
 use tofu_graph::{Executor, Graph, TensorId, TensorKind};
-use tofu_models::{mlp, wresnet, MlpConfig, WResNetConfig};
+use tofu_models::{decoder_block, mlp, wresnet, DecoderConfig, MlpConfig, WResNetConfig};
 use tofu_runtime::{run, run_with_options, Fault, FaultPlan, RunOptions, RuntimeError};
 use tofu_sim::{compare_trace, Machine};
 use tofu_tensor::Tensor;
@@ -100,6 +100,27 @@ fn mlp_trace_matches_sim_predictions() {
     for workers in [2usize, 4] {
         let (sharded, shard_feeds) = shard(&m.graph, workers);
         assert_report(&sharded, &shard_feeds, &format!("mlp w={workers}"));
+    }
+}
+
+#[test]
+fn decoder_trace_matches_sim_predictions() {
+    // The transformer decoder exercises strategies the other models never
+    // pick — head splits on rank-3 weights and reduction splits on the
+    // attention output projection — so its measured channel traffic pinning
+    // down the simulator's prediction exactly is a strong regression gate.
+    let cfg = DecoderConfig {
+        seq: 16,
+        d_model: 32,
+        heads: 4,
+        d_ff: 64,
+        classes: 8,
+        with_updates: true,
+    };
+    let m = decoder_block(&cfg).unwrap();
+    for workers in [2usize, 4] {
+        let (sharded, shard_feeds) = shard(&m.graph, workers);
+        assert_report(&sharded, &shard_feeds, &format!("decoder w={workers}"));
     }
 }
 

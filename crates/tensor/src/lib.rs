@@ -30,6 +30,7 @@ mod conv;
 mod elementwise;
 mod error;
 mod linalg;
+mod norm;
 mod random;
 mod reduce;
 mod shape;

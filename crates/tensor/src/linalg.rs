@@ -23,6 +23,96 @@ impl Tensor {
     pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
         matmul_impl(self, other, false, true)
     }
+
+    /// Batched matrix product of rank-3 tensors: `out[b] = self[b] · other[b]`.
+    pub fn matmul_b(&self, other: &Tensor) -> Result<Tensor> {
+        batch_matmul_impl(self, other, false, false)
+    }
+
+    /// Batched `self[b]^T · other[b]`.
+    pub fn matmul_b_tn(&self, other: &Tensor) -> Result<Tensor> {
+        batch_matmul_impl(self, other, true, false)
+    }
+
+    /// Batched `self[b] · other[b]^T`.
+    pub fn matmul_b_nt(&self, other: &Tensor) -> Result<Tensor> {
+        batch_matmul_impl(self, other, false, true)
+    }
+}
+
+fn batch_matmul_impl(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Result<Tensor> {
+    if a.shape().rank() != 3 || b.shape().rank() != 3 {
+        return Err(TensorError::Incompatible(format!(
+            "batched matmul requires rank-3 operands, got {} and {}",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    let nb = a.shape().dim(0);
+    if b.shape().dim(0) != nb {
+        return Err(TensorError::Incompatible(format!(
+            "batch dims {} vs {}",
+            nb,
+            b.shape().dim(0)
+        )));
+    }
+    let (ar, ac) = (a.shape().dim(1), a.shape().dim(2));
+    let (br, bc) = (b.shape().dim(1), b.shape().dim(2));
+    let (m, k1) = if ta { (ac, ar) } else { (ar, ac) };
+    let (k2, n) = if tb { (bc, br) } else { (br, bc) };
+    if k1 != k2 {
+        return Err(TensorError::Incompatible(format!(
+            "batched matmul inner dims {k1} vs {k2} (shapes {} and {})",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    let mut out = vec![0.0f32; nb * m * n];
+    let ad = a.data();
+    let bd = b.data();
+    // Same packing trick as the rank-2 kernel, once per batch: transposed
+    // operands become contiguous row-major scratch so the inner loop is
+    // unit-stride; per-output-element accumulation order over `p` is the
+    // ascending-k order the rank-2 kernel uses, so a per-batch slice +
+    // `matmul` decomposition is bit-identical.
+    let mut a_scratch = vec![0.0f32; if ta { m * k1 } else { 0 }];
+    let mut b_scratch = vec![0.0f32; if tb { k1 * n } else { 0 }];
+    for ib in 0..nb {
+        let abatch = &ad[ib * ar * ac..(ib + 1) * ar * ac];
+        let bbatch = &bd[ib * br * bc..(ib + 1) * br * bc];
+        let a_rows: &[f32] = if ta {
+            for (p, arow) in abatch.chunks_exact(ac).enumerate() {
+                for (i, &v) in arow.iter().enumerate() {
+                    a_scratch[i * k1 + p] = v;
+                }
+            }
+            &a_scratch
+        } else {
+            abatch
+        };
+        let b_rows: &[f32] = if tb {
+            for (j, brow) in bbatch.chunks_exact(bc).enumerate() {
+                for (p, &v) in brow.iter().enumerate() {
+                    b_scratch[p * n + j] = v;
+                }
+            }
+            &b_scratch
+        } else {
+            bbatch
+        };
+        let obatch = &mut out[ib * m * n..(ib + 1) * m * n];
+        for i in 0..m {
+            let arow = &a_rows[i * k1..(i + 1) * k1];
+            let row = &mut obatch[i * n..(i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                let brow = &b_rows[p * n..p * n + n];
+                for (r, &bv) in row.iter_mut().zip(brow) {
+                    *r += av * bv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::new(vec![nb, m, n]), out)
 }
 
 fn matmul_impl(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Result<Tensor> {
@@ -150,6 +240,71 @@ mod tests {
         let a = Tensor::arange(4);
         let b = m(2, 2, vec![0.0; 4]);
         assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn batched_matmul_matches_per_batch_slices() {
+        let a = Tensor::from_vec(
+            Shape::new(vec![2, 2, 3]),
+            (0..12).map(|x| (x as f32).sin()).collect(),
+        )
+        .unwrap();
+        let b = Tensor::from_vec(
+            Shape::new(vec![2, 3, 2]),
+            (0..12).map(|x| (x as f32).cos()).collect(),
+        )
+        .unwrap();
+        let c = a.matmul_b(&b).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 2, 2]);
+        for ib in 0..2 {
+            let ab = a.slice(0, ib, ib + 1).unwrap().reshape(Shape::new(vec![2, 3])).unwrap();
+            let bb = b.slice(0, ib, ib + 1).unwrap().reshape(Shape::new(vec![3, 2])).unwrap();
+            let cb = c.slice(0, ib, ib + 1).unwrap().reshape(Shape::new(vec![2, 2])).unwrap();
+            // Bit-identical, not just close: same accumulation order.
+            assert_eq!(ab.matmul(&bb).unwrap(), cb);
+        }
+    }
+
+    #[test]
+    fn batched_transposed_variants_match_explicit() {
+        let a = Tensor::from_vec(
+            Shape::new(vec![2, 3, 2]),
+            (0..12).map(|x| (x as f32 * 0.3).sin()).collect(),
+        )
+        .unwrap();
+        let b = Tensor::from_vec(
+            Shape::new(vec![2, 3, 4]),
+            (0..24).map(|x| (x as f32 * 0.7).cos()).collect(),
+        )
+        .unwrap();
+        // Aᵀ·B per batch.
+        let c = a.matmul_b_tn(&b).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 2, 4]);
+        for ib in 0..2 {
+            let ab = a.slice(0, ib, ib + 1).unwrap().reshape(Shape::new(vec![3, 2])).unwrap();
+            let bb = b.slice(0, ib, ib + 1).unwrap().reshape(Shape::new(vec![3, 4])).unwrap();
+            let cb = c.slice(0, ib, ib + 1).unwrap().reshape(Shape::new(vec![2, 4])).unwrap();
+            assert!(ab.matmul_tn(&bb).unwrap().allclose(&cb, 1e-6));
+        }
+        // A·Bᵀ per batch.
+        let d = b.matmul_b_nt(&b).unwrap();
+        assert_eq!(d.shape().dims(), &[2, 3, 3]);
+        for ib in 0..2 {
+            let bb = b.slice(0, ib, ib + 1).unwrap().reshape(Shape::new(vec![3, 4])).unwrap();
+            let db = d.slice(0, ib, ib + 1).unwrap().reshape(Shape::new(vec![3, 3])).unwrap();
+            assert!(bb.matmul_nt(&bb).unwrap().allclose(&db, 1e-6));
+        }
+    }
+
+    #[test]
+    fn batched_matmul_validates_shapes() {
+        let a = Tensor::zeros(Shape::new(vec![2, 2, 3]));
+        let b = Tensor::zeros(Shape::new(vec![3, 3, 2]));
+        assert!(a.matmul_b(&b).is_err(), "batch dim mismatch");
+        let b = Tensor::zeros(Shape::new(vec![2, 2, 2]));
+        assert!(a.matmul_b(&b).is_err(), "inner dim mismatch");
+        let r2 = Tensor::zeros(Shape::new(vec![2, 2]));
+        assert!(a.matmul_b(&r2).is_err(), "rank mismatch");
     }
 
     #[test]

@@ -21,6 +21,14 @@ timeout 300 cargo test -q -p tofu-runtime --test elastic --test reshard --test c
 # against the reference engine) are exhaustive by design; cap them so a
 # search-space blowup fails CI instead of stalling it.
 timeout 600 cargo test -q -p tofu-core --test oracle --test differential
+# The gradient-check oracle finite-differences every differentiable op (and
+# proptests the dense kernels over random shapes); the strategy-discovery
+# suite proves the DP rediscovers megatron-style transformer splits; the
+# transformer runtime suite diffs a sharded decoder training step against
+# the single-device executor. All bounded, so cap them.
+timeout 600 cargo test -q -p tofu-graph --test gradcheck
+timeout 300 cargo test -q -p tofu-core --test transformer_strategies
+timeout 300 cargo test -q -p tofu-runtime --test transformer
 # Shared-cache stress (8 threads hammering one SearchCaches) and the plan
 # service's protocol/e2e suites involve cross-thread blocking; a deadlock
 # must fail CI rather than stall it.
@@ -48,6 +56,11 @@ timeout 300 cargo run --release -q -p tofu-bench --bin fleet_churn
 # DP's plan cost differs from the reference engine's, or if it stops
 # exploring fewer states on the nontrivial searches).
 cargo run --release -q -p tofu-bench --bin search_scaling
+# Record the transformer decoder scaling curves (exits non-zero unless the
+# search finds multi-axis strategies at every multi-worker point — exact
+# megatron structure at seq=512 — and the simulated comm bytes match the
+# committed BENCH_transformer.json exactly).
+timeout 300 cargo run --release -q -p tofu-bench --bin transformer_scaling
 # Record plan-service throughput/latency (exits non-zero if any served plan
 # differs byte-for-byte from a local partition_cached run, the warm hit-rate
 # is zero, or the single-flight counters don't add up).
