@@ -11,16 +11,24 @@
 //! Every faulted run is then retried through `run_with_recovery` with
 //! checkpoints every quarter of the global schedule; `recovered_exact`
 //! records whether the retry reproduced the undisturbed output bit for bit.
+//!
+//! Two whole-process crash-restart rows ride along: the process dies just
+//! before / just after a durable commit, and a fresh incarnation recovers
+//! from disk (`run_with_durable_recovery`); their `restore_us` records the
+//! time to reshard the recovered checkpoint onto the restart plan.
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+use std::sync::Arc;
+
 use tofu_bench::{bench_report, feeds, write_report, Json};
-use tofu_core::{generate, partition, GenOptions, PartitionOptions, ShardedGraph};
+use tofu_core::{generate, partition, GenOptions, PartitionOptions, SearchCaches, ShardedGraph};
 use tofu_graph::TensorId;
 use tofu_models::{mlp, MlpConfig};
 use tofu_runtime::{
-    run_with_options, run_with_recovery, CheckpointPolicy, Fault, FaultPlan, MessageFault,
+    resume_from_snapshot, run_with_durable_recovery, run_with_options, run_with_recovery,
+    CheckpointPolicy, CrashPoint, DirStore, DurableOptions, Fault, FaultPlan, MessageFault,
     RecoveryOptions, RunOptions, RuntimeError,
 };
 use tofu_tensor::Tensor;
@@ -41,6 +49,8 @@ struct Row {
     detection_max_us: u128,
     detection_peers: usize,
     abort_wall_us: u128,
+    /// Reshard-the-recovered-checkpoint wall time; zero for in-memory rows.
+    restore_us: u128,
     recovered_exact: bool,
     recovery_attempts: usize,
 }
@@ -144,6 +154,7 @@ fn main() {
             detection_max_us: detection_max.as_micros(),
             detection_peers: failure.detection.len(),
             abort_wall_us: abort_wall.as_micros(),
+            restore_us: 0,
             recovered_exact,
             recovery_attempts: attempts,
         };
@@ -161,6 +172,75 @@ fn main() {
         rows.push(row);
     }
 
+    // Whole-process crash-restart rows: the process dies around a durable
+    // commit of checkpoint 2 and a fresh incarnation recovers from disk.
+    let full_feeds = feeds(g);
+    let every_orig = (g.num_nodes() / 4).max(1);
+    let part = PartitionOptions { workers, ..Default::default() };
+    let mut caches = SearchCaches::default();
+    let root =
+        std::env::temp_dir().join(format!("tofu-fault-matrix-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    for (label, crash) in [
+        ("process crash before durable commit 2", CrashPoint::BeforeCommit(2)),
+        ("process crash after durable commit 2", CrashPoint::AfterCommit(2)),
+    ] {
+        let dir = root.join(label.replace(' ', "-"));
+        let opts = RunOptions {
+            checkpoint: Some(CheckpointPolicy::every_original(every_orig)),
+            ..Default::default()
+        };
+        let durable = DurableOptions {
+            crash: Some(crash),
+            ..DurableOptions::new(Arc::new(DirStore::open(&dir).expect("open DirStore")))
+        };
+        let t0 = Instant::now();
+        let report = run_with_durable_recovery(g, &full_feeds, &part, &opts, &durable, &mut caches)
+            .unwrap_or_else(|e| panic!("{label}: durable run failed: {e}"));
+        let wall = t0.elapsed();
+        let failure = report.crashed.as_ref().expect("the first incarnation crashed");
+        let durable_baseline = match &report.snapshot {
+            Some(snap) => {
+                resume_from_snapshot(&report.sharded, &[], &RunOptions::default(), snap)
+                    .expect("baseline resume")
+                    .values
+            }
+            None => {
+                let mut sf = Vec::new();
+                for (t, v) in &full_feeds {
+                    sf.extend(report.sharded.scatter(*t, v).expect("scatter"));
+                }
+                run_with_options(&report.sharded, &sf, &RunOptions::default())
+                    .expect("baseline run")
+                    .values
+            }
+        };
+        let row = Row {
+            fault: label.to_string(),
+            cause: cause_label(&failure.cause),
+            blamed_worker: failure.worker,
+            detection_max_us: report.detection.unwrap_or_default().as_micros(),
+            detection_peers: failure.detection.len(),
+            abort_wall_us: wall.as_micros(),
+            restore_us: report.restore_wall.as_micros(),
+            recovered_exact: bit_identical(&report.output.values, &durable_baseline),
+            recovery_attempts: 2,
+        };
+        println!(
+            "{:<28} {:>8} {:>7} {:>12} {:>6} {:>12} {:>9} {:>9}",
+            row.fault,
+            row.cause,
+            row.blamed_worker,
+            row.detection_max_us,
+            row.detection_peers,
+            row.abort_wall_us,
+            row.recovered_exact,
+            row.recovery_attempts
+        );
+        rows.push(row);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+
     let results = rows
         .iter()
         .map(|r| {
@@ -171,6 +251,7 @@ fn main() {
                 ("detection_max_us", Json::from(r.detection_max_us as f64)),
                 ("detection_peers", Json::from(r.detection_peers)),
                 ("abort_wall_us", Json::from(r.abort_wall_us as f64)),
+                ("restore_us", Json::from(r.restore_us as f64)),
                 ("recovered_exact", Json::Bool(r.recovered_exact)),
                 ("recovery_attempts", Json::from(r.recovery_attempts)),
             ])

@@ -1,0 +1,152 @@
+//! Blob stores: the durability boundary.
+//!
+//! Everything above this layer deals in named blobs; everything below it is
+//! the filesystem. [`DirStore`] is the real thing — every `put` goes through
+//! write-temp → fsync → atomic-rename → fsync-parent so a blob is either
+//! fully present under its final name or absent, never half-written under
+//! the name recovery will look for. [`MemStore`] keeps the same contract in
+//! a `BTreeMap` for fast, hermetic tests.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A flat namespace of durable blobs.
+///
+/// Implementations must make `put` atomic (readers never observe a partial
+/// blob under `name`) and durable (the data survives a process crash once
+/// `put` returns). Overwrites replace the previous blob atomically.
+pub trait BlobStore: Send + Sync {
+    /// Atomically and durably store `bytes` under `name`.
+    fn put(&self, name: &str, bytes: &[u8]) -> io::Result<()>;
+    /// Read the blob named `name` in full. `NotFound` if absent.
+    fn get(&self, name: &str) -> io::Result<Vec<u8>>;
+    /// List all blob names, sorted ascending.
+    fn list(&self) -> io::Result<Vec<String>>;
+    /// Delete the blob named `name`. Deleting an absent blob is not an error.
+    fn delete(&self, name: &str) -> io::Result<()>;
+}
+
+fn check_name(name: &str) -> io::Result<()> {
+    let ok = !name.is_empty()
+        && !name.starts_with(".tmp.")
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+    if ok {
+        Ok(())
+    } else {
+        Err(io::Error::new(io::ErrorKind::InvalidInput, format!("invalid blob name {name:?}")))
+    }
+}
+
+/// A directory-backed [`BlobStore`] with atomic, durable writes.
+#[derive(Debug)]
+pub struct DirStore {
+    root: PathBuf,
+}
+
+impl DirStore {
+    /// Open (creating if needed) the directory at `root` as a blob store.
+    pub fn open(root: impl AsRef<Path>) -> io::Result<DirStore> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(DirStore { root })
+    }
+
+    /// The directory backing this store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn sync_root(&self) -> io::Result<()> {
+        // Persist the directory entry itself (the rename) — on Linux a
+        // directory can be opened read-only and fsynced like a file.
+        File::open(&self.root)?.sync_all()
+    }
+}
+
+impl BlobStore for DirStore {
+    fn put(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        check_name(name)?;
+        let tmp = self.root.join(format!(".tmp.{name}"));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.root.join(name))?;
+        self.sync_root()
+    }
+
+    fn get(&self, name: &str) -> io::Result<Vec<u8>> {
+        check_name(name)?;
+        fs::read(self.root.join(name))
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if let Some(name) = entry.file_name().to_str() {
+                // A crash can leave .tmp. files behind; they were never
+                // committed, so they are invisible to readers.
+                if !name.starts_with(".tmp.") && entry.file_type()?.is_file() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn delete(&self, name: &str) -> io::Result<()> {
+        check_name(name)?;
+        match fs::remove_file(self.root.join(name)) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+}
+
+/// An in-memory [`BlobStore`] for tests: same atomic-overwrite contract,
+/// no actual durability.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    blobs: Mutex<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemStore {
+    /// Create an empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+}
+
+impl BlobStore for MemStore {
+    fn put(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        check_name(name)?;
+        self.blobs.lock().unwrap().insert(name.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> io::Result<Vec<u8>> {
+        check_name(name)?;
+        self.blobs
+            .lock()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no blob {name:?}")))
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        Ok(self.blobs.lock().unwrap().keys().cloned().collect())
+    }
+
+    fn delete(&self, name: &str) -> io::Result<()> {
+        check_name(name)?;
+        self.blobs.lock().unwrap().remove(name);
+        Ok(())
+    }
+}

@@ -1,0 +1,192 @@
+//! Property tests for the shard and manifest codecs: encode → decode is a
+//! byte-exact round trip, and any random truncation or bit flip either
+//! leaves decoding byte-identical (impossible once the input actually
+//! changed) or yields a typed error — never a panic, never silent
+//! acceptance of corrupt bytes.
+
+use proptest::prelude::*;
+use tofu_durable::codec::{
+    decode_shard, encode_shard, parse_manifest_name, parse_shard_name, shard_name, Manifest,
+    ShardEntry, FORMAT_VERSION,
+};
+use tofu_durable::fnv1a64;
+use tofu_tensor::{Shape, Tensor};
+
+fn tensor_from(dims: &[usize], seed: u64) -> Tensor {
+    let volume: usize = dims.iter().product();
+    let data: Vec<f32> = (0..volume)
+        .map(|i| {
+            let x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i as u64);
+            (x % 2003) as f32 / 17.0 - 50.0
+        })
+        .collect();
+    Tensor::from_vec(Shape::new(dims.to_vec()), data).unwrap()
+}
+
+fn manifest_from(ckpt: u64, every: u64, sums: &[u64]) -> Manifest {
+    Manifest {
+        version: FORMAT_VERSION,
+        ckpt,
+        every,
+        shards: sums
+            .iter()
+            .enumerate()
+            .map(|(i, &sum)| ShardEntry {
+                tensor: i as u64 * 2,
+                file: shard_name(ckpt, i as u64 * 2),
+                bytes: 64 + sum % 4096,
+                checksum: sum,
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+    /// Shard encode → decode reproduces the tensor exactly (bit-for-bit)
+    /// and re-encoding reproduces the original bytes.
+    #[test]
+    fn shard_round_trip(
+        dims in prop::collection::vec(1usize..5, 1..4),
+        tensor in 0u64..1_000_000,
+        seed in 0u64..1_000_000_000,
+    ) {
+        let t = tensor_from(&dims, seed);
+        let blob = encode_shard(tensor, &t);
+        let (id, back) = decode_shard(&blob).unwrap();
+        prop_assert_eq!(id, tensor);
+        prop_assert_eq!(back.shape().dims(), t.shape().dims());
+        let same = back
+            .data()
+            .iter()
+            .zip(t.data())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        prop_assert!(same);
+        prop_assert_eq!(encode_shard(id, &back), blob);
+    }
+
+    /// Any strict truncation of a shard blob decodes to a typed error —
+    /// never a panic, never a wrong tensor.
+    #[test]
+    fn shard_truncation_is_typed_error(
+        dims in prop::collection::vec(1usize..5, 1..4),
+        seed in 0u64..1_000_000_000,
+        cut in 0usize..1_000_000,
+    ) {
+        let t = tensor_from(&dims, seed);
+        let blob = encode_shard(7, &t);
+        let cut = cut % blob.len(); // strictly shorter than the original
+        prop_assert!(decode_shard(&blob[..cut]).is_err());
+    }
+
+    /// Any single-bit flip of a shard blob either decodes byte-identically
+    /// (impossible when the bytes changed, but stated as the contract) or
+    /// yields a typed error. It must never silently return a tensor from
+    /// corrupted bytes.
+    #[test]
+    fn shard_bit_flip_detected(
+        dims in prop::collection::vec(1usize..5, 1..4),
+        seed in 0u64..1_000_000_000,
+        bit in 0u64..100_000_000,
+    ) {
+        let t = tensor_from(&dims, seed);
+        let blob = encode_shard(7, &t);
+        let mut bad = blob.clone();
+        let i = (bit % (bad.len() as u64 * 8)) as usize;
+        bad[i / 8] ^= 1 << (i % 8);
+        match decode_shard(&bad) {
+            Err(_) => {}
+            Ok((id, back)) => {
+                // Acceptance is only legal if re-encoding reproduces the
+                // exact (mutated) input — i.e. the decode was lossless.
+                prop_assert_eq!(encode_shard(id, &back), bad);
+            }
+        }
+    }
+
+    /// Manifest encode → decode is the identity, independent of the input
+    /// shard order (encoding canonicalizes by tensor id).
+    #[test]
+    fn manifest_round_trip(
+        ckpt in 0u64..100_000,
+        every in 1u64..1_000,
+        sums in prop::collection::vec(0u64..u64::MAX, 0..12),
+    ) {
+        let m = manifest_from(ckpt, every, &sums);
+        let back = Manifest::decode(&m.encode()).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    /// Truncating or bit-flipping a manifest blob never panics: decode
+    /// either returns the original manifest byte-identically or a typed
+    /// error.
+    #[test]
+    fn manifest_corruption_is_typed_error(
+        ckpt in 0u64..100_000,
+        sums in prop::collection::vec(0u64..u64::MAX, 0..8),
+        cut in 0usize..1_000_000,
+        bit in 0u64..100_000_000,
+    ) {
+        let m = manifest_from(ckpt, 4, &sums);
+        let blob = m.encode();
+        // Strict truncation must fail (the body checksum covers all of it).
+        let cut = cut % blob.len();
+        prop_assert!(Manifest::decode(&blob[..cut]).is_err());
+        // A bit flip must fail or round-trip the mutated bytes exactly.
+        let mut bad = blob.clone();
+        let i = (bit % (bad.len() as u64 * 8)) as usize;
+        bad[i / 8] ^= 1 << (i % 8);
+        match Manifest::decode(&bad) {
+            Err(_) => {}
+            Ok(back) => prop_assert_eq!(back.encode(), bad),
+        }
+    }
+
+    /// Blob names round-trip through their parsers, including ordinals
+    /// wider than the zero-padded field.
+    #[test]
+    fn names_round_trip(ckpt in 0u64..10_000_000_000, tensor in 0u64..100_000_000) {
+        use tofu_durable::codec::manifest_name;
+        prop_assert_eq!(parse_manifest_name(&manifest_name(ckpt)), Some(ckpt));
+        prop_assert_eq!(parse_shard_name(&shard_name(ckpt, tensor)), Some(ckpt));
+    }
+}
+
+/// NaN and infinity payloads survive the codec bit-exactly — durability
+/// must not launder poison values into something the poison guard misses.
+#[test]
+fn special_values_round_trip_bit_exact() {
+    let vals = vec![
+        f32::NAN,
+        -f32::NAN,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        -0.0,
+        f32::MIN_POSITIVE / 2.0, // subnormal
+    ];
+    let t = Tensor::from_vec(Shape::new(vec![vals.len()]), vals.clone()).unwrap();
+    let (_, back) = decode_shard(&encode_shard(3, &t)).unwrap();
+    for (a, b) in back.data().iter().zip(&vals) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+/// Truncating exactly at the checksum boundary (a torn write that kept the
+/// whole payload but lost the trailer) is still a typed error.
+#[test]
+fn missing_trailer_is_error() {
+    let t = Tensor::from_vec(Shape::new(vec![2]), vec![1.0, 2.0]).unwrap();
+    let blob = encode_shard(1, &t);
+    assert!(decode_shard(&blob[..blob.len() - 8]).is_err());
+    assert!(decode_shard(&blob[..blob.len() - 1]).is_err());
+    assert!(decode_shard(&[]).is_err());
+}
+
+/// The FNV-1a implementation matches the published test vectors.
+#[test]
+fn fnv_vectors() {
+    assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+    assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+}

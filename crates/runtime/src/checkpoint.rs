@@ -246,16 +246,67 @@ pub(crate) struct ResumePoint {
     pub values: Vec<BTreeMap<TensorId, Arc<Tensor>>>,
 }
 
+/// Observer of checkpoints the moment they become *consistent* (recorded by
+/// every worker). The durable layer hangs off this hook: the last worker to
+/// record checkpoint `k` drives the sink, so persistence happens exactly
+/// once per checkpoint without any extra barrier. A sink error fails that
+/// worker and aborts the run like any other worker-local failure.
+pub(crate) trait CheckpointSink: Send + Sync {
+    /// Called once per checkpoint, on the worker thread that completed it.
+    /// `values[w]` is worker `w`'s snapshot at the barrier.
+    fn on_consistent(
+        &self,
+        sharded: &ShardedGraph,
+        worker: usize,
+        ckpt: usize,
+        values: &[BTreeMap<TensorId, Arc<Tensor>>],
+    ) -> crate::Result<()>;
+}
+
 /// Snapshots recorded so far, keyed by `(checkpoint, worker)`. Shared across
 /// the attempts of one `run_with_recovery` call. Values are `Arc`-shared
 /// with the recording worker's live map, so a barrier costs one refcount
 /// bump per live tensor instead of a deep copy of the whole value map.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub(crate) struct CheckpointStore {
     snaps: BTreeMap<(usize, usize), BTreeMap<TensorId, Arc<Tensor>>>,
+    sink: Option<Arc<dyn CheckpointSink>>,
+}
+
+impl std::fmt::Debug for CheckpointStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointStore")
+            .field("snaps", &self.snaps.keys().collect::<Vec<_>>())
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl CheckpointStore {
+    /// A store that notifies `sink` as each checkpoint becomes consistent.
+    pub(crate) fn with_sink(sink: Arc<dyn CheckpointSink>) -> CheckpointStore {
+        CheckpointStore { snaps: BTreeMap::new(), sink: Some(sink) }
+    }
+
+    /// The configured sink, if any.
+    pub(crate) fn sink(&self) -> Option<Arc<dyn CheckpointSink>> {
+        self.sink.clone()
+    }
+
+    /// If checkpoint `k` is consistent across `workers` workers, clone out
+    /// its per-worker snapshots (refcount bumps only).
+    pub(crate) fn consistent_values(
+        &self,
+        k: usize,
+        workers: usize,
+    ) -> Option<Vec<BTreeMap<TensorId, Arc<Tensor>>>> {
+        if (0..workers).all(|w| self.snaps.contains_key(&(k, w))) {
+            Some((0..workers).map(|w| self.snaps[&(k, w)].clone()).collect())
+        } else {
+            None
+        }
+    }
+
     pub(crate) fn record(
         &mut self,
         ckpt: usize,

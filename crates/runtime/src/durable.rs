@@ -1,0 +1,520 @@
+//! Durable checkpoints: whole-process crash recovery from disk.
+//!
+//! The in-memory recovery ladder (retry → elastic reshard) dies with the
+//! coordinating process: every consistent checkpoint lives in the
+//! [`CheckpointStore`]'s heap. This module persists checkpoints through
+//! [`tofu_durable`] the moment they become consistent, and
+//! [`run_with_durable_recovery`] closes the loop — a simulated
+//! whole-process crash drops *all* in-memory state, then a fresh runtime:
+//!
+//! 1. **Discovers** the newest *valid* checkpoint on disk. Every candidate
+//!    manifest is validated in full (self-checksum, name/body ordinal
+//!    agreement, per-shard presence + size + checksum + decode); corrupt or
+//!    torn candidates are skipped with a typed
+//!    [`RejectReason`](tofu_durable::RejectReason), never silently used.
+//! 2. **Reshards** it onto the current fleet. Durable checkpoints store
+//!    *full* tensors keyed by original ids — plan-independent, exactly like
+//!    the elastic path's [`FullSnapshot`] — so the restart width may differ
+//!    from the width that wrote the checkpoint.
+//! 3. **Resumes** at the checkpoint barrier, bit-identical to an
+//!    undisturbed run resumed from the same cut, while continuing to
+//!    persist and GC later checkpoints.
+//!
+//! Persistence rides the [`CheckpointSink`] hook: the worker whose barrier
+//! record makes checkpoint `k` consistent commits it (shards first, then
+//! the manifest — the commit point), then prunes superseded checkpoints
+//! down to the retention budget. Disk faults from
+//! [`FaultPlan::disk`](crate::FaultPlan) are injected into those writes via
+//! [`FaultyStore`], deterministic and one-shot like every other injected
+//! fault.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use tofu_core::{generate, partition_cached, GenOptions, PartitionOptions, SearchCaches, ShardedGraph};
+use tofu_durable::{
+    gc, recover_latest, write_checkpoint, BlobStore, DurableCheckpoint, FaultyStore,
+    RejectedCheckpoint,
+};
+use tofu_graph::{Graph, TensorId};
+use tofu_obs::{Collector, Track};
+use tofu_tensor::Tensor;
+
+use crate::checkpoint::{BarrierUnit, CheckpointSink, CheckpointStore};
+use crate::error::{RunFailure, RuntimeError};
+use crate::fault::FaultState;
+use crate::reshard::{assemble_snapshot, scatter_snapshot, FullSnapshot};
+use crate::{run_attempt, Attempt, Result, RunOptions, RunOutput};
+
+/// Where [`run_with_durable_recovery`] simulates the whole-process crash,
+/// relative to the durable commit of a chosen checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Die while persisting checkpoint `k`: shard files hit the disk but
+    /// the manifest — the commit point — never does. Recovery must fall
+    /// back to checkpoint `k - 1` (or scratch) and ignore the orphans.
+    BeforeCommit(usize),
+    /// Die right after checkpoint `k`'s manifest commits (before GC runs).
+    /// Recovery must find `k` valid and resume from it.
+    AfterCommit(usize),
+}
+
+impl CrashPoint {
+    fn ckpt(&self) -> usize {
+        match *self {
+            CrashPoint::BeforeCommit(k) | CrashPoint::AfterCommit(k) => k,
+        }
+    }
+}
+
+/// Configuration of [`run_with_durable_recovery`].
+pub struct DurableOptions {
+    /// Where checkpoints are persisted. [`DirStore`](tofu_durable::DirStore)
+    /// for a real directory, [`MemStore`](tofu_durable::MemStore) for tests.
+    pub store: Arc<dyn BlobStore>,
+    /// How many committed checkpoints to keep; older ones are GCed after
+    /// each commit. Clamped to at least 1.
+    pub retain: usize,
+    /// Simulated whole-process crash. `None` runs straight through (still
+    /// persisting every checkpoint).
+    pub crash: Option<CrashPoint>,
+    /// Worker count of the restarted process; `None` restarts at the
+    /// original width. The checkpoint reshards either way.
+    pub restart_workers: Option<usize>,
+}
+
+impl DurableOptions {
+    /// Persist to `store` with default retention (2), no simulated crash.
+    pub fn new(store: Arc<dyn BlobStore>) -> DurableOptions {
+        DurableOptions { store, retain: 2, crash: None, restart_workers: None }
+    }
+}
+
+impl std::fmt::Debug for DurableOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableOptions")
+            .field("retain", &self.retain)
+            .field("crash", &self.crash)
+            .field("restart_workers", &self.restart_workers)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What a durable run (and its optional crash-restart) did.
+#[derive(Debug)]
+pub struct DurableReport {
+    /// The final (post-restart) run's output, keyed by the restart plan's
+    /// tensor ids.
+    pub output: RunOutput,
+    /// The sharded graph of the restart plan — gather originals with
+    /// [`ShardedGraph::gather`] or
+    /// [`gather_shards`](crate::gather_shards), and use it to build the
+    /// bit-identity baseline via
+    /// [`resume_from_snapshot`](crate::resume_from_snapshot).
+    pub sharded: ShardedGraph,
+    /// Worker count of the restarted (final) run.
+    pub width: usize,
+    /// Post-mortem of the simulated crash, when one was configured.
+    pub crashed: Option<RunFailure>,
+    /// Slowest peer abort-detection latency of the crash.
+    pub detection: Option<Duration>,
+    /// Checkpoint the restart resumed from (`None` = restarted from
+    /// scratch: no valid checkpoint survived on disk).
+    pub resumed_from: Option<usize>,
+    /// The validated snapshot the restart resumed from, for constructing
+    /// bit-identity baselines at the restart width.
+    pub snapshot: Option<FullSnapshot>,
+    /// Checkpoint candidates recovery rejected, newest first, each with its
+    /// typed reason.
+    pub rejected: Vec<RejectedCheckpoint>,
+    /// Checkpoints committed across both incarnations.
+    pub written: usize,
+    /// Bytes written across both incarnations (shards + manifests).
+    pub written_bytes: u64,
+    /// Blobs removed by retention GC.
+    pub gc_removed: usize,
+    /// Total wall time spent in durable commits.
+    pub write_wall: Duration,
+    /// Wall time of recovery discovery + validation.
+    pub validate_wall: Duration,
+    /// Wall time resharding the recovered snapshot onto the restart plan.
+    pub restore_wall: Duration,
+    /// Bytes of full-tensor snapshot the restore resharded.
+    pub restore_bytes: u64,
+}
+
+/// The [`CheckpointSink`] that makes checkpoints durable: assembles the
+/// consistent barrier into a plan-independent snapshot, commits it (shards
+/// first, manifest last), then GCs superseded checkpoints. One instance per
+/// process incarnation; `floor` dedups persists (checkpoints become
+/// consistent in ascending order, and a restart must not rewrite the
+/// checkpoint it resumed from).
+struct Persister {
+    store: Arc<FaultyStore>,
+    every: usize,
+    retain: usize,
+    /// Simulated crash, fired at most once.
+    crash: Option<CrashPoint>,
+    crash_fired: AtomicBool,
+    /// Highest checkpoint already persisted (persists are skipped at or
+    /// below it).
+    floor: AtomicUsize,
+    written: AtomicUsize,
+    bytes: AtomicU64,
+    gc_removed: AtomicUsize,
+    write_us: AtomicU64,
+    obs: Option<Collector>,
+    /// Serializes commits: concurrent workers can complete different
+    /// barriers back to back, and shard/manifest write order is the
+    /// correctness argument.
+    io: Mutex<()>,
+}
+
+impl Persister {
+    fn new(
+        store: Arc<FaultyStore>,
+        every: usize,
+        retain: usize,
+        crash: Option<CrashPoint>,
+        floor: usize,
+        obs: Option<Collector>,
+    ) -> Persister {
+        Persister {
+            store,
+            every,
+            retain: retain.max(1),
+            crash,
+            crash_fired: AtomicBool::new(false),
+            floor: AtomicUsize::new(floor),
+            written: AtomicUsize::new(0),
+            bytes: AtomicU64::new(0),
+            gc_removed: AtomicUsize::new(0),
+            write_us: AtomicU64::new(0),
+            obs,
+            io: Mutex::new(()),
+        }
+    }
+
+    fn write_wall(&self) -> Duration {
+        Duration::from_micros(self.write_us.load(Ordering::SeqCst))
+    }
+}
+
+fn to_durable(snap: &FullSnapshot) -> DurableCheckpoint {
+    DurableCheckpoint {
+        ckpt: snap.ckpt as u64,
+        every: snap.every as u64,
+        tensors: snap.tensors.iter().map(|(t, v)| (t.0 as u64, v.clone())).collect(),
+    }
+}
+
+fn from_durable(d: DurableCheckpoint) -> FullSnapshot {
+    FullSnapshot {
+        ckpt: d.ckpt as usize,
+        every: d.every as usize,
+        tensors: d.tensors.into_iter().map(|(id, t)| (TensorId(id as usize), t)).collect(),
+    }
+}
+
+impl CheckpointSink for Persister {
+    fn on_consistent(
+        &self,
+        sharded: &ShardedGraph,
+        worker: usize,
+        ckpt: usize,
+        values: &[std::collections::BTreeMap<TensorId, Arc<Tensor>>],
+    ) -> Result<()> {
+        let _serial = self.io.lock();
+        if ckpt <= self.floor.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let snap = assemble_snapshot(sharded, ckpt, values, self.every)?;
+        let durable = to_durable(&snap);
+        let t0 = Instant::now();
+        let obs_t0 = self.obs.as_ref().map(|c| c.now_us()).unwrap_or(0.0);
+        let crash_here = |point: CrashPoint| {
+            self.crash == Some(point) && !self.crash_fired.swap(true, Ordering::SeqCst)
+        };
+        if crash_here(CrashPoint::BeforeCommit(ckpt)) {
+            // The doomed process got its shard files out but died before
+            // the manifest — the commit point — existed.
+            write_checkpoint(&*self.store, &durable, false)
+                .map_err(|e| RuntimeError::Durable { worker, detail: e.to_string() })?;
+            return Err(RuntimeError::Injected {
+                worker,
+                detail: format!(
+                    "simulated process crash before durable commit of checkpoint {ckpt}"
+                ),
+            });
+        }
+        let stats = write_checkpoint(&*self.store, &durable, true)
+            .map_err(|e| RuntimeError::Durable { worker, detail: e.to_string() })?;
+        self.floor.store(ckpt, Ordering::SeqCst);
+        self.written.fetch_add(1, Ordering::SeqCst);
+        self.bytes.fetch_add(stats.bytes, Ordering::SeqCst);
+        self.write_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::SeqCst);
+        if let Some(c) = &self.obs {
+            c.complete(
+                Track::control(),
+                "durable",
+                &format!("commit checkpoint {ckpt}"),
+                obs_t0,
+                c.now_us(),
+            );
+            c.add_total("ckpt/written", 1.0);
+            c.add_total("ckpt/bytes", stats.bytes as f64);
+        }
+        if crash_here(CrashPoint::AfterCommit(ckpt)) {
+            // Committed, but the process died before GC could run: older
+            // manifests survive as stale-but-valid fallbacks.
+            return Err(RuntimeError::Injected {
+                worker,
+                detail: format!(
+                    "simulated process crash after durable commit of checkpoint {ckpt}"
+                ),
+            });
+        }
+        let removed = gc(&*self.store, self.retain)
+            .map_err(|e| RuntimeError::Durable { worker, detail: e.to_string() })?;
+        if removed > 0 {
+            self.gc_removed.fetch_add(removed, Ordering::SeqCst);
+            if let Some(c) = &self.obs {
+                c.add_total("ckpt/gc", removed as f64);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Partitions `g` for exactly `workers` workers and lowers the plan.
+fn plan_at(
+    g: &Graph,
+    base: &PartitionOptions,
+    workers: usize,
+    caches: &mut SearchCaches,
+    obs: Option<&Collector>,
+) -> Result<ShardedGraph> {
+    let plan = partition_cached(g, &PartitionOptions { workers, ..*base }, caches, obs)?;
+    Ok(generate(g, &plan, &GenOptions::default())?)
+}
+
+fn scatter_feeds(
+    sharded: &ShardedGraph,
+    feeds: &[(TensorId, Tensor)],
+) -> Result<Vec<(TensorId, Tensor)>> {
+    let mut shard_feeds = Vec::new();
+    for (t, v) in feeds {
+        shard_feeds.extend(sharded.scatter(*t, v)?);
+    }
+    Ok(shard_feeds)
+}
+
+/// Runs `g` with every consistent checkpoint persisted durably, optionally
+/// simulating a whole-process crash and recovering from disk.
+///
+/// Takes the **original** graph and full-tensor feeds (like
+/// [`run_with_elastic_recovery`](crate::run_with_elastic_recovery)):
+/// partitioning and feed scattering are done per incarnation, because the
+/// restarted process may run at a different width
+/// ([`DurableOptions::restart_workers`]) than the one that crashed.
+///
+/// With a [`CrashPoint`] configured, the first incarnation *must* die there
+/// (a crash point past the last barrier is an [`RuntimeError::InvalidOptions`]
+/// — the run would complete instead of crashing). All of its in-memory
+/// state — checkpoint store, fault state, values — is dropped; only the
+/// blob store carries over, exactly like a real process death. The fresh
+/// incarnation discovers the newest valid checkpoint ([`recover_latest`]),
+/// reshards it onto the restart plan, resumes, and keeps persisting.
+///
+/// Disk faults in [`FaultPlan::disk`](crate::FaultPlan) corrupt the doomed
+/// incarnation's writes; recovery detects each corruption during validation
+/// and reports it in [`DurableReport::rejected`] with a typed reason —
+/// falling back to an older checkpoint (or scratch), never resuming from
+/// corrupt bytes.
+pub fn run_with_durable_recovery(
+    g: &Graph,
+    feeds: &[(TensorId, Tensor)],
+    part_opts: &PartitionOptions,
+    opts: &RunOptions,
+    durable: &DurableOptions,
+    caches: &mut SearchCaches,
+) -> Result<DurableReport> {
+    let invalid = |m: &str| Err(RuntimeError::InvalidOptions(m.into()));
+    if part_opts.workers == 0 {
+        return invalid("cannot run on zero workers");
+    }
+    let Some(cp) = opts.checkpoint else {
+        return invalid(
+            "durable recovery persists checkpoint barriers; set a \
+             CheckpointPolicy::every_original cadence",
+        );
+    };
+    if cp.every == 0 {
+        return invalid("checkpoint interval must be positive");
+    }
+    if cp.unit != BarrierUnit::OriginalSteps {
+        return invalid(
+            "durable checkpoints reshard across plans; use the plan-independent barriers of \
+             CheckpointPolicy::every_original",
+        );
+    }
+    if !opts.churn.is_empty() {
+        return invalid(
+            "churn plans reshape the fleet mid-run; durable recovery restarts whole processes — \
+             use run_with_elastic_recovery for churn",
+        );
+    }
+    if durable.restart_workers == Some(0) {
+        return invalid("cannot restart on zero workers");
+    }
+
+    let obs = opts.collector.clone();
+    // Disk faults are consumed here, by the store wrapper; the in-memory
+    // run must not see them (plain validation rejects a non-empty plan).
+    let mut run_opts = opts.clone();
+    let disk = std::mem::take(&mut run_opts.faults.disk);
+    let store = Arc::new(FaultyStore::new(durable.store.clone(), disk));
+
+    let mut crashed: Option<RunFailure> = None;
+    let mut detection = None;
+    let mut written = 0usize;
+    let mut written_bytes = 0u64;
+    let mut gc_removed = 0usize;
+    let mut write_wall = Duration::ZERO;
+
+    if let Some(crash) = durable.crash {
+        let sharded = plan_at(g, part_opts, part_opts.workers, caches, obs.as_ref())?;
+        crate::validate(&sharded, &run_opts)?;
+        let shard_feeds = scatter_feeds(&sharded, feeds)?;
+        let persister = Arc::new(Persister::new(
+            store.clone(),
+            cp.every,
+            durable.retain,
+            Some(crash),
+            0,
+            obs.clone(),
+        ));
+        let faults = FaultState::new(&run_opts.faults);
+        let cell = Mutex::new(CheckpointStore::with_sink(persister.clone()));
+        let device_map: Vec<usize> = (0..sharded.workers).collect();
+        let outcome =
+            run_attempt(&sharded, &shard_feeds, &run_opts, &faults, &cell, None, &device_map, None);
+        written += persister.written.load(Ordering::SeqCst);
+        written_bytes += persister.bytes.load(Ordering::SeqCst);
+        gc_removed += persister.gc_removed.load(Ordering::SeqCst);
+        write_wall += persister.write_wall();
+        match outcome {
+            Err(RuntimeError::Failed(f)) => {
+                detection = f.max_detection();
+                if let Some(c) = &obs {
+                    c.instant(
+                        Track::control(),
+                        "durable",
+                        &format!("process crashed: {}", f.cause),
+                    );
+                }
+                crashed = Some(*f);
+            }
+            Ok(_) => {
+                return Err(RuntimeError::InvalidOptions(format!(
+                    "the simulated crash point (checkpoint {}) was never reached: the run \
+                     completed — move the crash to an earlier barrier",
+                    crash.ckpt()
+                )));
+            }
+            Err(e) => return Err(e),
+        }
+        // Whole-process crash: `cell` (every in-memory checkpoint), the
+        // fault state and the persister drop here. Only `store` survives.
+    }
+
+    // ===== fresh process =====
+    let t_validate = Instant::now();
+    let obs_t0 = obs.as_ref().map(|c| c.now_us()).unwrap_or(0.0);
+    let recovery = recover_latest(&*store, Some(cp.every as u64))
+        .map_err(|e| RuntimeError::Durable { worker: usize::MAX, detail: e.to_string() })?;
+    let validate_wall = t_validate.elapsed();
+    if let Some(c) = &obs {
+        for r in &recovery.rejected {
+            c.add_total("ckpt/rejected", 1.0);
+            c.instant(
+                Track::control(),
+                "durable",
+                &format!("rejected checkpoint {}: {}", r.ckpt, r.reason),
+            );
+        }
+        c.complete(Track::control(), "durable", "discover newest valid checkpoint", obs_t0, c.now_us());
+    }
+    let snapshot = recovery.snapshot.map(from_durable);
+    let resumed_from = snapshot.as_ref().map(|s| s.ckpt);
+
+    let width = durable.restart_workers.unwrap_or(part_opts.workers);
+    let sharded = plan_at(g, part_opts, width, caches, obs.as_ref())?;
+    crate::validate(&sharded, &run_opts)?;
+    let persister = Arc::new(Persister::new(
+        store.clone(),
+        cp.every,
+        durable.retain,
+        None,
+        resumed_from.unwrap_or(0),
+        obs.clone(),
+    ));
+    let faults = FaultState::new(&run_opts.faults);
+    let cell = Mutex::new(CheckpointStore::with_sink(persister.clone()));
+    let device_map: Vec<usize> = (0..sharded.workers).collect();
+
+    let t_restore = Instant::now();
+    let (resume, restore_bytes) = match &snapshot {
+        Some(snap) => (Some(scatter_snapshot(snap, &sharded)?), snap.bytes()),
+        None => (None, 0),
+    };
+    let restore_wall = t_restore.elapsed();
+    if let Some(c) = &obs {
+        let what = match resumed_from {
+            Some(k) => format!("restart at width {width}: resume from durable checkpoint {k}"),
+            None => format!("restart at width {width}: no valid checkpoint, from scratch"),
+        };
+        c.instant(Track::control(), "durable", &what);
+    }
+    let shard_feeds =
+        if resume.is_some() { Vec::new() } else { scatter_feeds(&sharded, feeds)? };
+    let output = match run_attempt(
+        &sharded,
+        &shard_feeds,
+        &run_opts,
+        &faults,
+        &cell,
+        resume.as_ref(),
+        &device_map,
+        None,
+    )? {
+        Attempt::Done(out) => out,
+        Attempt::Yielded { .. } => {
+            return Err(RuntimeError::Internal("attempt yielded without a yield barrier".into()));
+        }
+    };
+    written += persister.written.load(Ordering::SeqCst);
+    written_bytes += persister.bytes.load(Ordering::SeqCst);
+    gc_removed += persister.gc_removed.load(Ordering::SeqCst);
+    write_wall += persister.write_wall();
+
+    Ok(DurableReport {
+        output,
+        sharded,
+        width,
+        crashed,
+        detection,
+        resumed_from,
+        snapshot,
+        rejected: recovery.rejected,
+        written,
+        written_bytes,
+        gc_removed,
+        write_wall,
+        validate_wall,
+        restore_wall,
+        restore_bytes,
+    })
+}

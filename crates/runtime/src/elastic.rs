@@ -683,7 +683,7 @@ pub fn run_with_elastic_recovery(
                         let s = store.lock();
                         s.resume_point(ckpt, width, &cuts)
                     };
-                    carried = Some(assemble_snapshot(&sharded, &point, cp.every)?);
+                    carried = Some(assemble_snapshot(&sharded, point.ckpt, &point.values, cp.every)?);
                     let (dev, _) = grow_pending.expect("yield only happens for a pending join");
                     insert_sorted(&mut available, dev);
                     joined.push(dev);
@@ -804,7 +804,7 @@ pub fn run_with_elastic_recovery(
             let s = store.lock();
             if let Some(ck) = s.latest_consistent(width, cuts.len()) {
                 let point = s.resume_point(ck, width, &cuts);
-                let snap = assemble_snapshot(&sharded, &point, cp.every)?;
+                let snap = assemble_snapshot(&sharded, point.ckpt, &point.values, cp.every)?;
                 // Attempts only ever resume at or past the carried barrier,
                 // so a fresh consistent checkpoint is never older.
                 if carried.as_ref().is_none_or(|c0| snap.ckpt >= c0.ckpt) {

@@ -82,6 +82,24 @@ pub enum RuntimeError {
         /// Name of the poisoned tensor.
         tensor: String,
     },
+    /// A checkpoint snapshot no longer hashes to the checksum recorded when
+    /// its tensor was produced — some buffer aliased or scribbled over the
+    /// live value after the fact. The checkpoint was *not* committed.
+    CorruptSnapshot {
+        /// Worker whose snapshot failed verification.
+        worker: usize,
+        /// Name of the tensor whose payload changed.
+        tensor: String,
+    },
+    /// The durable checkpoint store failed (I/O error writing a shard or
+    /// manifest, or reading one back during recovery).
+    Durable {
+        /// Worker whose commit hit the store failure (`usize::MAX` when the
+        /// failure happened outside any worker, e.g. during discovery).
+        worker: usize,
+        /// The underlying store failure.
+        detail: String,
+    },
     /// Elastic recovery exhausted its `ElasticPolicy`: every attempted
     /// worker count failed and no further shrink is permitted.
     Unrecoverable {
@@ -132,6 +150,20 @@ impl fmt::Display for RuntimeError {
                     write!(f, " (produced by node {n:?})")?;
                 }
                 write!(f, " contains a non-finite value")
+            }
+            RuntimeError::CorruptSnapshot { worker, tensor } => {
+                write!(
+                    f,
+                    "worker {worker}: checkpoint integrity: tensor {tensor:?} no longer \
+                     matches the checksum recorded when it was produced (aliased buffer?)"
+                )
+            }
+            RuntimeError::Durable { worker, detail } => {
+                if *worker == usize::MAX {
+                    write!(f, "durable checkpoint store failed: {detail}")
+                } else {
+                    write!(f, "worker {worker}: durable checkpoint store failed: {detail}")
+                }
             }
             RuntimeError::Unrecoverable { lost, widths, cause } => {
                 // Render the whole ladder, not just the last attempt:

@@ -40,6 +40,8 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Duration;
 
+use tofu_durable::{DiskFault, DiskFaultPlan};
+
 /// What to do to one targeted cross-worker message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MessageFault {
@@ -120,6 +122,10 @@ pub struct InjectedFault {
 pub struct FaultPlan {
     /// Faults to inject; order is irrelevant.
     pub faults: Vec<InjectedFault>,
+    /// Disk faults to inject into the durable checkpoint store. Only
+    /// consumed by [`run_with_durable_recovery`](crate::run_with_durable_recovery);
+    /// plain runs reject a non-empty disk plan at validation.
+    pub disk: DiskFaultPlan,
 }
 
 impl FaultPlan {
@@ -150,9 +156,15 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a disk fault against the durable checkpoint store, builder style.
+    pub fn with_disk(mut self, fault: DiskFault) -> FaultPlan {
+        self.disk.faults.push(fault);
+        self
+    }
+
     /// True when nothing is injected.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+        self.faults.is_empty() && self.disk.is_empty()
     }
 }
 

@@ -67,6 +67,7 @@
 
 mod abort;
 mod checkpoint;
+mod durable;
 mod elastic;
 mod error;
 mod fault;
@@ -91,6 +92,7 @@ pub use abort::{AbortCause, AbortToken};
 pub use checkpoint::{
     AttemptRecord, BackoffSchedule, BarrierUnit, CheckpointPolicy, RecoveryOptions, RecoveryReport,
 };
+pub use durable::{run_with_durable_recovery, CrashPoint, DurableOptions, DurableReport};
 pub use elastic::{
     run_with_elastic_recovery, ElasticPolicy, ElasticReport, ElasticTransition, TransitionKind,
 };
@@ -101,6 +103,9 @@ pub use fault::{
 };
 pub use pool::{BufferPool, PieceRef, PieceSlab};
 pub use reshard::{gather_shards, resume_from_snapshot, scatter_full, FullSnapshot};
+pub use tofu_durable::{
+    BlobStore, DirStore, DiskFault, DiskFaultPlan, MemStore, RejectReason, RejectedCheckpoint,
+};
 pub use trace::{LinkStat, OpEvent, RunTrace, WorkerTrace};
 
 use checkpoint::{checkpoint_cuts, CheckpointStore, ResumePoint};
@@ -250,6 +255,43 @@ fn payload_checksum(data: &[f32]) -> u64 {
     h
 }
 
+/// What the pre-snapshot scan found wrong with a live value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SnapshotDefect {
+    /// The value holds a NaN or infinity.
+    NonFinite,
+    /// The value's bytes no longer hash to the checksum recorded when it was
+    /// produced — the buffer was corrupted while sitting in memory.
+    ChecksumMismatch,
+}
+
+/// Scans a worker's live values right before they are recorded into
+/// checkpoint state at barrier position `pos`: values dead before the barrier
+/// (`scan_floor[t] < pos`) are unobservable on resume and skipped; the rest
+/// must be finite and, when a produce-time checksum was recorded in `sums`,
+/// must still hash to it. Returns the first offending tensor.
+pub(crate) fn scan_snapshot(
+    values: &BTreeMap<TensorId, Arc<Tensor>>,
+    sums: &BTreeMap<TensorId, u64>,
+    scan_floor: &[usize],
+    pos: usize,
+) -> std::result::Result<(), (TensorId, SnapshotDefect)> {
+    for (t, v) in values {
+        if scan_floor[t.0] < pos {
+            continue; // dead before the barrier: unobservable on resume
+        }
+        if v.data().iter().any(|x| !x.is_finite()) {
+            return Err((*t, SnapshotDefect::NonFinite));
+        }
+        if let Some(&sum) = sums.get(t) {
+            if payload_checksum(v.data()) != sum {
+                return Err((*t, SnapshotDefect::ChecksumMismatch));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -278,6 +320,13 @@ fn validate(sharded: &ShardedGraph, opts: &RunOptions) -> Result<()> {
         return invalid(
             "churn plans script fleet-membership changes; only run_with_elastic_recovery can \
              honor them"
+                .into(),
+        );
+    }
+    if !opts.faults.disk.is_empty() {
+        return invalid(
+            "disk faults target the durable checkpoint store; only run_with_durable_recovery \
+             can honor them"
                 .into(),
         );
     }
@@ -745,6 +794,12 @@ struct Worker<'a> {
     /// resumed run, and the snapshot still *records* them (bit-identity of
     /// recovered value maps requires every key).
     scan_floor: Vec<usize>,
+    /// With `poison_check` on: FNV-1a checksum of each value's payload,
+    /// recorded the moment the value was produced (or fed / restored). The
+    /// checkpoint barrier re-hashes live values against these, so a buffer
+    /// aliased or overwritten after production is caught *before* the
+    /// snapshot commits — and long before it could reach disk.
+    value_sums: BTreeMap<TensorId, u64>,
     /// Remote pieces that arrived before their consumer needed them,
     /// indexed by the plan-time receive slot.
     pending: Vec<Option<PieceRef>>,
@@ -875,16 +930,23 @@ impl<'a> Worker<'a> {
         let k = txs.len();
         let mut pool = BufferPool::new(w);
         pool.set_budget(opts.pool_budget);
+        let poison_check = opts.checkpoint.map(|cp| cp.poison_check).unwrap_or(false);
+        let value_sums = if poison_check {
+            values.iter().map(|(t, v)| (*t, payload_checksum(v.data()))).collect()
+        } else {
+            BTreeMap::new()
+        };
         Ok(Worker {
             sharded,
             w,
             phys: device_map[w],
             device_map,
-            poison_check: opts.checkpoint.map(|cp| cp.poison_check).unwrap_or(false),
+            poison_check,
             schedule,
             plan,
             values,
             scan_floor,
+            value_sums,
             pending: vec![None; routes.slots.len()],
             rx,
             txs,
@@ -1012,30 +1074,61 @@ impl<'a> Worker<'a> {
     /// recorded map is an `Arc` clone of the live one — refcount bumps, no
     /// payload copies — and bit-identity of recovered runs requires every
     /// key to survive.
+    ///
+    /// The same scan re-hashes each live value and compares it against the
+    /// checksum recorded when the value was produced: a mismatch means some
+    /// buffer aliased or scribbled over the payload after the fact, and the
+    /// snapshot is rejected with [`RuntimeError::CorruptSnapshot`] before it
+    /// can be committed (or persisted to disk).
+    ///
+    /// When the store carries a [`CheckpointSink`], the worker whose record
+    /// makes checkpoint `k` consistent drives the sink — outside the store
+    /// lock, so persistence I/O never serializes peers' barriers.
     fn take_checkpoints(&mut self, pos: usize) -> Result<()> {
         if let (Some(store), Some(ks)) = (self.store, self.ckpts_at.get(&pos)) {
             if self.poison_check {
-                for (t, v) in &self.values {
-                    if self.scan_floor[t.0] < pos {
-                        continue; // dead before the barrier: unobservable on resume
-                    }
-                    if v.data().iter().any(|x| !x.is_finite()) {
-                        return Err(RuntimeError::PoisonedCheckpoint {
+                if let Err((t, defect)) =
+                    scan_snapshot(&self.values, &self.value_sums, &self.scan_floor, pos)
+                {
+                    return Err(match defect {
+                        SnapshotDefect::NonFinite => RuntimeError::PoisonedCheckpoint {
                             worker: self.w,
                             node: self
                                 .sharded
                                 .graph
-                                .producer(*t)
+                                .producer(t)
                                 .map(|n| self.sharded.graph.node(n).name.clone()),
-                            tensor: self.sharded.graph.tensor(*t).name.clone(),
-                        });
-                    }
+                            tensor: self.sharded.graph.tensor(t).name.clone(),
+                        },
+                        SnapshotDefect::ChecksumMismatch => RuntimeError::CorruptSnapshot {
+                            worker: self.w,
+                            tensor: self.sharded.graph.tensor(t).name.clone(),
+                        },
+                    });
                 }
             }
-            {
+            let mut to_persist = Vec::new();
+            let sink = {
                 let mut s = store.lock();
                 for &k in ks {
                     s.record(k, self.w, self.values.clone());
+                }
+                let sink = s.sink();
+                if sink.is_some() {
+                    // Exactly one worker observes each k become consistent
+                    // (its record is the last of the set), so each k is
+                    // collected for persistence exactly once.
+                    for &k in ks {
+                        if let Some(vals) = s.consistent_values(k, self.sharded.workers) {
+                            to_persist.push((k, vals));
+                        }
+                    }
+                }
+                sink
+            };
+            if let Some(sink) = sink {
+                for (k, vals) in to_persist {
+                    sink.on_consistent(self.sharded, self.w, k, &vals)?;
                 }
             }
             for &k in ks {
@@ -1155,6 +1248,9 @@ impl<'a> Worker<'a> {
                     buf.complete(cat, &node.name, s_us, e_us);
                     buf.counter("pool bytes", e_us, pool_now);
                 }
+            }
+            if self.poison_check {
+                self.value_sums.insert(node.output, payload_checksum(out.data()));
             }
             self.values.insert(node.output, Arc::new(out));
             let (lo, hi) = routes.spans[pos];
@@ -1635,4 +1731,65 @@ fn copy_piece_block(dst: &mut Tensor, piece: &PieceRef, dst_begin: &[i64], len: 
         dst_begin,
         len,
     );
+}
+
+#[cfg(test)]
+mod snapshot_guard_tests {
+    use super::*;
+
+    fn arc(data: Vec<f32>) -> Arc<Tensor> {
+        Arc::new(Tensor::from_vec(Shape::new(vec![data.len()]), data).unwrap())
+    }
+
+    #[test]
+    fn clean_values_pass() {
+        let values: BTreeMap<TensorId, Arc<Tensor>> =
+            [(TensorId(0), arc(vec![1.0, 2.0])), (TensorId(1), arc(vec![-0.0, 3.5]))].into();
+        let sums: BTreeMap<TensorId, u64> =
+            values.iter().map(|(t, v)| (*t, payload_checksum(v.data()))).collect();
+        assert_eq!(scan_snapshot(&values, &sums, &[10, 10], 5), Ok(()));
+    }
+
+    #[test]
+    fn stale_checksum_is_corruption() {
+        // Record the checksum of one payload, then "corrupt" the buffer by
+        // swapping in different bytes — the scan must flag it.
+        let good = arc(vec![1.0, 2.0]);
+        let sums: BTreeMap<TensorId, u64> =
+            [(TensorId(0), payload_checksum(good.data()))].into();
+        let corrupted: BTreeMap<TensorId, Arc<Tensor>> =
+            [(TensorId(0), arc(vec![1.0, 2.000001]))].into();
+        assert_eq!(
+            scan_snapshot(&corrupted, &sums, &[10], 5),
+            Err((TensorId(0), SnapshotDefect::ChecksumMismatch))
+        );
+    }
+
+    #[test]
+    fn nonfinite_beats_checksum() {
+        // A NaN payload is poison even if its checksum happens to match.
+        let bad = arc(vec![f32::NAN]);
+        let sums: BTreeMap<TensorId, u64> =
+            [(TensorId(0), payload_checksum(bad.data()))].into();
+        let values: BTreeMap<TensorId, Arc<Tensor>> = [(TensorId(0), bad)].into();
+        assert_eq!(
+            scan_snapshot(&values, &sums, &[10], 5),
+            Err((TensorId(0), SnapshotDefect::NonFinite))
+        );
+    }
+
+    #[test]
+    fn dead_values_are_skipped() {
+        // Dead before the barrier: even a corrupt value is unobservable.
+        let values: BTreeMap<TensorId, Arc<Tensor>> = [(TensorId(0), arc(vec![f32::NAN]))].into();
+        let sums: BTreeMap<TensorId, u64> = [(TensorId(0), 0xdead)].into();
+        assert_eq!(scan_snapshot(&values, &sums, &[3], 5), Ok(()));
+    }
+
+    #[test]
+    fn missing_sum_only_checks_finiteness() {
+        // poison_check runs without recorded sums for resumed values.
+        let values: BTreeMap<TensorId, Arc<Tensor>> = [(TensorId(0), arc(vec![4.0]))].into();
+        assert_eq!(scan_snapshot(&values, &BTreeMap::new(), &[10], 5), Ok(()));
+    }
 }

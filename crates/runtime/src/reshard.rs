@@ -155,14 +155,15 @@ pub fn scatter_full(
 /// is origin-aligned) is reassembled at full shape.
 pub(crate) fn assemble_snapshot(
     sharded: &ShardedGraph,
-    point: &ResumePoint,
+    ckpt: usize,
+    values: &[BTreeMap<TensorId, std::sync::Arc<Tensor>>],
     every: usize,
 ) -> Result<FullSnapshot> {
     // One merged view over all workers' snapshots; shard ids are disjoint
     // across workers except for values each worker holds of its own shards.
     // Snapshot payloads are `Arc`-shared, so the merge clones refcounts.
     let mut merged: BTreeMap<TensorId, std::sync::Arc<Tensor>> = BTreeMap::new();
-    for per_worker in &point.values {
+    for per_worker in values {
         for (t, v) in per_worker {
             merged.entry(*t).or_insert_with(|| v.clone());
         }
@@ -173,7 +174,7 @@ pub(crate) fn assemble_snapshot(
             tensors.insert(t, gather_shards(sharded, t, &merged)?);
         }
     }
-    Ok(FullSnapshot { ckpt: point.ckpt, every, tensors })
+    Ok(FullSnapshot { ckpt, every, tensors })
 }
 
 /// Slices a [`FullSnapshot`] into a resume point for `sharded` (possibly a

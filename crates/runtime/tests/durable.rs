@@ -1,0 +1,458 @@
+//! Durable-checkpoint crash-restart tests: a simulated whole-process crash
+//! drops every byte of in-memory state, and a fresh runtime must discover
+//! the newest *valid* checkpoint on disk (skipping corrupt candidates with a
+//! typed reason), reshard it onto the current fleet — possibly at a
+//! different width — and finish bit-identical to an undisturbed run resumed
+//! from the same cut. Every injected disk corruption must be detected at
+//! recovery, never silently resumed from.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use tofu_core::{PartitionOptions, SearchCaches};
+use tofu_graph::{Graph, TensorId, TensorKind};
+use tofu_models::{mlp, MlpConfig};
+use tofu_runtime::{
+    resume_from_snapshot, run_with_durable_recovery, run_with_options, BlobStore,
+    CheckpointPolicy, CrashPoint, DirStore, DiskFault, DurableOptions, DurableReport, FaultPlan,
+    MemStore, RejectReason, RunOptions, RuntimeError,
+};
+use tofu_tensor::Tensor;
+
+/// Batch 24 splits evenly at every width these tests restart at (2, 3, 4).
+fn model() -> tofu_models::BuiltModel {
+    mlp(&MlpConfig { batch: 24, dims: vec![12, 12], classes: 6, with_updates: true }).unwrap()
+}
+
+fn feeds(g: &Graph) -> Vec<(TensorId, Tensor)> {
+    let mut out = Vec::new();
+    for t in g.tensor_ids() {
+        let meta = g.tensor(t);
+        if meta.kind == TensorKind::Intermediate {
+            continue;
+        }
+        let v = if meta.name == "labels" {
+            let b = meta.shape.dim(0);
+            Tensor::from_vec(meta.shape.clone(), (0..b).map(|i| (i % 3) as f32).collect())
+                .unwrap()
+        } else {
+            Tensor::random(meta.shape.clone(), t.0 as u64 + 1, 0.5)
+        };
+        out.push((t, v));
+    }
+    out
+}
+
+/// A cadence that yields several barriers, so checkpoints 1 and 2 both
+/// exist and a third one still gets committed after the restart.
+fn cadence(g: &Graph) -> usize {
+    (g.num_nodes() / 6).max(1)
+}
+
+fn checkpointed(g: &Graph, faults: FaultPlan) -> RunOptions {
+    RunOptions {
+        faults,
+        checkpoint: Some(CheckpointPolicy::every_original(cadence(g))),
+        ..Default::default()
+    }
+}
+
+/// The spec's bit-identity baseline: an undisturbed run at the restart
+/// width, resumed from the recovered snapshot when there is one (the only
+/// meaningful baseline across a width change), from scratch otherwise.
+fn baseline_values(
+    report: &DurableReport,
+    full_feeds: &[(TensorId, Tensor)],
+) -> BTreeMap<TensorId, Tensor> {
+    let clean = RunOptions::default();
+    match &report.snapshot {
+        Some(snap) => resume_from_snapshot(&report.sharded, &[], &clean, snap)
+            .expect("baseline resume")
+            .values,
+        None => {
+            let mut sf = Vec::new();
+            for (t, v) in full_feeds {
+                sf.extend(report.sharded.scatter(*t, v).unwrap());
+            }
+            run_with_options(&report.sharded, &sf, &clean).expect("baseline run").values
+        }
+    }
+}
+
+fn assert_bit_identical(got: &BTreeMap<TensorId, Tensor>, want: &BTreeMap<TensorId, Tensor>) {
+    assert_eq!(
+        got.keys().collect::<Vec<_>>(),
+        want.keys().collect::<Vec<_>>(),
+        "restarted run holds different tensors"
+    );
+    for (t, w) in want {
+        let g = &got[t];
+        assert_eq!(g.shape(), w.shape(), "tensor {t:?} changed shape");
+        let gb: Vec<u32> = g.data().iter().map(|x| x.to_bits()).collect();
+        let wb: Vec<u32> = w.data().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(gb, wb, "tensor {t:?} is not bit-identical to the baseline");
+    }
+}
+
+fn manifests(store: &dyn BlobStore) -> Vec<String> {
+    store.list().unwrap().into_iter().filter(|n| n.ends_with(".manifest")).collect()
+}
+
+#[test]
+fn clean_run_persists_commits_and_respects_retention() {
+    let m = model();
+    let full_feeds = feeds(&m.graph);
+    let part = PartitionOptions { workers: 4, ..Default::default() };
+    let mut caches = SearchCaches::default();
+    let store: Arc<MemStore> = Arc::new(MemStore::default());
+    let durable = DurableOptions::new(store.clone());
+    let report = run_with_durable_recovery(
+        &m.graph,
+        &full_feeds,
+        &part,
+        &checkpointed(&m.graph, FaultPlan::none()),
+        &durable,
+        &mut caches,
+    )
+    .expect("clean durable run");
+    assert!(report.crashed.is_none());
+    assert_eq!(report.resumed_from, None, "nothing on disk to resume from");
+    assert!(report.rejected.is_empty());
+    assert!(report.written >= 3, "expected several durable commits, got {}", report.written);
+    assert!(report.written_bytes > 0);
+    assert!(report.gc_removed > 0, "retention must have pruned superseded checkpoints");
+    // Retention holds: only the newest `retain` manifests survive the run.
+    assert_eq!(manifests(&*store).len(), durable.retain);
+
+    let mut sf = Vec::new();
+    for (t, v) in &full_feeds {
+        sf.extend(report.sharded.scatter(*t, v).unwrap());
+    }
+    let plain = run_with_options(&report.sharded, &sf, &RunOptions::default())
+        .expect("plain baseline");
+    assert_bit_identical(&report.output.values, &plain.values);
+}
+
+#[test]
+fn crash_after_commit_resumes_from_that_checkpoint() {
+    let m = model();
+    let full_feeds = feeds(&m.graph);
+    let part = PartitionOptions { workers: 4, ..Default::default() };
+    let mut caches = SearchCaches::default();
+    let durable = DurableOptions {
+        crash: Some(CrashPoint::AfterCommit(2)),
+        ..DurableOptions::new(Arc::new(MemStore::default()))
+    };
+    let report = run_with_durable_recovery(
+        &m.graph,
+        &full_feeds,
+        &part,
+        &checkpointed(&m.graph, FaultPlan::none()),
+        &durable,
+        &mut caches,
+    )
+    .expect("crash-restart run");
+    assert!(report.crashed.is_some(), "the first incarnation must have died");
+    assert_eq!(report.resumed_from, Some(2), "checkpoint 2 committed before the crash");
+    assert!(report.rejected.is_empty(), "nothing was corrupt: {:?}", report.rejected);
+    assert!(report.restore_bytes > 0);
+    assert_bit_identical(&report.output.values, &baseline_values(&report, &full_feeds));
+}
+
+#[test]
+fn crash_before_commit_falls_back_to_previous_checkpoint() {
+    let m = model();
+    let full_feeds = feeds(&m.graph);
+    let part = PartitionOptions { workers: 4, ..Default::default() };
+    let mut caches = SearchCaches::default();
+    let durable = DurableOptions {
+        crash: Some(CrashPoint::BeforeCommit(2)),
+        ..DurableOptions::new(Arc::new(MemStore::default()))
+    };
+    let report = run_with_durable_recovery(
+        &m.graph,
+        &full_feeds,
+        &part,
+        &checkpointed(&m.graph, FaultPlan::none()),
+        &durable,
+        &mut caches,
+    )
+    .expect("crash-restart run");
+    // Checkpoint 2's shards hit the disk but its manifest — the commit
+    // point — never did: the orphans are invisible, not "rejected".
+    assert_eq!(report.resumed_from, Some(1));
+    assert!(report.rejected.is_empty(), "orphan shards are not candidates: {:?}", report.rejected);
+    assert_bit_identical(&report.output.values, &baseline_values(&report, &full_feeds));
+}
+
+#[test]
+fn crash_before_first_commit_restarts_from_scratch() {
+    let m = model();
+    let full_feeds = feeds(&m.graph);
+    let part = PartitionOptions { workers: 4, ..Default::default() };
+    let mut caches = SearchCaches::default();
+    let durable = DurableOptions {
+        crash: Some(CrashPoint::BeforeCommit(1)),
+        ..DurableOptions::new(Arc::new(MemStore::default()))
+    };
+    let report = run_with_durable_recovery(
+        &m.graph,
+        &full_feeds,
+        &part,
+        &checkpointed(&m.graph, FaultPlan::none()),
+        &durable,
+        &mut caches,
+    )
+    .expect("crash-restart run");
+    assert_eq!(report.resumed_from, None, "no checkpoint ever committed");
+    assert!(report.snapshot.is_none());
+    assert_bit_identical(&report.output.values, &baseline_values(&report, &full_feeds));
+}
+
+#[test]
+fn restart_at_a_different_width_is_bit_identical() {
+    let m = model();
+    let full_feeds = feeds(&m.graph);
+    let mut caches = SearchCaches::default();
+    // Shrink 4 → 2 and grow 2 → 4: the durable checkpoint stores full
+    // tensors keyed by original ids, so the restart reshards either way.
+    for (before, after) in [(4usize, 2usize), (2, 4)] {
+        let part = PartitionOptions { workers: before, ..Default::default() };
+        let durable = DurableOptions {
+            crash: Some(CrashPoint::AfterCommit(2)),
+            restart_workers: Some(after),
+            ..DurableOptions::new(Arc::new(MemStore::default()))
+        };
+        let report = run_with_durable_recovery(
+            &m.graph,
+            &full_feeds,
+            &part,
+            &checkpointed(&m.graph, FaultPlan::none()),
+            &durable,
+            &mut caches,
+        )
+        .unwrap_or_else(|e| panic!("{before}->{after}: crash-restart run failed: {e}"));
+        assert_eq!(report.width, after, "{before}->{after}: restarted at the new width");
+        assert_eq!(report.sharded.workers, after);
+        assert_eq!(report.resumed_from, Some(2));
+        assert_bit_identical(&report.output.values, &baseline_values(&report, &full_feeds));
+    }
+}
+
+/// One end-to-end scenario per disk-fault family: the doomed incarnation's
+/// write of checkpoint 2 is corrupted, the process dies right after that
+/// commit, and recovery must detect the corruption with the right typed
+/// reason, fall back (to checkpoint 1, or to 2 itself when only a forged
+/// newer manifest is bogus), and still finish bit-identical.
+#[test]
+fn every_disk_fault_family_is_detected_and_recovered_exactly() {
+    let m = model();
+    let full_feeds = feeds(&m.graph);
+    let part = PartitionOptions { workers: 4, ..Default::default() };
+    let mut caches = SearchCaches::default();
+    struct Case {
+        fault: DiskFault,
+        expect_resume: usize,
+        expect_rejected_ckpt: u64,
+        check: fn(&RejectReason) -> bool,
+        label: &'static str,
+    }
+    let cases = [
+        Case {
+            fault: DiskFault::TornWrite { ckpt: 2, shard: 0, keep: 9 },
+            expect_resume: 1,
+            expect_rejected_ckpt: 2,
+            check: |r| matches!(r, RejectReason::SizeMismatch { .. }),
+            label: "torn-write",
+        },
+        Case {
+            fault: DiskFault::BitFlip { ckpt: 2, shard: 0, bit: 123 },
+            expect_resume: 1,
+            expect_rejected_ckpt: 2,
+            check: |r| matches!(r, RejectReason::ShardCorrupt { .. }),
+            label: "bit-flip",
+        },
+        Case {
+            fault: DiskFault::MissingShard { ckpt: 2, shard: 1 },
+            expect_resume: 1,
+            expect_rejected_ckpt: 2,
+            check: |r| matches!(r, RejectReason::MissingShard { .. }),
+            label: "missing-shard",
+        },
+        Case {
+            // The manifest committed but a shard it names vanished later.
+            fault: DiskFault::StaleManifest { ckpt: 2 },
+            expect_resume: 1,
+            expect_rejected_ckpt: 2,
+            check: |r| matches!(r, RejectReason::MissingShard { .. }),
+            label: "stale-manifest",
+        },
+        Case {
+            // A forged copy of checkpoint 2's manifest under ordinal 3:
+            // recovery must reject the impostor and resume from the real 2.
+            fault: DiskFault::DuplicateManifest { ckpt: 2 },
+            expect_resume: 2,
+            expect_rejected_ckpt: 3,
+            check: |r| matches!(r, RejectReason::IdMismatch { name: 3, body: 2 }),
+            label: "duplicate-manifest",
+        },
+    ];
+    for case in cases {
+        let durable = DurableOptions {
+            crash: Some(CrashPoint::AfterCommit(2)),
+            ..DurableOptions::new(Arc::new(MemStore::default()))
+        };
+        let report = run_with_durable_recovery(
+            &m.graph,
+            &full_feeds,
+            &part,
+            &checkpointed(&m.graph, FaultPlan::none().with_disk(case.fault)),
+            &durable,
+            &mut caches,
+        )
+        .unwrap_or_else(|e| panic!("{}: crash-restart run failed: {e}", case.label));
+        assert_eq!(
+            report.resumed_from,
+            Some(case.expect_resume),
+            "{}: wrong resume checkpoint",
+            case.label
+        );
+        assert_eq!(report.rejected.len(), 1, "{}: exactly one candidate rejected", case.label);
+        assert_eq!(report.rejected[0].ckpt, case.expect_rejected_ckpt, "{}", case.label);
+        assert!(
+            (case.check)(&report.rejected[0].reason),
+            "{}: wrong rejection reason: {}",
+            case.label,
+            report.rejected[0].reason
+        );
+        assert_bit_identical(&report.output.values, &baseline_values(&report, &full_feeds));
+    }
+}
+
+#[test]
+fn dir_store_survives_a_crash_through_the_real_filesystem() {
+    let m = model();
+    let full_feeds = feeds(&m.graph);
+    let part = PartitionOptions { workers: 3, ..Default::default() };
+    let mut caches = SearchCaches::default();
+    let root = std::env::temp_dir()
+        .join(format!("tofu-durable-test-{}-dirstore", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = Arc::new(DirStore::open(&root).expect("open DirStore"));
+    let durable = DurableOptions {
+        crash: Some(CrashPoint::AfterCommit(2)),
+        ..DurableOptions::new(store)
+    };
+    let report = run_with_durable_recovery(
+        &m.graph,
+        &full_feeds,
+        &part,
+        &checkpointed(&m.graph, FaultPlan::none()),
+        &durable,
+        &mut caches,
+    )
+    .expect("crash-restart through DirStore");
+    assert_eq!(report.resumed_from, Some(2));
+    assert_bit_identical(&report.output.values, &baseline_values(&report, &full_feeds));
+    std::fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn misconfiguration_is_rejected_up_front() {
+    let m = model();
+    let full_feeds = feeds(&m.graph);
+    let part = PartitionOptions { workers: 4, ..Default::default() };
+    let mut caches = SearchCaches::default();
+    let invalid = |r: Result<DurableReport, RuntimeError>, what: &str| {
+        match r {
+            Err(RuntimeError::InvalidOptions(_)) => {}
+            other => panic!("{what}: expected InvalidOptions, got {other:?}"),
+        }
+    };
+
+    // No checkpoint cadence: nothing to persist.
+    invalid(
+        run_with_durable_recovery(
+            &m.graph,
+            &full_feeds,
+            &part,
+            &RunOptions::default(),
+            &DurableOptions::new(Arc::new(MemStore::default())),
+            &mut caches,
+        ),
+        "no checkpoint policy",
+    );
+
+    // Sharded-step barriers are plan-dependent; durable restart reshards.
+    invalid(
+        run_with_durable_recovery(
+            &m.graph,
+            &full_feeds,
+            &part,
+            &RunOptions { checkpoint: Some(CheckpointPolicy::every(5)), ..Default::default() },
+            &DurableOptions::new(Arc::new(MemStore::default())),
+            &mut caches,
+        ),
+        "sharded-step barriers",
+    );
+
+    // A crash point past the last barrier: the run would complete.
+    invalid(
+        run_with_durable_recovery(
+            &m.graph,
+            &full_feeds,
+            &part,
+            &checkpointed(&m.graph, FaultPlan::none()),
+            &DurableOptions {
+                crash: Some(CrashPoint::AfterCommit(1000)),
+                ..DurableOptions::new(Arc::new(MemStore::default()))
+            },
+            &mut caches,
+        ),
+        "unreachable crash point",
+    );
+
+    // Zero restart width.
+    invalid(
+        run_with_durable_recovery(
+            &m.graph,
+            &full_feeds,
+            &part,
+            &checkpointed(&m.graph, FaultPlan::none()),
+            &DurableOptions {
+                restart_workers: Some(0),
+                ..DurableOptions::new(Arc::new(MemStore::default()))
+            },
+            &mut caches,
+        ),
+        "zero restart width",
+    );
+}
+
+#[test]
+fn plain_runs_reject_disk_faults() {
+    // Disk faults target the durable store; a plain in-memory run has no
+    // store to inject them into and must refuse instead of ignoring them.
+    let m = model();
+    let full_feeds = feeds(&m.graph);
+    let part = PartitionOptions { workers: 2, ..Default::default() };
+    let mut caches = SearchCaches::default();
+    let sharded = {
+        let plan = tofu_core::partition_cached(&m.graph, &part, &mut caches, None).unwrap();
+        tofu_core::generate(&m.graph, &plan, &tofu_core::GenOptions::default()).unwrap()
+    };
+    let mut sf = Vec::new();
+    for (t, v) in &full_feeds {
+        sf.extend(sharded.scatter(*t, v).unwrap());
+    }
+    let opts = checkpointed(
+        &m.graph,
+        FaultPlan::none().with_disk(DiskFault::MissingShard { ckpt: 1, shard: 0 }),
+    );
+    match run_with_options(&sharded, &sf, &opts) {
+        Err(RuntimeError::InvalidOptions(m)) => {
+            assert!(m.contains("durable"), "message should point at the durable path: {m}")
+        }
+        other => panic!("expected InvalidOptions, got {other:?}"),
+    }
+}

@@ -186,6 +186,9 @@ pub enum ErrorCode {
     SearchFailed,
     /// An internal server error (a solver panic).
     Internal,
+    /// The server is draining for shutdown and accepts no new work; queued
+    /// requests still get answers, but this one arrived too late.
+    ShuttingDown,
 }
 
 impl ErrorCode {
@@ -199,6 +202,7 @@ impl ErrorCode {
             ErrorCode::Oversized => "oversized",
             ErrorCode::SearchFailed => "search_failed",
             ErrorCode::Internal => "internal",
+            ErrorCode::ShuttingDown => "shutting_down",
         }
     }
 
@@ -212,6 +216,7 @@ impl ErrorCode {
             "oversized" => ErrorCode::Oversized,
             "search_failed" => ErrorCode::SearchFailed,
             "internal" => ErrorCode::Internal,
+            "shutting_down" => ErrorCode::ShuttingDown,
             _ => return None,
         })
     }
@@ -904,6 +909,7 @@ mod tests {
             ErrorCode::Oversized,
             ErrorCode::SearchFailed,
             ErrorCode::Internal,
+            ErrorCode::ShuttingDown,
         ] {
             assert_eq!(ErrorCode::from_wire(code.as_str()), Some(code));
         }

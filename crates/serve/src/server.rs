@@ -92,6 +92,10 @@ pub struct ServeCounters {
     pub rejected: AtomicU64,
     /// Answered `deadline_missed`.
     pub deadline_missed: AtomicU64,
+    /// Answered `shutting_down` (arrived after drain began; deliberately
+    /// *not* counted in `requests`, which tallies only admitted-or-rejected
+    /// work so `hits + misses + joined + rejected == requests` holds).
+    pub shutting_down: AtomicU64,
     /// Partition search returned an error.
     pub search_failed: AtomicU64,
     /// Frames or messages that failed to parse.
@@ -136,6 +140,9 @@ struct Shared {
     sched: FairScheduler<Job>,
     counters: ServeCounters,
     stop: AtomicBool,
+    /// Graceful-shutdown latch: set by [`PlanServer::begin_drain`]. New
+    /// partition requests are answered `shutting_down`; queued ones drain.
+    draining: AtomicBool,
     /// try_clone'd handles used solely to shutdown sockets on close.
     conns: Mutex<Vec<TcpStream>>,
     started: Instant,
@@ -164,6 +171,9 @@ impl Shared {
 pub struct PlanServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
+    /// Solver-pool threads, joined first during a drain so every queued
+    /// request is answered before any connection closes.
+    solvers: Vec<JoinHandle<()>>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -182,19 +192,21 @@ impl PlanServer {
             sched: FairScheduler::new(queue_cap),
             counters: ServeCounters::default(),
             stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
             started: Instant::now(),
         });
-        let mut handles = Vec::new();
+        let mut solvers = Vec::new();
         for i in 0..solver_threads {
             let shared = Arc::clone(&shared);
-            handles.push(
+            solvers.push(
                 std::thread::Builder::new()
                     .name(format!("tofu-solver-{i}"))
                     .spawn(move || solver_loop(&shared))
                     .expect("spawn solver"),
             );
         }
+        let mut handles = Vec::new();
         {
             let shared = Arc::clone(&shared);
             handles.push(
@@ -204,7 +216,7 @@ impl PlanServer {
                     .expect("spawn acceptor"),
             );
         }
-        Ok(PlanServer { addr: local, shared, handles })
+        Ok(PlanServer { addr: local, shared, solvers, handles })
     }
 
     /// The bound address (resolves port 0).
@@ -228,6 +240,32 @@ impl PlanServer {
         self.stop();
     }
 
+    /// Flips the server into draining mode without closing anything: new
+    /// partition requests are answered with a typed
+    /// [`ErrorCode::ShuttingDown`] error, no further work is admitted, and
+    /// the solver pool keeps answering everything already queued. Pings and
+    /// stats still serve (stats report `"draining": true`). Idempotent;
+    /// complete the shutdown with [`drain`](PlanServer::drain).
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.sched.close();
+    }
+
+    /// Graceful shutdown: [`begin_drain`](PlanServer::begin_drain), then
+    /// wait for the solver pool to answer every queued request — no
+    /// in-flight request is ever dropped — and only then close connections
+    /// and join the remaining threads.
+    pub fn drain(mut self) {
+        self.begin_drain();
+        // Solvers exit once the closed queue runs dry; joining them first
+        // guarantees every admitted request was answered while its
+        // connection was still open.
+        for h in self.solvers.drain(..) {
+            let _ = h.join();
+        }
+        self.stop();
+    }
+
     fn stop(&mut self) {
         if self.shared.stop.swap(true, Ordering::SeqCst) {
             return;
@@ -238,7 +276,7 @@ impl PlanServer {
         }
         // Unblock the acceptor with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
-        for h in self.handles.drain(..) {
+        for h in self.solvers.drain(..).chain(self.handles.drain(..)) {
             let _ = h.join();
         }
     }
@@ -347,6 +385,14 @@ fn expired(deadline: Option<Instant>) -> bool {
 }
 
 fn handle_partition(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, id: u64, req: PartitionRequest) {
+    // Checked before `requests` is bumped: late arrivals are turned away,
+    // not admitted, so the `hits + misses + joined + rejected == requests`
+    // invariant is unaffected by a drain.
+    if shared.draining.load(Ordering::SeqCst) {
+        shared.bump(&shared.counters.shutting_down, "serve/shutting_down");
+        send_error(writer, id, ErrorCode::ShuttingDown, "server is draining for shutdown".into());
+        return;
+    }
     shared.bump(&shared.counters.requests, "serve/requests");
     let deadline = req.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
     let fp = request_fingerprint(&req.graph, &req.options);
@@ -393,12 +439,18 @@ fn handle_partition(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, id: u6
                     plans.remove(&fp);
                     drop(plans);
                     shared.bump(&shared.counters.rejected, "serve/rejected");
-                    send_error(
-                        &job.leader.conn,
-                        job.leader.id,
-                        ErrorCode::Overloaded,
-                        format!("miss queue at capacity ({})", shared.cfg.queue_cap),
-                    );
+                    // A closed queue means a drain began after the entry
+                    // check above; either way the request counted, so it is
+                    // a rejection — but tell the client the honest reason.
+                    let (code, msg) = if shared.draining.load(Ordering::SeqCst) {
+                        (ErrorCode::ShuttingDown, "server is draining for shutdown".to_string())
+                    } else {
+                        (
+                            ErrorCode::Overloaded,
+                            format!("miss queue at capacity ({})", shared.cfg.queue_cap),
+                        )
+                    };
+                    send_error(&job.leader.conn, job.leader.id, code, msg);
                 }
             }
         }
@@ -523,9 +575,11 @@ fn stats_response(shared: &Shared, id: u64) -> Response {
                 ("joined", load(&c.joined)),
                 ("rejected", load(&c.rejected)),
                 ("deadline_missed", load(&c.deadline_missed)),
+                ("shutting_down", load(&c.shutting_down)),
                 ("search_failed", load(&c.search_failed)),
                 ("protocol_errors", load(&c.protocol_errors)),
                 ("queued", Json::from(shared.sched.queued())),
+                ("draining", Json::from(shared.draining.load(Ordering::SeqCst))),
                 ("uptime_seconds", Json::Num(shared.started.elapsed().as_secs_f64())),
             ]),
         ),

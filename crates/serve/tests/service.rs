@@ -158,3 +158,65 @@ fn stats_document_reports_serve_and_cache_layers() {
     assert_eq!(num(cache2, "plan_misses"), num(cache, "plan_misses"));
     server.shutdown();
 }
+
+#[test]
+fn drain_answers_every_queued_request_and_turns_late_arrivals_away() {
+    // One solver thread so distinct cold requests pile up in the queue.
+    let server = PlanServer::bind(
+        "127.0.0.1:0",
+        ServeConfig { solver_threads: 1, queue_cap: 64, ..Default::default() },
+    )
+    .expect("bind");
+    let addr = server.addr();
+    let g = Arc::new(model(24));
+
+    // Six distinct fingerprints (same graph, different widths), each on its
+    // own connection, all in flight at once.
+    let handles: Vec<_> = [2usize, 3, 4, 6, 8, 12]
+        .into_iter()
+        .map(|workers| {
+            let g = Arc::clone(&g);
+            std::thread::spawn(move || {
+                let mut client = PlanClient::connect(addr).expect("connect");
+                let opts = PartitionOptions { workers, ..Default::default() };
+                client.partition("tenant-drain", &g, &opts, None)
+            })
+        })
+        .collect();
+
+    // Wait until all six were *admitted* (miss counter bumps only after a
+    // successful queue push), so none can race the drain latch below.
+    let load = |a: &std::sync::atomic::AtomicU64| a.load(std::sync::atomic::Ordering::Relaxed);
+    while load(&server.counters().misses) < 6 {
+        std::thread::yield_now();
+    }
+    server.begin_drain();
+
+    // A request arriving after the drain began gets the typed answer, on a
+    // still-open connection.
+    let mut late = PlanClient::connect(addr).expect("late connect");
+    let opts = PartitionOptions { workers: 24, ..Default::default() };
+    match late.partition("tenant-late", &g, &opts, None) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::ShuttingDown),
+        other => panic!("expected shutting_down, got {other:?}"),
+    }
+
+    // Every admitted request still gets its plan: nothing is dropped.
+    for h in handles {
+        let served = h.join().expect("client thread").expect("queued request must be answered");
+        assert!(!served.plan.to_json().is_empty());
+    }
+
+    // Stats still serve while draining, and say so.
+    let stats = late.stats().expect("stats during drain");
+    let serve = stats.get("serve").expect("serve section");
+    assert_eq!(serve.get("draining").and_then(tofu_obs::json::Json::as_bool), Some(true));
+    let num = |k: &str| serve.get(k).and_then(tofu_obs::json::Json::as_f64).unwrap_or(-1.0);
+    assert_eq!(num("shutting_down"), 1.0);
+    assert_eq!(num("requests"), 6.0, "the late arrival was never counted as admitted work");
+    assert_eq!(num("misses"), 6.0);
+    assert_eq!(num("rejected"), 0.0);
+
+    // Completing the drain joins the (now idle) solver pool and closes up.
+    server.drain();
+}

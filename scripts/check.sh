@@ -17,6 +17,12 @@ timeout 300 cargo test -q -p tofu-runtime --test faults
 # typed Unrecoverable, and a pending join must never park workers at a
 # yield barrier forever — so these get the same hard cap.
 timeout 300 cargo test -q -p tofu-runtime --test elastic --test reshard --test churn
+# Durable checkpoints: codec/store/commit units + proptests in tofu-durable,
+# then the whole-process crash-restart suite (simulated crash, disk-fault
+# injection, restart at a different width). Recovery must be bit-identical
+# and every injected corruption detected via a typed rejection.
+timeout 300 cargo test -q -p tofu-durable
+timeout 300 cargo test -q -p tofu-runtime --test durable
 # The search-optimality suites (brute-force oracle + differential fuzzing
 # against the reference engine) are exhaustive by design; cap them so a
 # search-space blowup fails CI instead of stalling it.
@@ -41,8 +47,14 @@ cargo test --workspace -q
 # zero-copy data plane must stay zero-copy).
 timeout 600 cargo run --release -q -p tofu-bench --bin runtime_scaling
 # Record the fault-matrix detection latencies and recovery outcomes
-# (exits non-zero unless every injected fault recovers bit-identically).
+# (exits non-zero unless every injected fault recovers bit-identically,
+# including the two whole-process crash-restart rows).
 cargo run --release -q -p tofu-bench --bin fault_matrix
+# Record the durability matrix: whole-process crashes at early/mid/late
+# durable commits × every disk-fault family, restarting at alternating
+# widths (exits non-zero on any non-exact recovery, any checksum-undetected
+# corruption, or any spurious rejection on a clean row).
+timeout 300 cargo run --release -q -p tofu-bench --bin durability_matrix
 # Record the elastic-recovery ladder latencies (exits non-zero unless every
 # degraded run is bit-identical to its surviving-width baseline and warm
 # replans are no slower than cold searches).

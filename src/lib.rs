@@ -12,6 +12,7 @@
 //! | [`core`] | `tofu-core` | coarsening, the recursive DP search, partitioned-graph generation, baseline partitioners (§5-§6) |
 //! | [`sim`] | `tofu-sim` | the 8-GPU discrete-event simulator and training baselines (§7) |
 //! | [`runtime`] | `tofu-runtime` | multi-worker threaded executor for partitioned graphs |
+//! | [`durable`] | `tofu-durable` | durable checkpoint store: checksummed codecs, atomic commits, disk-fault injection |
 //! | [`models`] | `tofu-models` | WResNet, multi-layer LSTM, MLP and CNN training graphs |
 //! | [`serve`] | `tofu-serve` | multi-tenant partition-plan service with a shared concurrent plan cache |
 //!
@@ -37,6 +38,7 @@
 #![forbid(unsafe_code)]
 
 pub use tofu_core as core;
+pub use tofu_durable as durable;
 pub use tofu_graph as graph;
 pub use tofu_models as models;
 pub use tofu_obs as obs;
